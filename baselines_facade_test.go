@@ -1,0 +1,70 @@
+package streamsched_test
+
+import (
+	"testing"
+
+	"streamsched"
+)
+
+func TestFacadeRelatedWorkSchedulers(t *testing.T) {
+	g := streamsched.GaussianElimination(5, 2, 1)
+	p := streamsched.Homogeneous(6, 1, 2)
+	period := streamsched.UnconstrainedPeriod(g, p)
+	for name, run := range map[string]func() (*streamsched.Schedule, error){
+		"ETF":   func() (*streamsched.Schedule, error) { return streamsched.ETF(g, p, period) },
+		"HEFT":  func() (*streamsched.Schedule, error) { return streamsched.HEFT(g, p, period) },
+		"CLUST": func() (*streamsched.Schedule, error) { return streamsched.Clustered(g, p, period) },
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !s.Complete() {
+			t.Fatalf("%s: incomplete schedule", name)
+		}
+		if s.Stages() < 1 {
+			t.Fatalf("%s: stages = %d", name, s.Stages())
+		}
+	}
+}
+
+func TestFacadeRandomSP(t *testing.T) {
+	g := streamsched.RandomSP(5, 25, 0.5, 1.5, 0.1, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsSeriesParallel() {
+		t.Fatal("RandomSP output not series-parallel")
+	}
+	// The §4.2 bound end to end through the façade.
+	p := streamsched.Homogeneous(32, 1, 10)
+	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 1e6}
+	s, err := prob.Solve(streamsched.RLTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.TotalComms(), g.NumEdges()*2; got != want {
+		t.Fatalf("TotalComms = %d, want e(ε+1) = %d", got, want)
+	}
+}
+
+func TestFacadeScheduleTraceExport(t *testing.T) {
+	g := streamsched.Chain(3, 1, 0.5)
+	p := streamsched.Homogeneous(4, 1, 1)
+	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 2.2}
+	s, err := prob.Solve(streamsched.LTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := streamsched.ScheduleTrace(s)
+	if len(spans) == 0 {
+		t.Fatal("no spans")
+	}
+	data, err := streamsched.ChromeTraceJSON(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty trace JSON")
+	}
+}

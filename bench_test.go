@@ -1,0 +1,225 @@
+package streamsched_test
+
+// One benchmark per paper table/figure (DESIGN.md §4 maps them), plus the
+// ablation benches for the design choices DESIGN.md calls out, plus
+// algorithm micro-benchmarks. Figure sweeps run at reduced sample counts to
+// stay benchmark-sized; cmd/paperfig regenerates the full 60-graph curves.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamsched"
+	"streamsched/internal/experiments"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/sim"
+)
+
+// benchSweep runs a reduced paper sweep.
+func benchSweep(b *testing.B, eps, crashes int, fig experiments.Figure) {
+	cfg := experiments.DefaultConfig(eps, crashes)
+	cfg.GraphsPerPoint = 3
+	cfg.Granularities = []float64{0.6, 1.0, 1.6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Run(cfg)
+		_, rows := experiments.Series(pts, fig)
+		if len(rows) != len(cfg.Granularities) {
+			b.Fatal("bad series")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates the Figure 1 scenario comparison (E1).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.PipeStages != 2 {
+			b.Fatalf("pipelined stages = %d", r.PipeStages)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the §4.3 worked-example grid (E2).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Best("R-LTF") == nil {
+			b.Fatal("R-LTF infeasible everywhere")
+		}
+	}
+}
+
+// BenchmarkFig3a/b/c: ε=1 latency bounds, crash latencies, overheads (E3-E5).
+func BenchmarkFig3a(b *testing.B) { benchSweep(b, 1, 1, experiments.FigBounds) }
+func BenchmarkFig3b(b *testing.B) { benchSweep(b, 1, 1, experiments.FigCrash) }
+func BenchmarkFig3c(b *testing.B) { benchSweep(b, 1, 1, experiments.FigOverhead) }
+
+// BenchmarkFig4a/b/c: the ε=3 family (E6-E8).
+func BenchmarkFig4a(b *testing.B) { benchSweep(b, 3, 2, experiments.FigBounds) }
+func BenchmarkFig4b(b *testing.B) { benchSweep(b, 3, 2, experiments.FigCrash) }
+func BenchmarkFig4c(b *testing.B) { benchSweep(b, 3, 2, experiments.FigOverhead) }
+
+// BenchmarkRelatedWork regenerates the extended related-work comparison
+// table (R-LTF vs ETF/HEFT/clustering at ε=0).
+func BenchmarkRelatedWork(b *testing.B) {
+	cfg := experiments.DefaultConfig(0, 0)
+	cfg.GraphsPerPoint = 3
+	cfg.Granularities = []float64{0.8, 1.6}
+	for i := 0; i < b.N; i++ {
+		pts := experiments.RelatedWork(cfg)
+		if len(pts) != 2 {
+			b.Fatal("bad points")
+		}
+	}
+}
+
+// BenchmarkAblationOneToOne compares the one-to-one mapping against full
+// communication replication on an aggregation tree (E9, the §4.2 claim).
+func BenchmarkAblationOneToOne(b *testing.B) {
+	g := randgraph.InTree(4, 1, 1)
+	p := platform.Homogeneous(16, 1, 1)
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"one-to-one", false},
+		{"full-replication", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			comms := 0
+			for i := 0; i < b.N; i++ {
+				s, err := rltf.Schedule(g, p, 1, 1000, rltf.Options{DisableOneToOne: mode.disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+				comms = s.TotalComms()
+			}
+			b.ReportMetric(float64(comms), "comms")
+		})
+	}
+}
+
+// BenchmarkAblationChunk measures LTF's iso-level chunking against plain
+// one-task list scheduling (E10).
+func BenchmarkAblationChunk(b *testing.B) {
+	r := rng.New(7)
+	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+	cfg := randgraph.DefaultStreamConfig()
+	cfg.Granularity = 1.0
+	g := randgraph.Stream(r, cfg, p)
+	for _, chunk := range []int{1, 20} {
+		b.Run(fmt.Sprintf("B=%d", chunk), func(b *testing.B) {
+			stages := 0
+			for i := 0; i < b.N; i++ {
+				s, err := ltf.Schedule(g, p, 1, 20, ltf.Options{ChunkSize: chunk})
+				if err != nil {
+					b.Skip("infeasible at this chunk size")
+				}
+				stages = s.Stages()
+			}
+			b.ReportMetric(float64(stages), "stages")
+		})
+	}
+}
+
+// BenchmarkLTF and BenchmarkRLTF measure scheduling cost on paper-sized
+// instances (v ∈ [50,150], m = 20).
+func BenchmarkLTF(b *testing.B) {
+	for _, eps := range []int{1, 3} {
+		b.Run(fmt.Sprintf("eps=%d", eps), func(b *testing.B) {
+			r := rng.New(11)
+			p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+			cfg := randgraph.DefaultStreamConfig()
+			g := randgraph.Stream(r, cfg, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ltf.Schedule(g, p, eps, 10*float64(eps+1), ltf.Options{}); err != nil {
+					b.Skip("infeasible instance")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRLTF(b *testing.B) {
+	for _, eps := range []int{1, 3} {
+		b.Run(fmt.Sprintf("eps=%d", eps), func(b *testing.B) {
+			r := rng.New(11)
+			p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+			cfg := randgraph.DefaultStreamConfig()
+			g := randgraph.Stream(r, cfg, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rltf.Schedule(g, p, eps, 10*float64(eps+1), rltf.Options{}); err != nil {
+					b.Skip("infeasible instance")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures the discrete-event engine in both execution
+// semantics.
+func BenchmarkSimulator(b *testing.B) {
+	r := rng.New(13)
+	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+	cfg := randgraph.DefaultStreamConfig()
+	g := randgraph.Stream(r, cfg, p)
+	s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+	if err != nil {
+		b.Skip("infeasible instance")
+	}
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"dataflow", false}, {"synchronous", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := sim.DefaultConfig(s)
+			c.Synchronous = mode.sync
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Run(s, c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkValidate measures the full audit including the exhaustive
+// ε-failure enumeration.
+func BenchmarkValidate(b *testing.B) {
+	g := streamsched.Fig2Graph()
+	p := platform.Homogeneous(10, 1, 1)
+	s, err := ltf.Schedule(g, p, 1, 20, ltf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMinPeriod measures the binary-search period minimizer.
+func BenchmarkMinPeriod(b *testing.B) {
+	g := randgraph.Butterfly(3, 3, 1)
+	p := platform.Homogeneous(12, 1, 2)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := streamsched.MinPeriod(g, p, 1, streamsched.RLTF, 1e-2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Command paperfig regenerates every table and figure of the paper's
+// evaluation:
+//
+//	paperfig fig1           — the Figure 1 execution-scenario comparison
+//	paperfig fig2           — the §4.3 / Figure 2 worked example grid
+//	paperfig fig3           — Figure 3(a,b,c): ε=1, c=1 granularity sweep
+//	paperfig fig4           — Figure 4(a,b,c): ε=3, c=2 granularity sweep
+//	paperfig related        — extended table: R-LTF vs ETF/HEFT/clustering
+//	paperfig all            — everything above
+//
+// Flags must precede the subcommand (standard flag-package parsing):
+//
+//	paperfig -reps 60 -csv results all
+//
+//	-reps N      graphs per sweep point (default 60, the paper's count)
+//	-csv DIR     also write each figure's series as CSV files into DIR
+//	-plot        render each figure as an ASCII chart as well
+//	-seed S      sweep seed (0 = the paper default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"streamsched/internal/experiments"
+	"streamsched/internal/textplot"
+)
+
+var plotFlag *bool
+
+func main() {
+	reps := flag.Int("reps", 60, "random graphs per sweep point")
+	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	plotFlag = flag.Bool("plot", false, "render ASCII charts")
+	seed := flag.Uint64("seed", 0, "sweep seed (0 = paper default)")
+	flag.Parse()
+
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	switch cmd {
+	case "fig1":
+		fig1()
+	case "fig2":
+		fig2()
+	case "fig3":
+		sweep(1, 1, "fig3", *reps, *seed, *csvDir)
+	case "fig4":
+		sweep(3, 2, "fig4", *reps, *seed, *csvDir)
+	case "related":
+		related(*reps, *seed, *csvDir)
+	case "all":
+		fig1()
+		fig2()
+		sweep(1, 1, "fig3", *reps, *seed, *csvDir)
+		sweep(3, 2, "fig4", *reps, *seed, *csvDir)
+		related(*reps, *seed, *csvDir)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want fig1|fig2|fig3|fig4|all)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func fig1() {
+	r, err := experiments.Fig1()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig1:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+}
+
+func fig2() {
+	r, err := experiments.Fig2()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig2:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+}
+
+func sweep(eps, crashes int, name string, reps int, seed uint64, csvDir string) {
+	cfg := experiments.DefaultConfig(eps, crashes)
+	cfg.GraphsPerPoint = reps
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	start := time.Now()
+	pts := experiments.Run(cfg)
+	fmt.Printf("=== %s: ε=%d, c=%d, %d graphs/point (%.1fs)\n",
+		name, eps, crashes, reps, time.Since(start).Seconds())
+
+	for _, part := range []struct {
+		suffix string
+		fig    experiments.Figure
+	}{
+		{"a_bounds", experiments.FigBounds},
+		{"b_crash", experiments.FigCrash},
+		{"c_overhead", experiments.FigOverhead},
+	} {
+		header, rows := experiments.Series(pts, part.fig)
+		fmt.Printf("--- %s(%s)\n%s", name, part.suffix, experiments.FormatTable(header, rows))
+		if plotFlag != nil && *plotFlag {
+			fmt.Print(textplot.Render(textplot.FromTable(header, rows),
+				textplot.Options{Width: 72, Height: 18, Title: name + part.suffix}))
+		}
+		if csvDir != "" {
+			path := filepath.Join(csvDir, name+part.suffix+".csv")
+			if err := os.WriteFile(path, []byte(experiments.CSV(header, rows)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "csv:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("--- %s summary\n%s", name, experiments.Summary(pts))
+}
+
+func related(reps int, seed uint64, csvDir string) {
+	cfg := experiments.DefaultConfig(0, 0)
+	cfg.GraphsPerPoint = reps
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	start := time.Now()
+	pts := experiments.RelatedWork(cfg)
+	fmt.Printf("=== related-work comparison: ε=0, Δ=%g, %d graphs/point (%.1fs)\n",
+		cfg.PeriodBase, reps, time.Since(start).Seconds())
+	header, rows := experiments.RelatedSeries(pts)
+	fmt.Printf("--- latency bounds (2S−1)Δ\n%s", experiments.FormatTable(header, rows))
+	if plotFlag != nil && *plotFlag {
+		fmt.Print(textplot.Render(textplot.FromTable(header, rows),
+			textplot.Options{Width: 72, Height: 18, Title: "related-work latency bounds"}))
+	}
+	fmt.Printf("--- stages and comms\n")
+	fmt.Printf("%-6s %-4s | %-7s %-7s %-7s %-7s | %-8s %-8s %-8s %-8s\n",
+		"g", "N", "S(R)", "S(ETF)", "S(HEFT)", "S(CL)", "X(R)", "X(ETF)", "X(HEFT)", "X(CL)")
+	for _, p := range pts {
+		fmt.Printf("%-6.2f %-4d | %-7.2f %-7.2f %-7.2f %-7.2f | %-8.1f %-8.1f %-8.1f %-8.1f\n",
+			p.Granularity, p.N,
+			p.RLTFStages, p.ETFStages, p.HEFTStages, p.ClustStages,
+			p.RLTFComms, p.ETFComms, p.HEFTComms, p.ClustComms)
+	}
+	if csvDir != "" {
+		path := filepath.Join(csvDir, "related_bounds.csv")
+		if err := os.WriteFile(path, []byte(experiments.CSV(header, rows)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			os.Exit(1)
+		}
+	}
+}

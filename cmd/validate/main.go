@@ -1,0 +1,112 @@
+// Command validate fuzzes the schedulers: it generates random instances,
+// runs every algorithm, and subjects each produced schedule to the full
+// audit — model constraints, one-port consistency, throughput budgets, and
+// the exhaustive ≤ε failure enumeration — then cross-checks a sample of
+// crash scenarios in the simulator. A release gate for the reliability
+// guarantees.
+//
+//	validate -n 200 -seed 7 -maxeps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sim"
+)
+
+func main() {
+	n := flag.Int("n", 100, "number of random instances")
+	seed := flag.Uint64("seed", 1, "base seed")
+	maxEps := flag.Int("maxeps", 3, "maximum ε to fuzz")
+	simChecks := flag.Int("simchecks", 2, "simulated crash scenarios per schedule")
+	flag.Parse()
+
+	r := rng.New(*seed)
+	type stats struct{ produced, infeasible int }
+	algos := map[string]func(*dag.Graph, *platform.Platform, int, float64) (*schedule.Schedule, error){
+		"LTF": func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+			return ltf.Schedule(g, p, eps, period, ltf.Options{})
+		},
+		"R-LTF": func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+			return rltf.Schedule(g, p, eps, period, rltf.Options{})
+		},
+	}
+	counts := map[string]*stats{"LTF": {}, "R-LTF": {}}
+	bad := 0
+
+	for i := 0; i < *n; i++ {
+		v := 6 + r.IntN(30)
+		g := dag.New(fmt.Sprintf("fuzz-%d", i))
+		for k := 0; k < v; k++ {
+			g.AddTask(fmt.Sprintf("t%d", k), r.Uniform(0.3, 2))
+		}
+		for a := 0; a < v; a++ {
+			for b := a + 1; b < v; b++ {
+				if r.Bool(2.2 / float64(v)) {
+					g.MustAddEdge(dag.TaskID(a), dag.TaskID(b), r.Uniform(0.05, 1.5))
+				}
+			}
+		}
+		m := 5 + r.IntN(10)
+		p := platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 10)
+		eps := r.IntN(*maxEps + 1)
+		if eps+1 > m {
+			eps = m - 1
+		}
+		pressure := []float64{2.5, 1.4, 0.8}[r.IntN(3)]
+		period := pressure * float64(eps+1) * g.TotalWork() / (p.MeanSpeed() * float64(m))
+
+		for name, run := range algos {
+			s, err := run(g, p, eps, period)
+			if err != nil {
+				counts[name].infeasible++
+				continue
+			}
+			counts[name].produced++
+			if err := s.Validate(); err != nil {
+				bad++
+				fmt.Printf("AUDIT FAILURE [%s] instance %d (v=%d m=%d eps=%d Δ=%.3g): %v\n",
+					name, i, v, m, eps, period, err)
+				continue
+			}
+			for c := 0; c < *simChecks && eps > 0; c++ {
+				crashes := r.Sample(m, 1+r.IntN(eps))
+				procs := make([]platform.ProcID, len(crashes))
+				for k, u := range crashes {
+					procs[k] = platform.ProcID(u)
+				}
+				res, err := sim.Run(s, sim.Config{Items: 12, Warmup: 2,
+					Failures: sim.FailureSpec{Procs: procs}})
+				if err != nil {
+					bad++
+					fmt.Printf("SIM FAILURE [%s] instance %d: %v\n", name, i, err)
+					continue
+				}
+				if res.Delivered != res.Items {
+					bad++
+					fmt.Printf("DELIVERY FAILURE [%s] instance %d: lost %d items under crashes %v\n",
+						name, i, res.Items-res.Delivered, procs)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("\n%d instances fuzzed\n", *n)
+	for name, st := range counts {
+		fmt.Printf("  %-6s produced %4d schedules (%d infeasible) — all audited\n",
+			name, st.produced, st.infeasible)
+	}
+	if bad > 0 {
+		fmt.Printf("FAILURES: %d\n", bad)
+		os.Exit(1)
+	}
+	fmt.Println("no failures")
+}

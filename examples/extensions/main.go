@@ -1,0 +1,81 @@
+// Extensions: the "symmetric" tri-criteria problems the paper's conclusion
+// proposes (§6) on one workflow — maximize throughput under a latency cap,
+// maximize the tolerated failures under latency+throughput, find the
+// cheapest platform (fewest processors), and account the energy cost of
+// reliability. Finishes by exporting a Chrome/Perfetto trace of the
+// simulated execution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"streamsched"
+)
+
+func main() {
+	g := streamsched.GaussianElimination(6, 3, 1)
+	p := streamsched.Homogeneous(12, 1, 4)
+	fmt.Printf("workflow %v on %v\n\n", g, p)
+
+	// 1. Maximize throughput with latency capped at 120 (ε = 1).
+	period, s1, err := streamsched.MaxThroughput(g, p, 1, 120, streamsched.RLTF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max throughput with L ≤ 120, ε=1:  Δ=%.2f (T=1/%.2f), S=%d, L=%.1f\n",
+		period, period, s1.Stages(), s1.LatencyBound())
+
+	// 2. Maximize the tolerated failures at Δ = 30 with L ≤ 460.
+	eps, s2, err := streamsched.MaxFailures(g, p, 30, 460, streamsched.LTF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max failures at Δ=30, L ≤ 460:      ε=%d (S=%d, L=%.1f)\n",
+		eps, s2.Stages(), s2.LatencyBound())
+
+	// 3. Cheapest platform for Δ = 30, ε = 1.
+	m, s3, err := streamsched.MinProcessors(g, p, 1, 30, streamsched.RLTF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("min processors at Δ=30, ε=1:        m=%d (S=%d, L=%.1f)\n",
+		m, s3.Stages(), s3.LatencyBound())
+
+	// 4. The energy price of reliability.
+	model := streamsched.DefaultEnergyModel()
+	fmt.Println("\nenergy per item (dynamic + static + communication):")
+	var ref *streamsched.Schedule
+	for e := 0; e <= 2; e++ {
+		prob := &streamsched.Problem{Graph: g, Platform: p, Eps: e, Period: 30}
+		s, err := prob.Solve(streamsched.RLTF)
+		if err != nil {
+			fmt.Printf("  ε=%d: infeasible\n", e)
+			continue
+		}
+		if ref == nil {
+			ref = s
+		}
+		fmt.Printf("  ε=%d: E=%.1f (overhead %+.0f%%)\n",
+			e, s.EnergyPerItem(model), 100*s.EnergyOverhead(model, ref))
+	}
+
+	// 5. Export a Chrome trace of the simulated pipelined execution.
+	cfg := streamsched.DefaultSimConfig(s1)
+	cfg.TraceItems = 4
+	res, err := streamsched.Simulate(s1, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := streamsched.ChromeTraceJSON(res.Trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const out = "trace.json"
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d spans, first 4 items) — open in chrome://tracing\n",
+		out, len(res.Trace))
+}

@@ -1,0 +1,83 @@
+// Heterogeneity and granularity: how the computation-to-communication
+// ratio g(G,P) and platform heterogeneity shape the schedules — a
+// small-scale interactive version of the paper's §5 experiments. For each
+// granularity, a random workflow is calibrated and scheduled with LTF and
+// R-LTF on the paper's 20-processor heterogeneous platform; the table shows
+// the stage counts, latency bounds, communication counts, and measured
+// latencies that Figures 3 and 4 aggregate over 60 graphs.
+package main
+
+import (
+	"fmt"
+
+	"streamsched"
+)
+
+func main() {
+	p := streamsched.RandomPlatform(42, 20, 0.5, 1.0, 0.5, 1.0)
+	const (
+		eps    = 1
+		period = 20.0 // Δ = 10(ε+1), the paper's throughput constraint
+	)
+
+	fmt.Println("granularity sweep on the paper's heterogeneous platform (ε=1, Δ=20)")
+	fmt.Printf("%6s | %18s | %18s | %s\n", "g", "LTF  S  L  comms", "R-LTF S  L  comms", "R-LTF measured")
+	for _, gran := range []float64{0.4, 0.6, 0.8, 1.0, 1.4, 2.0} {
+		g := streamsched.RandomStream(7, gran, p)
+		row := fmt.Sprintf("%6.2f |", gran)
+
+		ltfProb := &streamsched.Problem{Graph: g, Platform: p, Eps: eps, Period: period}
+		if s, err := ltfProb.Solve(streamsched.LTF); err != nil {
+			row += fmt.Sprintf(" %18s |", "infeasible")
+		} else {
+			row += fmt.Sprintf("   %2d %5.0f %5d   |", s.Stages(), s.LatencyBound(), s.CrossComms())
+		}
+
+		rltfProb := &streamsched.Problem{Graph: g, Platform: p, Eps: eps, Period: period}
+		s, err := rltfProb.Solve(streamsched.RLTF)
+		if err != nil {
+			row += fmt.Sprintf(" %18s |", "infeasible")
+			fmt.Println(row)
+			continue
+		}
+		row += fmt.Sprintf("   %2d %5.0f %5d   |", s.Stages(), s.LatencyBound(), s.CrossComms())
+
+		cfg := streamsched.DefaultSimConfig(s)
+		cfg.Synchronous = true
+		res, err := streamsched.Simulate(s, cfg)
+		if err == nil {
+			row += fmt.Sprintf(" %.0f (bound %.0f)", res.MeanLatency, s.LatencyBound())
+		}
+		fmt.Println(row)
+	}
+
+	// Heterogeneity effect: the same workflow on a homogeneous platform of
+	// equal aggregate speed vs the heterogeneous one.
+	fmt.Println("\nheterogeneity effect (same workflow, same aggregate speed):")
+	g := streamsched.RandomStream(7, 1.0, p)
+	homo := streamsched.Homogeneous(20, meanSpeed(p), 100.0/0.75)
+	for _, tc := range []struct {
+		name string
+		plat *streamsched.Platform
+	}{
+		{"heterogeneous", p},
+		{"homogeneous", homo},
+	} {
+		prob := &streamsched.Problem{Graph: g, Platform: tc.plat, Eps: eps, Period: period}
+		s, err := prob.Solve(streamsched.RLTF)
+		if err != nil {
+			fmt.Printf("  %-14s infeasible: %v\n", tc.name, err)
+			continue
+		}
+		fmt.Printf("  %-14s S=%d L=%.0f comms=%d procs=%d\n",
+			tc.name, s.Stages(), s.LatencyBound(), s.CrossComms(), s.ProcsUsed())
+	}
+}
+
+func meanSpeed(p *streamsched.Platform) float64 {
+	sum := 0.0
+	for u := 0; u < p.NumProcs(); u++ {
+		sum += p.Speed(streamsched.ProcID(u))
+	}
+	return sum / float64(p.NumProcs())
+}

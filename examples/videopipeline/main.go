@@ -1,0 +1,120 @@
+// Video pipeline: the paper's motivating application class ("video and
+// audio encoding and decoding, DSP applications"). A 25-frames-per-second
+// transcoding workflow runs on a small heterogeneous cluster; the deadline
+// per frame is the period Δ = 40 ms. We compare the fault-free reference,
+// LTF and R-LTF, then crash a node mid-stream and watch the replicated
+// pipeline keep delivering frames.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"streamsched"
+)
+
+func main() {
+	// Workflow (weights ≈ milliseconds of work on a speed-1 core; volumes
+	// ≈ data units whose transfer costs volume/bandwidth ms):
+	//
+	//	demux → {vdec, adec}; vdec → deint → scale → venc;
+	//	adec → aenc; {venc, aenc} → mux
+	g := streamsched.NewGraph("transcode")
+	demux := g.AddTask("demux", 4)
+	vdec := g.AddTask("video-decode", 18)
+	adec := g.AddTask("audio-decode", 6)
+	deint := g.AddTask("deinterlace", 12)
+	scale := g.AddTask("scale", 10)
+	venc := g.AddTask("video-encode", 22)
+	aenc := g.AddTask("audio-encode", 8)
+	mux := g.AddTask("mux", 4)
+	g.MustAddEdge(demux, vdec, 6)
+	g.MustAddEdge(demux, adec, 1)
+	g.MustAddEdge(vdec, deint, 8)
+	g.MustAddEdge(deint, scale, 8)
+	g.MustAddEdge(scale, venc, 6)
+	g.MustAddEdge(adec, aenc, 1)
+	g.MustAddEdge(venc, mux, 2)
+	g.MustAddEdge(aenc, mux, 1)
+
+	// A heterogeneous six-node cluster: two fast nodes, four slower ones;
+	// 1 data unit transfers in 1 ms between any pair.
+	p := streamsched.NewPlatform(
+		[]float64{1.6, 1.6, 1.0, 1.0, 0.8, 0.8},
+		uniformBW(6, 1.0),
+	)
+
+	const fps = 25.0
+	period := 1000.0 / fps // 40 ms
+
+	fmt.Printf("workflow %v, %d-node cluster, %g fps → Δ = %g ms\n\n",
+		g, p.NumProcs(), fps, period)
+
+	// Reference: no replication.
+	ff := solve(g, p, 0, period, streamsched.FaultFree)
+	// Fault tolerant: one arbitrary node may die.
+	ltf := solve(g, p, 1, period, streamsched.LTF)
+	rltf := solve(g, p, 1, period, streamsched.RLTF)
+
+	fmt.Printf("%-22s %8s %14s %10s\n", "algorithm", "stages", "latency bound", "comms")
+	for _, s := range []*streamsched.Schedule{ff, ltf, rltf} {
+		fmt.Printf("%-22s %8d %11.0f ms %10d\n",
+			s.Algorithm, s.Stages(), s.LatencyBound(), s.CrossComms())
+	}
+	overhead := 100 * (rltf.LatencyBound() - ff.LatencyBound()) / ff.LatencyBound()
+	fmt.Printf("\nfault-tolerance overhead of R-LTF vs fault-free: %.0f%%\n\n", overhead)
+
+	// Stream 10 seconds of video (250 frames); node 0 — carrying primary
+	// replicas — dies 4 seconds in.
+	cfg := streamsched.SimConfig{Items: 250, Warmup: 20,
+		Failures: streamsched.FailureSpec{Procs: []streamsched.ProcID{0}, At: 4000}}
+	res, err := streamsched.Simulate(rltf, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("R-LTF, node 1 crashes at t=4s: %d/%d frames delivered, "+
+		"mean latency %.1f ms, max %.1f ms\n",
+		res.Delivered, res.Items, res.MeanLatency, res.MaxLatency)
+
+	// The unreplicated schedule loses the stream if the wrong node dies:
+	// crash each node in turn and count survivals.
+	lost := 0
+	for u := 0; u < p.NumProcs(); u++ {
+		cfg := streamsched.SimConfig{Items: 50, Warmup: 5,
+			Failures: streamsched.FailureSpec{Procs: []streamsched.ProcID{streamsched.ProcID(u)}}}
+		r, err := streamsched.Simulate(ff, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if r.Delivered < r.Items {
+			lost++
+		}
+	}
+	fmt.Printf("fault-free schedule: a single crash kills the stream on %d of %d nodes\n",
+		lost, p.NumProcs())
+}
+
+func solve(g *streamsched.Graph, p *streamsched.Platform, eps int, period float64, algo streamsched.Algorithm) *streamsched.Schedule {
+	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: eps, Period: period}
+	s, err := prob.Solve(algo)
+	if err != nil {
+		log.Fatalf("%v: %v", algo, err)
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatalf("%v: %v", algo, err)
+	}
+	return s
+}
+
+func uniformBW(m int, bw float64) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = bw
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package streamsched_test
+
+// Tests for the façade's §6-extension surface: the symmetric tri-criteria
+// searches, the energy model, and schedule serialization.
+
+import (
+	"testing"
+
+	"streamsched"
+)
+
+func TestFacadeMaxThroughput(t *testing.T) {
+	g := streamsched.Chain(4, 1, 0.01)
+	p := streamsched.Homogeneous(4, 1, 100)
+	period, s, err := streamsched.MaxThroughput(g, p, 1, 0, streamsched.RLTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || period <= 0 {
+		t.Fatal("bad result")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 8 replica-units of work on 4 unit processors: period ≥ 2.
+	if period < 2-1e-3 {
+		t.Fatalf("period %v below the capacity floor 2", period)
+	}
+}
+
+func TestFacadeMaxFailures(t *testing.T) {
+	g := streamsched.Chain(3, 1, 0.1)
+	p := streamsched.Homogeneous(8, 1, 10)
+	eps, s, err := streamsched.MaxFailures(g, p, 3.001, 0, streamsched.LTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps < 1 || s.Eps != eps {
+		t.Fatalf("eps = %d", eps)
+	}
+	if !s.ToleratesAllFailures() {
+		t.Fatal("returned schedule fails its own audit")
+	}
+}
+
+func TestFacadeMinProcessors(t *testing.T) {
+	g := streamsched.Fig2Graph()
+	p := streamsched.Homogeneous(16, 1, 1)
+	m, s, err := streamsched.MinProcessors(g, p, 1, 20, streamsched.LTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 2 || m > 16 || s == nil {
+		t.Fatalf("m = %d", m)
+	}
+	// Minimality: one fewer processor must fail.
+	if m > 2 {
+		sub := streamsched.Homogeneous(m-1, 1, 1)
+		prob := &streamsched.Problem{Graph: g, Platform: sub, Eps: 1, Period: 20}
+		if _, err := prob.Solve(streamsched.LTF); err == nil {
+			t.Fatalf("m-1 = %d also feasible; MinProcessors not minimal", m-1)
+		}
+	}
+}
+
+func TestFacadeEnergy(t *testing.T) {
+	g := streamsched.Chain(4, 1, 1)
+	p := streamsched.Homogeneous(8, 1, 1)
+	ffProb := &streamsched.Problem{Graph: g, Platform: p, Eps: 0, Period: 50}
+	ff, err := ffProb.Solve(streamsched.FaultFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repProb := &streamsched.Problem{Graph: g, Platform: p, Eps: 2, Period: 50}
+	rep, err := repProb.Solve(streamsched.RLTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := streamsched.DefaultEnergyModel()
+	if rep.EnergyPerItem(m) <= ff.EnergyPerItem(m) {
+		t.Fatal("ε=2 replication should cost more energy than ε=0")
+	}
+	if ov := rep.EnergyOverhead(m, ff); ov <= 0 {
+		t.Fatalf("energy overhead %v", ov)
+	}
+}
+
+func TestFacadeScheduleJSON(t *testing.T) {
+	g := streamsched.Chain(3, 1, 1)
+	p := streamsched.Homogeneous(4, 1, 1)
+	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 20}
+	s, err := prob.Solve(streamsched.RLTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := streamsched.LoadScheduleJSON(data, g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if back.LatencyBound() != s.LatencyBound() {
+		t.Fatal("latency changed across serialization")
+	}
+}

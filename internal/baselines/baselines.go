@@ -1,0 +1,140 @@
+// Package baselines implements the execution scenarios the paper contrasts
+// with pipelined scheduling (Figure 1) and a related-work utility (§3):
+//
+//   - TaskParallel — classical list scheduling of the replicated DAG for
+//     minimum makespan (Fig. 1b): the stream is processed one item at a
+//     time, so the period equals the makespan and T = 1/L;
+//   - DataParallel — whole-graph replication with round-robin item
+//     distribution (Fig. 1c): maximum throughput, but only valid when items
+//     are independent, an assumption the paper explicitly rejects;
+//   - MinPeriod — the binary-search period minimizer of Hoang & Rabaey [5]:
+//     the smallest Δ for which a given scheduler produces a feasible
+//     mapping on the available processors.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+)
+
+// TaskParallelResult reports the Fig. 1b scenario.
+type TaskParallelResult struct {
+	// Schedule is the makespan-oriented replicated mapping.
+	Schedule *schedule.Schedule
+	// Latency is the makespan L; in streaming mode one item occupies the
+	// whole platform, so Throughput = 1/L.
+	Latency    float64
+	Throughput float64
+}
+
+// TaskParallel schedules the replicated DAG for minimum makespan with the
+// LTF machinery under an effectively unconstrained period, reproducing the
+// paper's "task parallelism" scenario.
+func TaskParallel(g *dag.Graph, p *platform.Platform, eps int) (*TaskParallelResult, error) {
+	// A period that can never bind: total sequential work plus total
+	// communication on the slowest resources.
+	period := (eps + 1) * 2
+	unconstrained := float64(period)*g.TotalWork()/p.MinSpeed() + float64(period)*g.TotalVolume()/p.MinBandwidth() + 1
+	s, err := ltf.Schedule(g, p, eps, unconstrained, ltf.Options{})
+	if err != nil {
+		return nil, err
+	}
+	l := s.Makespan()
+	return &TaskParallelResult{Schedule: s, Latency: l, Throughput: 1 / l}, nil
+}
+
+// DataParallelResult reports the Fig. 1c scenario.
+type DataParallelResult struct {
+	// Groups is the number of replica groups (m / (ε+1)); consecutive items
+	// go to consecutive groups round-robin.
+	Groups int
+	// PrimarySpeeds lists the fastest processor speed of each group — the
+	// copy whose result is used when no failure occurs.
+	PrimarySpeeds []float64
+	// Latency is the slowest primary's whole-graph execution time.
+	Latency float64
+	// Throughput is Σ_groups 1/(whole-graph time on the group's primary) —
+	// Fig. 1c's T = 2/40 on the example platform.
+	Throughput float64
+}
+
+// DataParallel evaluates whole-graph replication analytically. The whole
+// workflow runs on a single processor per replica, so no communications are
+// priced. It returns an error when fewer than ε+1 processors exist.
+//
+// This scenario "requires that the processing of one data item is
+// independent of the results obtained for the previous data item, a drastic
+// assumption that we do not make" (§1) — it exists as a comparison point,
+// not as a recommended mode.
+func DataParallel(g *dag.Graph, p *platform.Platform, eps int) (*DataParallelResult, error) {
+	m := p.NumProcs()
+	if eps+1 > m {
+		return nil, fmt.Errorf("baselines: ε+1 = %d replicas need ≥ that many processors, have %d", eps+1, m)
+	}
+	speeds := append([]float64(nil), p.Speeds()...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(speeds)))
+	groups := m / (eps + 1)
+	res := &DataParallelResult{Groups: groups}
+	work := g.TotalWork()
+	worst := 0.0
+	for gi := 0; gi < groups; gi++ {
+		// Group gi takes the gi-th fastest processor as primary and fills
+		// the replicas with the slower tail.
+		primary := speeds[gi]
+		res.PrimarySpeeds = append(res.PrimarySpeeds, primary)
+		t := work / primary
+		res.Throughput += 1 / t
+		if t > worst {
+			worst = t
+		}
+	}
+	res.Latency = worst
+	return res, nil
+}
+
+// Scheduler abstracts the algorithms MinPeriod can drive.
+type Scheduler func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error)
+
+// MinPeriod binary-searches the smallest period for which sched succeeds,
+// within relative tolerance tol (e.g. 1e-3). It returns the period and the
+// schedule obtained at it. The search brackets with an always-feasible
+// upper bound; if even that fails, the instance is declared infeasible.
+func MinPeriod(g *dag.Graph, p *platform.Platform, eps int, sched Scheduler, tol float64) (float64, *schedule.Schedule, error) {
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	// Lower bound: the heaviest single replica on the fastest processor.
+	lo := 0.0
+	for _, t := range g.Tasks() {
+		if et := t.Work / p.MaxSpeed(); et > lo {
+			lo = et
+		}
+	}
+	// Upper bound: everything serialized on the slowest resources.
+	hi := float64(eps+1) * (g.TotalWork()/p.MinSpeed() + g.TotalVolume()/p.MinBandwidth())
+	if math.IsInf(hi, 1) || hi <= 0 {
+		hi = math.Max(1, lo*float64(g.NumTasks()*(eps+1)))
+	}
+	best, err := sched(g, p, eps, hi)
+	if err != nil {
+		return 0, nil, fmt.Errorf("baselines: instance infeasible even at period %g: %w", hi, err)
+	}
+	bestPeriod := hi
+	for hi-lo > tol*hi {
+		mid := (lo + hi) / 2
+		s, err := sched(g, p, eps, mid)
+		if err != nil {
+			lo = mid
+		} else {
+			hi = mid
+			best, bestPeriod = s, mid
+		}
+	}
+	return bestPeriod, best, nil
+}

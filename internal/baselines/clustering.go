@@ -1,0 +1,155 @@
+package baselines
+
+// Clustering baseline, after the WMSH algorithm of Vydyanathan et al. [10]
+// (§3): first build clusters under an unbounded-processor assumption so
+// that each cluster's computation fits within the period (edges are
+// zeroed greedily by decreasing volume — the throughput phase); then merge
+// clusters down to the physical processor count (the processor-reduction
+// phase); finally map clusters onto processors, heaviest cluster to the
+// fastest processor, and emit a real one-port schedule (the refinement
+// phase is inherited from the shared commit machinery, which packs
+// communications as early as possible). Single copies only (ε = 0): none
+// of the surveyed heuristics replicates.
+
+import (
+	"fmt"
+	"sort"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+)
+
+// Clustered schedules g with the clustering heuristic under the period
+// budget.
+func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Schedule, error) {
+	ls, err := newListState(g, p, period, "CLUST")
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumTasks()
+
+	// Union-find over tasks; cluster load measured at the platform's mean
+	// speed (the physical processor is unknown until phase 3).
+	parent := make([]int, n)
+	load := make([]float64, n)
+	meanS := p.MeanSpeed()
+	for i := 0; i < n; i++ {
+		parent[i] = i
+		load[i] = g.Task(dag.TaskID(i)).Work / meanS
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+
+	// Phase 1: zero edges by decreasing volume while cluster loads fit.
+	type edge struct {
+		from, to int
+		vol      float64
+	}
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for _, e := range g.Succ(dag.TaskID(i)) {
+			edges = append(edges, edge{int(e.From), int(e.To), e.Volume})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].vol != edges[j].vol {
+			return edges[i].vol > edges[j].vol
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	merge := func(a, b int, budget float64) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return true
+		}
+		if load[ra]+load[rb] > budget {
+			return false
+		}
+		parent[rb] = ra
+		load[ra] += load[rb]
+		return true
+	}
+	for _, e := range edges {
+		merge(e.from, e.to, period)
+	}
+
+	// Phase 2: reduce to at most m clusters, merging the two lightest.
+	roots := map[int]bool{}
+	for i := 0; i < n; i++ {
+		roots[find(i)] = true
+	}
+	for len(roots) > p.NumProcs() {
+		var list []int
+		for r := range roots {
+			list = append(list, r)
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if load[list[i]] != load[list[j]] {
+				return load[list[i]] < load[list[j]]
+			}
+			return list[i] < list[j]
+		})
+		a, b := list[0], list[1]
+		if load[a]+load[b] > period {
+			return nil, fmt.Errorf("baselines: clustering cannot reduce to %d processors within period %g", p.NumProcs(), period)
+		}
+		parent[b] = a
+		load[a] += load[b]
+		delete(roots, b)
+	}
+
+	// Phase 3: heaviest cluster → fastest processor.
+	var clusters []int
+	for r := range roots {
+		clusters = append(clusters, r)
+	}
+	sort.Slice(clusters, func(i, j int) bool {
+		if load[clusters[i]] != load[clusters[j]] {
+			return load[clusters[i]] > load[clusters[j]]
+		}
+		return clusters[i] < clusters[j]
+	})
+	procBySpeed := make([]platform.ProcID, p.NumProcs())
+	for u := range procBySpeed {
+		procBySpeed[u] = platform.ProcID(u)
+	}
+	sort.Slice(procBySpeed, func(i, j int) bool {
+		si, sj := p.Speed(procBySpeed[i]), p.Speed(procBySpeed[j])
+		if si != sj {
+			return si > sj
+		}
+		return procBySpeed[i] < procBySpeed[j]
+	})
+	procOf := make([]platform.ProcID, n)
+	for ci, root := range clusters {
+		u := procBySpeed[ci]
+		for i := 0; i < n; i++ {
+			if find(i) == root {
+				procOf[i] = u
+			}
+		}
+	}
+
+	// Emit the schedule in topological order on the assigned processors.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range order {
+		u := procOf[t]
+		if !ls.feasible(t, u) {
+			return nil, fmt.Errorf("baselines: clustering placement of task %d violates the period on P%d", t, u+1)
+		}
+		ls.commit(t, u)
+	}
+	return ls.sched, nil
+}

@@ -1,0 +1,116 @@
+package baselines
+
+import (
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+func TestClusteredChainOneProcessor(t *testing.T) {
+	g := randgraph.Chain(5, 1, 2)
+	p := platform.Homogeneous(4, 1, 1)
+	s, err := Clustered(g, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// All five unit tasks fit one cluster (load 5 ≤ 10): zero comms.
+	if s.ProcsUsed() != 1 || s.CrossComms() != 0 {
+		t.Fatalf("procs=%d comms=%d", s.ProcsUsed(), s.CrossComms())
+	}
+	if s.Stages() != 1 {
+		t.Fatalf("stages = %d", s.Stages())
+	}
+}
+
+func TestClusteredSplitsWhenPeriodTight(t *testing.T) {
+	g := randgraph.Chain(6, 1, 0.1)
+	p := platform.Homogeneous(4, 1, 10)
+	s, err := Clustered(g, p, 2.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() < 3 {
+		t.Fatalf("6 unit tasks at period 2 need ≥3 processors, used %d", s.ProcsUsed())
+	}
+	if ct := s.AchievedCycleTime(); ct > 2.05+1e-9 {
+		t.Fatalf("cycle time %v over period", ct)
+	}
+}
+
+func TestClusteredHeaviestClusterOnFastestProc(t *testing.T) {
+	g := randgraph.Chain(4, 2, 5) // heavy comms → one cluster
+	p := platform.New([]float64{1, 3}, [][]float64{{0, 1}, {1, 0}})
+	s, err := Clustered(g, p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.All() {
+		if r.Proc != 1 {
+			t.Fatalf("replica %v not on the fast processor", r.Ref)
+		}
+	}
+}
+
+func TestClusteredReducesCommsVsHEFT(t *testing.T) {
+	// On comm-heavy workloads clustering's whole purpose is fewer cross
+	// edges than finish-time-greedy HEFT; check the aggregate.
+	r := rng.New(2025)
+	clComms, heftComms, n := 0, 0, 0
+	for trial := 0; trial < 10; trial++ {
+		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 100)
+		cfg := randgraph.DefaultStreamConfig()
+		cfg.MinTasks, cfg.MaxTasks = 30, 50
+		cfg.Granularity = 0.5 // comm-heavy
+		g := randgraph.Stream(r, cfg, p)
+		cs, err := Clustered(g, p, 10)
+		if err != nil {
+			continue
+		}
+		hs, err := HEFT(g, p, 10)
+		if err != nil {
+			continue
+		}
+		clComms += cs.CrossComms()
+		heftComms += hs.CrossComms()
+		n++
+	}
+	if n == 0 {
+		t.Skip("no comparable instances")
+	}
+	if clComms >= heftComms {
+		t.Fatalf("clustering comms %d not below HEFT %d over %d instances", clComms, heftComms, n)
+	}
+	t.Logf("aggregate cross comms over %d instances: CLUST %d, HEFT %d", n, clComms, heftComms)
+}
+
+func TestClusteredInfeasible(t *testing.T) {
+	// 8 unit tasks, 2 processors, period 3: needs ≥ 8/3 → 3 clusters.
+	g := randgraph.Chain(8, 1, 0.1)
+	p := platform.Homogeneous(2, 1, 10)
+	if _, err := Clustered(g, p, 3); err == nil {
+		t.Fatal("expected reduction failure")
+	}
+}
+
+func TestClusteredValidatesOnRandomGraphs(t *testing.T) {
+	r := rng.New(4)
+	for trial := 0; trial < 10; trial++ {
+		p := platform.RandomHeterogeneous(r, 6, 0.5, 1, 0.5, 1, 100)
+		cfg := randgraph.DefaultStreamConfig()
+		cfg.MinTasks, cfg.MaxTasks = 15, 30
+		g := randgraph.Stream(r, cfg, p)
+		s, err := Clustered(g, p, 12)
+		if err != nil {
+			continue
+		}
+		if err := s.ValidateOpts(schedule.ValidateOptions{}); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}

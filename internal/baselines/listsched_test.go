@@ -1,0 +1,149 @@
+package baselines
+
+import (
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+func TestETFChain(t *testing.T) {
+	g := randgraph.Chain(4, 1, 0.1)
+	p := platform.Homogeneous(4, 1, 10)
+	s, err := ETF(g, p, UnconstrainedPeriod(g, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ValidateOpts(schedule.ValidateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != "ETF" {
+		t.Fatalf("algorithm = %q", s.Algorithm)
+	}
+	// A chain has no parallelism: ETF keeps it on one processor (comms
+	// would only delay starts).
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("chain spread over %d processors", s.ProcsUsed())
+	}
+}
+
+func TestHEFTChain(t *testing.T) {
+	g := randgraph.Chain(4, 1, 0.1)
+	p := platform.Homogeneous(4, 1, 10)
+	s, err := HEFT(g, p, UnconstrainedPeriod(g, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 1 {
+		t.Fatalf("chain spread over %d processors", s.ProcsUsed())
+	}
+}
+
+func TestHEFTPrefersFastProcessor(t *testing.T) {
+	g := randgraph.Chain(2, 10, 0.001)
+	p := platform.New([]float64{4, 1}, [][]float64{{0, 100}, {100, 0}})
+	s, err := HEFT(g, p, UnconstrainedPeriod(g, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.All() {
+		if r.Proc != 0 {
+			t.Fatalf("replica %v on slow processor", r.Ref)
+		}
+	}
+}
+
+func TestETFParallelTasksSpread(t *testing.T) {
+	// Independent tasks: ETF should start them all at 0 on distinct procs.
+	g := dag.New("indep")
+	for i := 0; i < 4; i++ {
+		g.AddTask("t", 1)
+	}
+	p := platform.Homogeneous(4, 1, 1)
+	s, err := ETF(g, p, UnconstrainedPeriod(g, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ProcsUsed() != 4 {
+		t.Fatalf("independent tasks on %d procs, want 4", s.ProcsUsed())
+	}
+	for _, r := range s.All() {
+		if r.Start != 0 {
+			t.Fatalf("replica %v starts at %v", r.Ref, r.Start)
+		}
+	}
+}
+
+func TestListSchedulersRespectPeriod(t *testing.T) {
+	g := randgraph.Chain(6, 1, 0.1)
+	p := platform.Homogeneous(8, 1, 10)
+	for _, run := range []func() (*schedule.Schedule, error){
+		func() (*schedule.Schedule, error) { return ETF(g, p, 2) },
+		func() (*schedule.Schedule, error) { return HEFT(g, p, 2) },
+	} {
+		s, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := s.AchievedCycleTime(); ct > 2+1e-9 {
+			t.Fatalf("%s cycle time %v exceeds period 2", s.Algorithm, ct)
+		}
+	}
+}
+
+func TestListSchedulersInfeasible(t *testing.T) {
+	g := randgraph.Chain(4, 10, 0.1)
+	p := platform.Homogeneous(2, 1, 10)
+	if _, err := ETF(g, p, 5); err == nil {
+		t.Fatal("ETF accepted an impossible period")
+	}
+	if _, err := HEFT(g, p, 5); err == nil {
+		t.Fatal("HEFT accepted an impossible period")
+	}
+}
+
+// TestRLTFStagesBeatListSchedulers checks the thesis of the paper on the
+// related-work policies: at the same period, stage-aware R-LTF produces no
+// more pipeline stages than the makespan-oriented list schedulers in the
+// aggregate.
+func TestRLTFStagesBeatListSchedulers(t *testing.T) {
+	r := rng.New(2024)
+	rltfTotal, etfTotal, heftTotal, n := 0, 0, 0, 0
+	for trial := 0; trial < 15; trial++ {
+		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 100)
+		cfg := randgraph.DefaultStreamConfig()
+		cfg.MinTasks, cfg.MaxTasks = 30, 60
+		g := randgraph.Stream(r, cfg, p)
+		period := 10.0
+		rs, err := rltfSched(g, p, 0, period)
+		if err != nil {
+			continue
+		}
+		es, err := ETF(g, p, period)
+		if err != nil {
+			continue
+		}
+		hs, err := HEFT(g, p, period)
+		if err != nil {
+			continue
+		}
+		rltfTotal += rs.Stages()
+		etfTotal += es.Stages()
+		heftTotal += hs.Stages()
+		n++
+	}
+	if n == 0 {
+		t.Skip("no comparable instances")
+	}
+	if rltfTotal > etfTotal || rltfTotal > heftTotal {
+		t.Fatalf("R-LTF stages %d not below ETF %d / HEFT %d over %d instances",
+			rltfTotal, etfTotal, heftTotal, n)
+	}
+	t.Logf("aggregate stages over %d instances: R-LTF %d, ETF %d, HEFT %d", n, rltfTotal, etfTotal, heftTotal)
+}

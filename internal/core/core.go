@@ -1,0 +1,115 @@
+// Package core defines the paper's tri-criteria scheduling problem and ties
+// the algorithm implementations together behind one entry point: given a
+// workflow graph, a heterogeneous one-port platform, a throughput target and
+// a fault-tolerance degree, produce a replicated pipelined schedule
+// minimizing the latency L = (2S−1)/T.
+//
+// The package is a thin, stable façade over internal/ltf and internal/rltf;
+// the root streamsched package re-exports it for library consumers.
+package core
+
+import (
+	"fmt"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/rltf"
+	"streamsched/internal/schedule"
+)
+
+// Algorithm selects a scheduling algorithm.
+type Algorithm int
+
+const (
+	// LTF is Algorithm 4.1: forward traversal, minimum-finish-time
+	// placement.
+	LTF Algorithm = iota
+	// RLTF is the Reverse LTF algorithm (§4.2): bottom-up traversal with
+	// stage-preserving placement; the paper's recommended algorithm.
+	RLTF
+	// FaultFree is the reference schedule: R-LTF with ε forced to 0.
+	FaultFree
+)
+
+// String names the algorithm as in the paper.
+func (a Algorithm) String() string {
+	switch a {
+	case LTF:
+		return "LTF"
+	case RLTF:
+		return "R-LTF"
+	case FaultFree:
+		return "FF"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Problem is one tri-criteria scheduling instance.
+type Problem struct {
+	// Graph is the streaming application workflow.
+	Graph *dag.Graph
+	// Platform is the heterogeneous target.
+	Platform *platform.Platform
+	// Eps is ε, the number of arbitrary fail-silent/fail-stop processor
+	// failures the schedule must survive (each task runs as ε+1 replicas).
+	Eps int
+	// Period is Δ = 1/T, the required iteration period. The schedule is
+	// rejected if any processor's compute or port load exceeds it.
+	Period float64
+	// ChunkSize optionally overrides the iso-level chunk bound B (0 → m).
+	ChunkSize int
+	// DisableOneToOne forces full communication replication (ablation).
+	DisableOneToOne bool
+}
+
+// Validate checks the instance parameters.
+func (pr *Problem) Validate() error {
+	if pr.Graph == nil || pr.Platform == nil {
+		return fmt.Errorf("core: nil graph or platform")
+	}
+	if err := pr.Graph.Validate(); err != nil {
+		return err
+	}
+	if pr.Eps < 0 {
+		return fmt.Errorf("core: negative ε %d", pr.Eps)
+	}
+	if pr.Period <= 0 {
+		return fmt.Errorf("core: non-positive period %v", pr.Period)
+	}
+	return nil
+}
+
+// Solve runs the selected algorithm on the instance.
+func (pr *Problem) Solve(algo Algorithm) (*schedule.Schedule, error) {
+	if err := pr.Validate(); err != nil {
+		return nil, err
+	}
+	switch algo {
+	case LTF:
+		return ltf.Schedule(pr.Graph, pr.Platform, pr.Eps, pr.Period, ltf.Options{
+			ChunkSize:       pr.ChunkSize,
+			DisableOneToOne: pr.DisableOneToOne,
+		})
+	case RLTF:
+		return rltf.Schedule(pr.Graph, pr.Platform, pr.Eps, pr.Period, rltf.Options{
+			ChunkSize:       pr.ChunkSize,
+			DisableOneToOne: pr.DisableOneToOne,
+		})
+	case FaultFree:
+		return rltf.FaultFree(pr.Graph, pr.Platform, pr.Period, rltf.Options{
+			ChunkSize: pr.ChunkSize,
+		})
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+}
+
+// SolveAll runs LTF and R-LTF on the instance and returns both schedules
+// (nil where infeasible) — the comparison the paper's evaluation makes.
+func (pr *Problem) SolveAll() (ltfSched, rltfSched *schedule.Schedule, ltfErr, rltfErr error) {
+	ltfSched, ltfErr = pr.Solve(LTF)
+	rltfSched, rltfErr = pr.Solve(RLTF)
+	return
+}

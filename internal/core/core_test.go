@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+)
+
+func prob() *Problem {
+	g := dag.New("g")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 1)
+	return &Problem{Graph: g, Platform: platform.Homogeneous(4, 1, 1), Eps: 1, Period: 10}
+}
+
+func TestSolveLTF(t *testing.T) {
+	s, err := prob().Solve(LTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != "LTF" {
+		t.Fatalf("algorithm = %q", s.Algorithm)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRLTF(t *testing.T) {
+	s, err := prob().Solve(RLTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != "R-LTF" {
+		t.Fatalf("algorithm = %q", s.Algorithm)
+	}
+}
+
+func TestSolveFaultFree(t *testing.T) {
+	s, err := prob().Solve(FaultFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Eps != 0 || s.Algorithm != "FF" {
+		t.Fatalf("FF schedule: eps=%d algo=%q", s.Eps, s.Algorithm)
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	if _, err := prob().Solve(Algorithm(99)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	l, r, le, re := prob().SolveAll()
+	if le != nil || re != nil || l == nil || r == nil {
+		t.Fatalf("SolveAll: %v %v", le, re)
+	}
+}
+
+func TestValidateRejectsBadInstances(t *testing.T) {
+	cases := []*Problem{
+		{},
+		{Graph: dag.New("empty"), Platform: platform.Homogeneous(2, 1, 1), Period: 1},
+		func() *Problem { p := prob(); p.Eps = -1; return p }(),
+		func() *Problem { p := prob(); p.Period = 0; return p }(),
+	}
+	for i, c := range cases {
+		if _, err := c.Solve(LTF); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for algo, want := range map[Algorithm]string{LTF: "LTF", RLTF: "R-LTF", FaultFree: "FF"} {
+		if algo.String() != want {
+			t.Fatalf("%d.String() = %q", algo, algo.String())
+		}
+	}
+	if !strings.Contains(Algorithm(42).String(), "42") {
+		t.Fatal("unknown algorithm string")
+	}
+}

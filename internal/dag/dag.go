@@ -1,0 +1,298 @@
+// Package dag implements the weighted directed acyclic application graphs of
+// the paper's framework (§2): tasks carry an execution weight E(t) (work
+// units; running time is E(t)/s on a speed-s processor) and edges carry a
+// communication volume (transfer time is volume/bandwidth).
+//
+// Beyond the container, the package provides the graph-theoretic machinery
+// the schedulers depend on: topological orders, top/bottom levels (task
+// priorities), the graph width ω (maximum antichain, via Dilworth's theorem
+// and bipartite matching), series-parallel recognition (the paper's §4.2
+// communication-count claim is specific to series-parallel graphs), reversal
+// (R-LTF schedules the reversed graph) and DOT export.
+package dag
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TaskID identifies a task within one Graph; IDs are dense, starting at 0.
+type TaskID int
+
+// Task is one node of the workflow graph.
+type Task struct {
+	ID   TaskID
+	Name string
+	// Work is the task's execution weight E(t) in abstract work units. A
+	// processor of speed s executes the task in Work/s time units.
+	Work float64
+}
+
+// Edge is a precedence constraint with an associated data transfer.
+type Edge struct {
+	From, To TaskID
+	// Volume is the amount of data carried; transferring it over a link of
+	// bandwidth d takes Volume/d time units. Zero-volume edges express pure
+	// precedence.
+	Volume float64
+}
+
+// Graph is a mutable weighted DAG. Acyclicity is enforced lazily: AddEdge
+// performs no cycle check (builders would pay O(v+e) per edge), and
+// Validate/TopoOrder report an error if a cycle was introduced.
+type Graph struct {
+	name   string
+	tasks  []Task
+	out    [][]Edge
+	in     [][]Edge
+	nEdges int
+}
+
+// New returns an empty graph with the given display name.
+func New(name string) *Graph {
+	return &Graph{name: name}
+}
+
+// Name returns the graph's display name.
+func (g *Graph) Name() string { return g.name }
+
+// AddTask appends a task with the given name and work weight and returns its
+// ID. It panics on non-positive work: the paper's path-length definitions
+// divide by average execution times, which must be positive.
+func (g *Graph) AddTask(name string, work float64) TaskID {
+	if work <= 0 {
+		panic(fmt.Sprintf("dag: task %q has non-positive work %v", name, work))
+	}
+	id := TaskID(len(g.tasks))
+	g.tasks = append(g.tasks, Task{ID: id, Name: name, Work: work})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge adds a precedence edge with a communication volume. Duplicate
+// edges, self-loops, negative volumes and out-of-range endpoints are
+// rejected.
+func (g *Graph) AddEdge(from, to TaskID, volume float64) error {
+	if !g.valid(from) || !g.valid(to) {
+		return fmt.Errorf("dag: edge endpoints (%d,%d) out of range [0,%d)", from, to, len(g.tasks))
+	}
+	if from == to {
+		return fmt.Errorf("dag: self-loop on task %d", from)
+	}
+	if volume < 0 {
+		return fmt.Errorf("dag: negative volume %v on edge (%d,%d)", volume, from, to)
+	}
+	for _, e := range g.out[from] {
+		if e.To == to {
+			return fmt.Errorf("dag: duplicate edge (%d,%d)", from, to)
+		}
+	}
+	e := Edge{From: from, To: to, Volume: volume}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+	g.nEdges++
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error; intended for literal graph
+// constructions in tests and generators.
+func (g *Graph) MustAddEdge(from, to TaskID, volume float64) {
+	if err := g.AddEdge(from, to, volume); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) valid(id TaskID) bool { return id >= 0 && int(id) < len(g.tasks) }
+
+// NumTasks returns v = |V|.
+func (g *Graph) NumTasks() int { return len(g.tasks) }
+
+// NumEdges returns e = |E|.
+func (g *Graph) NumEdges() int { return g.nEdges }
+
+// Task returns the task with the given ID; it panics on out-of-range IDs.
+func (g *Graph) Task(id TaskID) Task {
+	if !g.valid(id) {
+		panic(fmt.Sprintf("dag: task id %d out of range", id))
+	}
+	return g.tasks[id]
+}
+
+// Tasks returns all tasks in ID order. The slice must not be modified.
+func (g *Graph) Tasks() []Task { return g.tasks }
+
+// Succ returns the outgoing edges of id (Γ+); the slice must not be modified.
+func (g *Graph) Succ(id TaskID) []Edge { return g.out[id] }
+
+// Pred returns the incoming edges of id (Γ−); the slice must not be modified.
+func (g *Graph) Pred(id TaskID) []Edge { return g.in[id] }
+
+// OutDegree returns |Γ+(id)|.
+func (g *Graph) OutDegree(id TaskID) int { return len(g.out[id]) }
+
+// InDegree returns |Γ−(id)|.
+func (g *Graph) InDegree(id TaskID) int { return len(g.in[id]) }
+
+// Entries returns the tasks without predecessors, in ID order.
+func (g *Graph) Entries() []TaskID {
+	var es []TaskID
+	for i := range g.tasks {
+		if len(g.in[i]) == 0 {
+			es = append(es, TaskID(i))
+		}
+	}
+	return es
+}
+
+// Exits returns the tasks without successors, in ID order.
+func (g *Graph) Exits() []TaskID {
+	var xs []TaskID
+	for i := range g.tasks {
+		if len(g.out[i]) == 0 {
+			xs = append(xs, TaskID(i))
+		}
+	}
+	return xs
+}
+
+// ErrCyclic is returned when an operation requires acyclicity and the graph
+// contains a cycle.
+var ErrCyclic = errors.New("dag: graph contains a cycle")
+
+// TopoOrder returns the tasks in a deterministic topological order (Kahn's
+// algorithm, smallest ID first among ready tasks). It returns ErrCyclic if
+// the graph has a cycle.
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	n := len(g.tasks)
+	indeg := make([]int, n)
+	for i := range g.tasks {
+		indeg[i] = len(g.in[i])
+	}
+	// A simple ordered ready set keeps the output deterministic; n is small
+	// (the paper's graphs have ≤150 tasks) so O(n²) worst case is fine.
+	order := make([]TaskID, 0, n)
+	ready := make([]TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, TaskID(i))
+		}
+	}
+	for len(ready) > 0 {
+		// Pop the smallest ID.
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[best] {
+				best = i
+			}
+		}
+		t := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		order = append(order, t)
+		for _, e := range g.out[t] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				ready = append(ready, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// Validate checks structural soundness: acyclicity, positive work, and
+// non-negative volumes (the latter two hold by construction; Validate
+// re-checks them to guard hand-built graphs in tests).
+func (g *Graph) Validate() error {
+	if len(g.tasks) == 0 {
+		return errors.New("dag: empty graph")
+	}
+	for _, t := range g.tasks {
+		if t.Work <= 0 {
+			return fmt.Errorf("dag: task %d has non-positive work", t.ID)
+		}
+	}
+	if _, err := g.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Reverse returns a new graph with every edge reversed; task IDs, names and
+// weights are preserved. R-LTF runs the forward machinery on the reversal.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.name + "^R")
+	for _, t := range g.tasks {
+		r.AddTask(t.Name, t.Work)
+	}
+	for i := range g.tasks {
+		for _, e := range g.out[i] {
+			r.MustAddEdge(e.To, e.From, e.Volume)
+		}
+	}
+	return r
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.name)
+	for _, t := range g.tasks {
+		c.AddTask(t.Name, t.Work)
+	}
+	for i := range g.tasks {
+		for _, e := range g.out[i] {
+			c.MustAddEdge(e.From, e.To, e.Volume)
+		}
+	}
+	return c
+}
+
+// TotalWork returns Σ_t E(t).
+func (g *Graph) TotalWork() float64 {
+	sum := 0.0
+	for _, t := range g.tasks {
+		sum += t.Work
+	}
+	return sum
+}
+
+// TotalVolume returns Σ_e volume(e).
+func (g *Graph) TotalVolume() float64 {
+	sum := 0.0
+	for i := range g.tasks {
+		for _, e := range g.out[i] {
+			sum += e.Volume
+		}
+	}
+	return sum
+}
+
+// ScaleWork multiplies every task weight by f (> 0). Used by the granularity
+// calibration in the workload generators.
+func (g *Graph) ScaleWork(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("dag: non-positive work scale %v", f))
+	}
+	for i := range g.tasks {
+		g.tasks[i].Work *= f
+	}
+}
+
+// ScaleVolume multiplies every edge volume by f (≥ 0).
+func (g *Graph) ScaleVolume(f float64) {
+	if f < 0 {
+		panic(fmt.Sprintf("dag: negative volume scale %v", f))
+	}
+	for i := range g.tasks {
+		for j := range g.out[i] {
+			g.out[i][j].Volume *= f
+		}
+	}
+	for i := range g.tasks {
+		for j := range g.in[i] {
+			g.in[i][j].Volume *= f
+		}
+	}
+}

@@ -1,0 +1,464 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+// diamond builds t0→{t1,t2}→t3 with unit volumes.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("diamond")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 2)
+	c := g.AddTask("c", 3)
+	d := g.AddTask("d", 4)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, d, 1)
+	g.MustAddEdge(c, d, 1)
+	return g
+}
+
+func chainGraph(n int) *Graph {
+	g := New("chain")
+	prev := g.AddTask("t0", 1)
+	for i := 1; i < n; i++ {
+		cur := g.AddTask("t", 1)
+		g.MustAddEdge(prev, cur, 1)
+		prev = cur
+	}
+	return g
+}
+
+func TestAddTaskAssignsDenseIDs(t *testing.T) {
+	g := New("g")
+	for i := 0; i < 5; i++ {
+		if id := g.AddTask("x", 1); int(id) != i {
+			t.Fatalf("task %d got ID %d", i, id)
+		}
+	}
+	if g.NumTasks() != 5 {
+		t.Fatalf("NumTasks = %d", g.NumTasks())
+	}
+}
+
+func TestAddTaskRejectsNonPositiveWork(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("g").AddTask("bad", 0)
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("g")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	if err := g.AddEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(a, b, 1); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+	if err := g.AddEdge(a, a, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := g.AddEdge(a, TaskID(99), 1); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+	if err := g.AddEdge(a, b, -1); err == nil {
+		t.Fatal("negative volume accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestEntriesExits(t *testing.T) {
+	g := diamond(t)
+	if es := g.Entries(); len(es) != 1 || es[0] != 0 {
+		t.Fatalf("Entries = %v", es)
+	}
+	if xs := g.Exits(); len(xs) != 1 || xs[0] != 3 {
+		t.Fatalf("Exits = %v", xs)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := diamond(t)
+	if g.OutDegree(0) != 2 || g.InDegree(0) != 0 {
+		t.Fatal("degrees of entry wrong")
+	}
+	if g.OutDegree(3) != 0 || g.InDegree(3) != 2 {
+		t.Fatal("degrees of exit wrong")
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[TaskID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for i := range g.Tasks() {
+		for _, e := range g.Succ(TaskID(i)) {
+			if pos[e.From] >= pos[e.To] {
+				t.Fatalf("edge (%d,%d) violates topo order %v", e.From, e.To, order)
+			}
+		}
+	}
+}
+
+func TestTopoOrderDeterministic(t *testing.T) {
+	g := diamond(t)
+	o1, _ := g.TopoOrder()
+	o2, _ := g.TopoOrder()
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("topo order not deterministic")
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	g := New("cyc")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	g.MustAddEdge(c, a, 1)
+	if _, err := g.TopoOrder(); err != ErrCyclic {
+		t.Fatalf("expected ErrCyclic, got %v", err)
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate accepted cyclic graph")
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New("e").Validate(); err == nil {
+		t.Fatal("Validate accepted empty graph")
+	}
+}
+
+func TestReversePreservesWeights(t *testing.T) {
+	g := diamond(t)
+	r := g.Reverse()
+	if r.NumTasks() != g.NumTasks() || r.NumEdges() != g.NumEdges() {
+		t.Fatal("reverse changed sizes")
+	}
+	// Edge (0,1) must become (1,0).
+	found := false
+	for _, e := range r.Succ(1) {
+		if e.To == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reversed edge missing")
+	}
+	if r.Task(2).Work != 3 {
+		t.Fatalf("work not preserved: %v", r.Task(2).Work)
+	}
+	// Entries and exits swap.
+	if es := r.Entries(); len(es) != 1 || es[0] != 3 {
+		t.Fatalf("reverse entries = %v", es)
+	}
+}
+
+func TestReverseTwiceIsIdentity(t *testing.T) {
+	g := diamond(t)
+	rr := g.Reverse().Reverse()
+	if rr.NumEdges() != g.NumEdges() {
+		t.Fatal("double reverse changed edge count")
+	}
+	for i := range g.Tasks() {
+		if len(rr.Succ(TaskID(i))) != len(g.Succ(TaskID(i))) {
+			t.Fatalf("out-degree of %d changed", i)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := diamond(t)
+	c := g.Clone()
+	c.AddTask("extra", 1)
+	if g.NumTasks() == c.NumTasks() {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := diamond(t)
+	if got := g.TotalWork(); got != 10 {
+		t.Fatalf("TotalWork = %v", got)
+	}
+	if got := g.TotalVolume(); got != 4 {
+		t.Fatalf("TotalVolume = %v", got)
+	}
+}
+
+func TestScaleWork(t *testing.T) {
+	g := diamond(t)
+	g.ScaleWork(2)
+	if got := g.TotalWork(); got != 20 {
+		t.Fatalf("TotalWork after scale = %v", got)
+	}
+}
+
+func TestScaleVolumeBothAdjacencies(t *testing.T) {
+	g := diamond(t)
+	g.ScaleVolume(3)
+	if got := g.TotalVolume(); got != 12 {
+		t.Fatalf("TotalVolume = %v", got)
+	}
+	// in-adjacency must agree with out-adjacency
+	for i := range g.Tasks() {
+		for _, e := range g.Pred(TaskID(i)) {
+			if e.Volume != 3 {
+				t.Fatalf("pred edge volume %v, want 3", e.Volume)
+			}
+		}
+	}
+}
+
+func TestTopLevels(t *testing.T) {
+	g := diamond(t)
+	tl := g.TopLevels(UnitNode, UnitEdge)
+	// a: 0; b: a(1)+edge(1)=2; c: 2; d: max(0+1+1 + b(2)+1 ...) —
+	// d: max(tl[b]+2+1, tl[c]+3+1) = max(2+3, 2+4) = 6.
+	want := []float64{0, 2, 2, 6}
+	for i, w := range want {
+		if tl[i] != w {
+			t.Fatalf("tl[%d] = %v, want %v (all %v)", i, tl[i], w, tl)
+		}
+	}
+}
+
+func TestBottomLevels(t *testing.T) {
+	g := diamond(t)
+	bl := g.BottomLevels(UnitNode, UnitEdge)
+	// d: 4 (exit = own weight); b: 2+1+4 = 7; c: 3+1+4 = 8; a: 1+1+8 = 10.
+	want := []float64{10, 7, 8, 4}
+	for i, w := range want {
+		if bl[i] != w {
+			t.Fatalf("bl[%d] = %v, want %v (all %v)", i, bl[i], w, bl)
+		}
+	}
+}
+
+func TestPrioritiesCriticalPath(t *testing.T) {
+	g := diamond(t)
+	pr := g.Priorities(UnitNode, UnitEdge)
+	cp := g.CriticalPathLength(UnitNode, UnitEdge)
+	if cp != 10 {
+		t.Fatalf("critical path = %v, want 10", cp)
+	}
+	// Tasks on the critical path (a, c, d) have priority == cp.
+	for _, i := range []int{0, 2, 3} {
+		if pr[i] != cp {
+			t.Fatalf("priority[%d] = %v, want %v", i, pr[i], cp)
+		}
+	}
+	if pr[1] >= cp {
+		t.Fatalf("off-critical task priority %v should be < %v", pr[1], cp)
+	}
+}
+
+func TestLevelsCustomWeights(t *testing.T) {
+	g := diamond(t)
+	halfSpeed := func(tk Task) float64 { return tk.Work / 0.5 }
+	bl := g.BottomLevels(halfSpeed, UnitEdge)
+	if bl[3] != 8 {
+		t.Fatalf("bl[3] = %v, want 8", bl[3])
+	}
+}
+
+func TestDepth(t *testing.T) {
+	if d := diamond(t).Depth(); d != 3 {
+		t.Fatalf("diamond depth = %d, want 3", d)
+	}
+	if d := chainGraph(7).Depth(); d != 7 {
+		t.Fatalf("chain depth = %d, want 7", d)
+	}
+	g := New("single")
+	g.AddTask("only", 1)
+	if d := g.Depth(); d != 1 {
+		t.Fatalf("single depth = %d, want 1", d)
+	}
+}
+
+func TestWidthDiamond(t *testing.T) {
+	if w := diamond(t).Width(); w != 2 {
+		t.Fatalf("diamond width = %d, want 2", w)
+	}
+}
+
+func TestWidthChain(t *testing.T) {
+	if w := chainGraph(9).Width(); w != 1 {
+		t.Fatalf("chain width = %d, want 1", w)
+	}
+}
+
+func TestWidthIndependentTasks(t *testing.T) {
+	g := New("anti")
+	for i := 0; i < 6; i++ {
+		g.AddTask("t", 1)
+	}
+	if w := g.Width(); w != 6 {
+		t.Fatalf("independent-set width = %d, want 6", w)
+	}
+}
+
+func TestWidthForkJoinLevels(t *testing.T) {
+	// entry → 5 parallel → exit: width 5.
+	g := New("fj")
+	e := g.AddTask("e", 1)
+	x := g.AddTask("x", 1)
+	for i := 0; i < 5; i++ {
+		m := g.AddTask("m", 1)
+		g.MustAddEdge(e, m, 1)
+		g.MustAddEdge(m, x, 1)
+	}
+	if w := g.Width(); w != 5 {
+		t.Fatalf("fork-join width = %d, want 5", w)
+	}
+	lv := g.AntichainAtLevels()
+	if lv[1] != 5 {
+		t.Fatalf("level profile = %v", lv)
+	}
+}
+
+func TestWidthCrossLevelAntichain(t *testing.T) {
+	// a→b, c independent: antichain {b?,...}: a<b; c incomparable to both.
+	// width = 2 ({a,c} or {b,c}).
+	g := New("x")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.AddTask("c", 1)
+	g.MustAddEdge(a, b, 1)
+	if w := g.Width(); w != 2 {
+		t.Fatalf("width = %d, want 2", w)
+	}
+}
+
+func TestWidthEmpty(t *testing.T) {
+	if w := New("e").Width(); w != 0 {
+		t.Fatalf("empty width = %d", w)
+	}
+}
+
+func TestSeriesParallelPositive(t *testing.T) {
+	cases := []*Graph{
+		diamond(t),
+		chainGraph(5),
+	}
+	// fork-join
+	g := New("fj")
+	e := g.AddTask("e", 1)
+	x := g.AddTask("x", 1)
+	for i := 0; i < 3; i++ {
+		m := g.AddTask("m", 1)
+		g.MustAddEdge(e, m, 1)
+		g.MustAddEdge(m, x, 1)
+	}
+	cases = append(cases, g)
+	// single task
+	s := New("s")
+	s.AddTask("only", 1)
+	cases = append(cases, s)
+	for _, c := range cases {
+		if !c.IsSeriesParallel() {
+			t.Errorf("%v should be series-parallel", c)
+		}
+	}
+}
+
+func TestSeriesParallelNested(t *testing.T) {
+	// Series composition of two diamonds.
+	g := New("nested")
+	ids := make([]TaskID, 8)
+	for i := range ids {
+		ids[i] = g.AddTask("t", 1)
+	}
+	g.MustAddEdge(ids[0], ids[1], 1)
+	g.MustAddEdge(ids[0], ids[2], 1)
+	g.MustAddEdge(ids[1], ids[3], 1)
+	g.MustAddEdge(ids[2], ids[3], 1)
+	g.MustAddEdge(ids[3], ids[4], 1)
+	g.MustAddEdge(ids[4], ids[5], 1)
+	g.MustAddEdge(ids[4], ids[6], 1)
+	g.MustAddEdge(ids[5], ids[7], 1)
+	g.MustAddEdge(ids[6], ids[7], 1)
+	if !g.IsSeriesParallel() {
+		t.Fatal("nested diamonds should be SP")
+	}
+}
+
+func TestSeriesParallelNegativeN(t *testing.T) {
+	// The "N" graph is the canonical non-SP witness:
+	// a→c, a→d, b→d.
+	g := New("N")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	d := g.AddTask("d", 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(a, d, 1)
+	g.MustAddEdge(b, d, 1)
+	if g.IsSeriesParallel() {
+		t.Fatal("N graph must not be SP")
+	}
+}
+
+func TestSeriesParallelEmpty(t *testing.T) {
+	if New("e").IsSeriesParallel() {
+		t.Fatal("empty graph must not be SP")
+	}
+}
+
+func TestSeriesParallelMultiEntryJoin(t *testing.T) {
+	// Two entries joining into one task: SP under virtual-source extension.
+	g := New("join")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, c, 1)
+	if !g.IsSeriesParallel() {
+		t.Fatal("two-entry join should be SP with virtual source")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := diamond(t)
+	dot := g.DOT()
+	for _, want := range []string{"digraph", "t0 -> t1", "t2 -> t3", "E=1"} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := diamond(t).String()
+	if !strings.Contains(s, "v=4") || !strings.Contains(s, "e=4") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestTaskPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	diamond(t).Task(TaskID(100))
+}

@@ -1,0 +1,30 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax, with task names, work
+// weights and edge volumes as labels. Output is deterministic (ID order).
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.tasks {
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\nE=%.3g\"];\n", t.ID, t.Name, t.Work)
+	}
+	for i := range g.tasks {
+		for _, e := range g.out[i] {
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"%.3g\"];\n", e.From, e.To, e.Volume)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// String summarizes the graph for logs.
+func (g *Graph) String() string {
+	return fmt.Sprintf("dag(%s: v=%d e=%d work=%.3g vol=%.3g)",
+		g.name, g.NumTasks(), g.NumEdges(), g.TotalWork(), g.TotalVolume())
+}

@@ -1,0 +1,114 @@
+package dag
+
+// This file implements the level machinery behind task priorities (§2 of the
+// paper): priorities are tℓ(t)+bℓ(t) where tℓ is the top level (longest path
+// from an entry node to t, excluding E(t)) and bℓ the bottom level (longest
+// path from t to an exit node, including E(t)). "Path lengths are defined as
+// the average sum of edge weights and node weights" — callers supply the
+// averaging as weight functions, typically Work/s̄ and Volume/d̄.
+
+// NodeWeight maps a task to its path-length contribution.
+type NodeWeight func(Task) float64
+
+// EdgeWeight maps an edge to its path-length contribution.
+type EdgeWeight func(Edge) float64
+
+// UnitNode weighs every task by its raw Work.
+func UnitNode(t Task) float64 { return t.Work }
+
+// UnitEdge weighs every edge by its raw Volume.
+func UnitEdge(e Edge) float64 { return e.Volume }
+
+// TopLevels returns tℓ(t) for every task: the length of the longest path
+// from an entry node to t, excluding t's own weight. Entry nodes have top
+// level 0. The graph must be acyclic (panics otherwise: levels are only
+// queried after Validate).
+func (g *Graph) TopLevels(nw NodeWeight, ew EdgeWeight) []float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	tl := make([]float64, len(g.tasks))
+	for _, t := range order {
+		for _, e := range g.out[t] {
+			cand := tl[t] + nw(g.tasks[t]) + ew(e)
+			if cand > tl[e.To] {
+				tl[e.To] = cand
+			}
+		}
+	}
+	return tl
+}
+
+// BottomLevels returns bℓ(t) for every task: the length of the longest path
+// from t to an exit node, including t's own weight. Exit nodes have bottom
+// level equal to their node weight.
+func (g *Graph) BottomLevels(nw NodeWeight, ew EdgeWeight) []float64 {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	bl := make([]float64, len(g.tasks))
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		bl[t] = nw(g.tasks[t])
+		for _, e := range g.out[t] {
+			cand := nw(g.tasks[t]) + ew(e) + bl[e.To]
+			if cand > bl[t] {
+				bl[t] = cand
+			}
+		}
+	}
+	return bl
+}
+
+// Priorities returns tℓ(t)+bℓ(t) for every task — the scheduling priority of
+// §2. For any task on a critical path this equals the critical path length.
+func (g *Graph) Priorities(nw NodeWeight, ew EdgeWeight) []float64 {
+	tl := g.TopLevels(nw, ew)
+	bl := g.BottomLevels(nw, ew)
+	pr := make([]float64, len(tl))
+	for i := range pr {
+		pr[i] = tl[i] + bl[i]
+	}
+	return pr
+}
+
+// CriticalPathLength returns the weight of the heaviest entry→exit path.
+func (g *Graph) CriticalPathLength(nw NodeWeight, ew EdgeWeight) float64 {
+	bl := g.BottomLevels(nw, ew)
+	best := 0.0
+	for _, t := range g.Entries() {
+		if bl[t] > best {
+			best = bl[t]
+		}
+	}
+	return best
+}
+
+// Depth returns the number of tasks on the longest path counted in hops+1
+// (a single task has depth 1). It is the minimum possible number of pipeline
+// stages if every dependence crossed a processor boundary... and a useful
+// structural statistic for the experiment reports.
+func (g *Graph) Depth() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	d := make([]int, len(g.tasks))
+	max := 0
+	for _, t := range order {
+		if d[t] == 0 {
+			d[t] = 1
+		}
+		if d[t] > max {
+			max = d[t]
+		}
+		for _, e := range g.out[t] {
+			if d[t]+1 > d[e.To] {
+				d[e.To] = d[t] + 1
+			}
+		}
+	}
+	return max
+}

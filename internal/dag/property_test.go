@@ -1,0 +1,125 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"streamsched/internal/rng"
+)
+
+// randomLayeredGraph builds an acyclic graph (edges low → high ID).
+func randomLayeredGraph(r *rng.Source) *Graph {
+	n := 1 + r.IntN(25)
+	g := New("prop")
+	for i := 0; i < n; i++ {
+		g.AddTask("t", r.Uniform(0.1, 5))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(0.2) {
+				g.MustAddEdge(TaskID(i), TaskID(j), r.Uniform(0, 3))
+			}
+		}
+	}
+	return g
+}
+
+// Property: top and bottom levels are consistent — for every edge (u,v),
+// tl(v) ≥ tl(u) + nw(u) + ew(e) and bl(u) ≥ nw(u) + ew(e) + bl(v).
+func TestLevelConsistencyProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomLayeredGraph(r)
+		tl := g.TopLevels(UnitNode, UnitEdge)
+		bl := g.BottomLevels(UnitNode, UnitEdge)
+		for i := 0; i < g.NumTasks(); i++ {
+			for _, e := range g.Succ(TaskID(i)) {
+				if tl[e.To] < tl[e.From]+g.Task(e.From).Work+e.Volume-1e-9 {
+					return false
+				}
+				if bl[e.From] < g.Task(e.From).Work+e.Volume+bl[e.To]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: priority (tl+bl) is maximal exactly on critical-path tasks, and
+// the critical path length equals max priority.
+func TestCriticalPathProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomLayeredGraph(r)
+		pr := g.Priorities(UnitNode, UnitEdge)
+		cp := g.CriticalPathLength(UnitNode, UnitEdge)
+		maxPr := 0.0
+		for _, v := range pr {
+			if v > maxPr {
+				maxPr = v
+			}
+		}
+		return maxPr <= cp+1e-9 && maxPr >= cp-1e-9
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: width is invariant under reversal and bounded by the largest
+// hop-level population.
+func TestWidthBoundsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomLayeredGraph(r)
+		w := g.Width()
+		if w != g.Reverse().Width() {
+			return false
+		}
+		maxLevel := 0
+		for _, c := range g.AntichainAtLevels() {
+			if c > maxLevel {
+				maxLevel = c
+			}
+		}
+		// Any level is an antichain, so width ≥ the largest level.
+		return w >= maxLevel && w <= g.NumTasks()
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Depth(g) == Depth(reverse(g)) and scaling weights never changes
+// structure metrics.
+func TestStructuralInvariantsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		g := randomLayeredGraph(r)
+		d, w, e := g.Depth(), g.Width(), g.NumEdges()
+		if g.Reverse().Depth() != d {
+			return false
+		}
+		g.ScaleWork(2.5)
+		g.ScaleVolume(0.5)
+		return g.Depth() == d && g.Width() == w && g.NumEdges() == e
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a graph is series-parallel iff its reverse is.
+func TestSPReversalProperty(t *testing.T) {
+	r := rng.New(20090420)
+	for trial := 0; trial < 50; trial++ {
+		g := randomLayeredGraph(r)
+		if g.IsSeriesParallel() != g.Reverse().IsSeriesParallel() {
+			t.Fatalf("SP not reversal-invariant:\n%s", g.DOT())
+		}
+	}
+}

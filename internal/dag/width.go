@@ -1,0 +1,156 @@
+package dag
+
+// Width computation. The width ω of the task graph — "the maximum number of
+// tasks that are independent in G" (§2) — bounds the ready-list size during
+// scheduling and appears in the LTF complexity bound O(… + v log ω).
+//
+// ω is the maximum antichain of the precedence poset. By Dilworth's theorem
+// it equals the minimum number of chains covering the poset, and a minimum
+// chain cover of a DAG's transitive closure has size v − M where M is a
+// maximum matching of the bipartite graph that connects u (left) to w
+// (right) whenever u precedes w. We compute the closure with bitsets and the
+// matching with Hopcroft–Karp; the paper's graphs (v ≤ 150) make this cheap.
+
+// bitset is a fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) or(other bitset) {
+	for i := range b {
+		b[i] |= other[i]
+	}
+}
+
+// transitiveClosure returns reach where reach[u].get(w) reports that u
+// strictly precedes w.
+func (g *Graph) transitiveClosure() []bitset {
+	n := len(g.tasks)
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	reach := make([]bitset, n)
+	for i := range reach {
+		reach[i] = newBitset(n)
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, e := range g.out[u] {
+			reach[u].set(int(e.To))
+			reach[u].or(reach[e.To])
+		}
+	}
+	return reach
+}
+
+// Width returns ω, the maximum antichain size.
+func (g *Graph) Width() int {
+	n := len(g.tasks)
+	if n == 0 {
+		return 0
+	}
+	reach := g.transitiveClosure()
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for w := 0; w < n; w++ {
+			if reach[u].get(w) {
+				adj[u] = append(adj[u], w)
+			}
+		}
+	}
+	return n - maxBipartiteMatching(n, adj)
+}
+
+// maxBipartiteMatching runs Hopcroft–Karp on a bipartite graph with n left
+// and n right vertices, adjacency adj (left → right).
+func maxBipartiteMatching(n int, adj [][]int) int {
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, n) // left i → right matchL[i] or -1
+	matchR := make([]int, n)
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, w := range adj[u] {
+				nxt := matchR[w]
+				if nxt == -1 {
+					found = true
+				} else if dist[nxt] == inf {
+					dist[nxt] = dist[u] + 1
+					queue = append(queue, nxt)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, w := range adj[u] {
+			nxt := matchR[w]
+			if nxt == -1 || (dist[nxt] == dist[u]+1 && dfs(nxt)) {
+				matchL[u] = w
+				matchR[w] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	matching := 0
+	for bfs() {
+		for u := 0; u < n; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				matching++
+			}
+		}
+	}
+	return matching
+}
+
+// AntichainAtLevels returns, for reporting, the number of tasks at each hop
+// depth (a cheap per-level parallelism profile; max over levels is a lower
+// bound on Width).
+func (g *Graph) AntichainAtLevels() []int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	depth := make([]int, len(g.tasks))
+	maxD := 0
+	for _, t := range order {
+		for _, e := range g.out[t] {
+			if depth[t]+1 > depth[e.To] {
+				depth[e.To] = depth[t] + 1
+			}
+		}
+		if depth[t] > maxD {
+			maxD = depth[t]
+		}
+	}
+	counts := make([]int, maxD+1)
+	for _, d := range depth {
+		counts[d]++
+	}
+	return counts
+}

@@ -1,0 +1,118 @@
+package dag
+
+import (
+	"testing"
+
+	"streamsched/internal/rng"
+)
+
+// bruteForceWidth computes the maximum antichain by enumerating all subsets
+// (only usable for tiny graphs).
+func bruteForceWidth(g *Graph) int {
+	n := g.NumTasks()
+	reach := g.transitiveClosure()
+	best := 0
+	for mask := 1; mask < 1<<uint(n); mask++ {
+		ok := true
+		var members []int
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for _, j := range members {
+				if reach[i].get(j) || reach[j].get(i) {
+					ok = false
+					break
+				}
+			}
+			members = append(members, i)
+		}
+		if ok && len(members) > best {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+// randomTinyDAG builds a DAG with n ≤ 12 tasks; edges only go from lower to
+// higher IDs, guaranteeing acyclicity.
+func randomTinyDAG(r *rng.Source, n int, p float64) *Graph {
+	g := New("rand")
+	for i := 0; i < n; i++ {
+		g.AddTask("t", 1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(p) {
+				g.MustAddEdge(TaskID(i), TaskID(j), 1)
+			}
+		}
+	}
+	return g
+}
+
+func TestWidthMatchesBruteForce(t *testing.T) {
+	r := rng.New(42)
+	for trial := 0; trial < 150; trial++ {
+		n := 2 + r.IntN(9)
+		p := r.Uniform(0.05, 0.6)
+		g := randomTinyDAG(r, n, p)
+		got := g.Width()
+		want := bruteForceWidth(g)
+		if got != want {
+			t.Fatalf("trial %d: Width=%d bruteforce=%d graph=%s\n%s",
+				trial, got, want, g, g.DOT())
+		}
+	}
+}
+
+func TestWidthBoundedByTasks(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.IntN(30)
+		g := randomTinyDAG(r, n, 0.2)
+		w := g.Width()
+		if w < 1 || w > n {
+			t.Fatalf("width %d out of [1,%d]", w, n)
+		}
+	}
+}
+
+func TestWidthReverseInvariant(t *testing.T) {
+	// The width of a poset equals the width of its dual.
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		g := randomTinyDAG(r, 3+r.IntN(10), 0.3)
+		if g.Width() != g.Reverse().Width() {
+			t.Fatalf("width not invariant under reversal: %s", g.DOT())
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	g := New("tc")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 1)
+	reach := g.transitiveClosure()
+	if !reach[a].get(int(c)) {
+		t.Fatal("a should reach c transitively")
+	}
+	if reach[c].get(int(a)) {
+		t.Fatal("c must not reach a")
+	}
+	if reach[a].get(int(a)) {
+		t.Fatal("closure must be irreflexive")
+	}
+}
+
+func BenchmarkWidth150(b *testing.B) {
+	r := rng.New(5)
+	g := randomTinyDAG(r, 150, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Width()
+	}
+}

@@ -1,0 +1,285 @@
+// Package experiments regenerates the paper's evaluation (§5): for each
+// granularity point, 60 random graphs are generated, scheduled with LTF,
+// R-LTF and the fault-free reference, measured with the discrete-event
+// simulator (with and without crashes), and averaged. The Figure 3 and 4
+// series are column views over the resulting points; the Figure 1 and 2
+// worked examples live in fig12.go.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sim"
+	"streamsched/internal/stats"
+)
+
+// Config parameterizes one sweep (one of the paper's figure pairs).
+type Config struct {
+	// Eps is ε (1 for Figure 3, 3 for Figure 4).
+	Eps int
+	// Crashes is c, the number of processors crashed in the failure runs
+	// (1 for Figure 3b, 2 for Figure 4b). Must be ≤ Eps.
+	Crashes int
+	// Granularities lists the sweep points (paper: 0.2..2.0 step 0.2).
+	Granularities []float64
+	// GraphsPerPoint is the sample count per point (paper: 60).
+	GraphsPerPoint int
+	// Procs is m (paper: 20).
+	Procs int
+	// PeriodBase is Δ_base; the enforced period is Δ_base·(ε+1) and the
+	// fault-free reference runs at Δ_base (paper: throughput 1/(10(ε+1))).
+	PeriodBase float64
+	// ComputeFraction is the workload calibration φ (see DESIGN.md §3).
+	ComputeFraction float64
+	// Seed makes the sweep reproducible.
+	Seed uint64
+	// Workers bounds the parallel instance evaluations (0 → GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig returns the paper's setup for the given ε and crash count.
+func DefaultConfig(eps, crashes int) Config {
+	return Config{
+		Eps:             eps,
+		Crashes:         crashes,
+		Granularities:   []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0},
+		GraphsPerPoint:  60,
+		Procs:           20,
+		PeriodBase:      10,
+		ComputeFraction: 0.2,
+		Seed:            20090420, // the report's submission date
+	}
+}
+
+// Point aggregates one granularity point (means over the instances where
+// all three schedulers succeeded).
+type Point struct {
+	Granularity float64
+	N           int // instances aggregated
+
+	// Latency upper bounds (2S−1)·Δ.
+	LTFBound, RLTFBound, FFBound float64
+	// Measured mean latencies under the paper's stage-synchronized pipeline
+	// semantics, without and with c crashed processors. These are the
+	// figures' "With 0 Crash" / "With Crash" curves.
+	LTFSync0, RLTFSync0, FFSync0 float64
+	LTFSyncC, RLTFSyncC          float64
+	// Measured mean latencies under free-running dataflow execution —
+	// additional data the paper does not report.
+	LTFSim0, RLTFSim0, FFSim0 float64
+	LTFSimC, RLTFSimC         float64
+	// Fault-tolerance overheads (%), measured against the fault-free
+	// reference: 100·(L − L_FF)/L_FF.
+	OverheadLTF0, OverheadLTFC, OverheadRLTF0, OverheadRLTFC float64
+	// Mean pipeline stage counts.
+	LTFStages, RLTFStages float64
+	// Mean inter-processor communication counts.
+	LTFComms, RLTFComms float64
+
+	// Failures to schedule (out of GraphsPerPoint attempts).
+	LTFFail, RLTFFail, FFFail int
+}
+
+// instanceResult carries one graph's measurements.
+type instanceResult struct {
+	ok                     bool
+	ltfFail, rltfFail, ffF bool
+
+	ltfBound, rltfBound, ffBound float64
+	ltfSync0, rltfSync0, ffSync0 float64
+	ltfSyncC, rltfSyncC          float64
+	ltfSim0, rltfSim0, ffSim0    float64
+	ltfSimC, rltfSimC            float64
+	ltfStages, rltfStages        float64
+	ltfComms, rltfComms          float64
+}
+
+// Run executes the sweep and returns one Point per granularity.
+func Run(cfg Config) []Point {
+	if cfg.GraphsPerPoint <= 0 {
+		cfg.GraphsPerPoint = 60
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	points := make([]Point, len(cfg.Granularities))
+	for gi, gran := range cfg.Granularities {
+		results := make([]instanceResult, cfg.GraphsPerPoint)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for rep := 0; rep < cfg.GraphsPerPoint; rep++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi, rep int, gran float64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				results[rep] = runInstance(cfg, gi, rep, gran)
+			}(gi, rep, gran)
+		}
+		wg.Wait()
+		points[gi] = aggregate(gran, results)
+	}
+	return points
+}
+
+// runInstance evaluates one (granularity, replicate) cell.
+func runInstance(cfg Config, gi, rep int, gran float64) instanceResult {
+	// Independent deterministic streams per cell.
+	seed := cfg.Seed ^ uint64(gi)<<32 ^ uint64(rep)<<8 ^ uint64(cfg.Eps)
+	r := rng.New(seed)
+	p := platform.RandomHeterogeneous(r, cfg.Procs, 0.5, 1.0, 0.5, 1.0, 100)
+	gcfg := randgraph.DefaultStreamConfig()
+	gcfg.Granularity = gran
+	gcfg.PeriodBase = cfg.PeriodBase
+	if cfg.ComputeFraction > 0 {
+		gcfg.ComputeFraction = cfg.ComputeFraction
+	}
+	g := randgraph.Stream(r, gcfg, p)
+
+	period := cfg.PeriodBase * float64(cfg.Eps+1)
+	var res instanceResult
+
+	ff, err := rltf.FaultFree(g, p, cfg.PeriodBase, rltf.Options{})
+	if err != nil {
+		res.ffF = true
+	}
+	ls, err := ltf.Schedule(g, p, cfg.Eps, period, ltf.Options{})
+	if err != nil {
+		res.ltfFail = true
+	}
+	rs, err := rltf.Schedule(g, p, cfg.Eps, period, rltf.Options{})
+	if err != nil {
+		res.rltfFail = true
+	}
+	if res.ffF || res.ltfFail || res.rltfFail {
+		return res
+	}
+
+	res.ltfBound = ls.LatencyBound()
+	res.rltfBound = rs.LatencyBound()
+	res.ffBound = ff.LatencyBound()
+	res.ltfStages = float64(ls.Stages())
+	res.rltfStages = float64(rs.Stages())
+	res.ltfComms = float64(ls.CrossComms())
+	res.rltfComms = float64(rs.CrossComms())
+
+	res.ffSim0 = mustSim(ff, nil, false)
+	res.ltfSim0 = mustSim(ls, nil, false)
+	res.rltfSim0 = mustSim(rs, nil, false)
+	res.ffSync0 = mustSim(ff, nil, true)
+	res.ltfSync0 = mustSim(ls, nil, true)
+	res.rltfSync0 = mustSim(rs, nil, true)
+
+	if cfg.Crashes > 0 {
+		// "Processors that fail ... are chosen uniformly" — same crash set
+		// for both algorithms, for a paired comparison.
+		crashed := make([]platform.ProcID, 0, cfg.Crashes)
+		for _, u := range r.Sample(cfg.Procs, cfg.Crashes) {
+			crashed = append(crashed, platform.ProcID(u))
+		}
+		res.ltfSimC = mustSim(ls, crashed, false)
+		res.rltfSimC = mustSim(rs, crashed, false)
+		res.ltfSyncC = mustSim(ls, crashed, true)
+		res.rltfSyncC = mustSim(rs, crashed, true)
+	}
+	res.ok = true
+	return res
+}
+
+// mustSim runs the simulator and returns the mean measured latency.
+func mustSim(s *schedule.Schedule, crashed []platform.ProcID, synchronous bool) float64 {
+	cfg := sim.DefaultConfig(s)
+	cfg.Synchronous = synchronous
+	if synchronous {
+		// Under stage gating the per-item latency is near-deterministic in
+		// steady state; a shorter window suffices.
+		st := s.Stages()
+		cfg.Items = 2*st + 20
+		cfg.Warmup = st + 5
+	}
+	if len(crashed) > 0 {
+		cfg.Failures = sim.FailureSpec{Procs: crashed}
+	}
+	res, err := sim.Run(s, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: simulation failed: %v", err))
+	}
+	return res.MeanLatency
+}
+
+func aggregate(gran float64, results []instanceResult) Point {
+	pt := Point{Granularity: gran}
+	var ltfB, rltfB, ffB, ltf0, rltf0, ff0, ltfC, rltfC []float64
+	var sy0L, sy0R, sy0F, syCL, syCR []float64
+	var oL0, oLC, oR0, oRC []float64
+	var stL, stR, cmL, cmR []float64
+	for _, r := range results {
+		if r.ltfFail {
+			pt.LTFFail++
+		}
+		if r.rltfFail {
+			pt.RLTFFail++
+		}
+		if r.ffF {
+			pt.FFFail++
+		}
+		if !r.ok {
+			continue
+		}
+		pt.N++
+		ltfB = append(ltfB, r.ltfBound)
+		rltfB = append(rltfB, r.rltfBound)
+		ffB = append(ffB, r.ffBound)
+		ltf0 = append(ltf0, r.ltfSim0)
+		rltf0 = append(rltf0, r.rltfSim0)
+		ff0 = append(ff0, r.ffSim0)
+		sy0L = append(sy0L, r.ltfSync0)
+		sy0R = append(sy0R, r.rltfSync0)
+		sy0F = append(sy0F, r.ffSync0)
+		stL = append(stL, r.ltfStages)
+		stR = append(stR, r.rltfStages)
+		cmL = append(cmL, r.ltfComms)
+		cmR = append(cmR, r.rltfComms)
+		oL0 = append(oL0, 100*(r.ltfSync0-r.ffSync0)/r.ffSync0)
+		oR0 = append(oR0, 100*(r.rltfSync0-r.ffSync0)/r.ffSync0)
+		if r.ltfSyncC > 0 {
+			ltfC = append(ltfC, r.ltfSimC)
+			rltfC = append(rltfC, r.rltfSimC)
+			syCL = append(syCL, r.ltfSyncC)
+			syCR = append(syCR, r.rltfSyncC)
+			oLC = append(oLC, 100*(r.ltfSyncC-r.ffSync0)/r.ffSync0)
+			oRC = append(oRC, 100*(r.rltfSyncC-r.ffSync0)/r.ffSync0)
+		}
+	}
+	pt.LTFBound = stats.Mean(ltfB)
+	pt.RLTFBound = stats.Mean(rltfB)
+	pt.FFBound = stats.Mean(ffB)
+	pt.LTFSim0 = stats.Mean(ltf0)
+	pt.RLTFSim0 = stats.Mean(rltf0)
+	pt.FFSim0 = stats.Mean(ff0)
+	pt.LTFSimC = stats.Mean(ltfC)
+	pt.RLTFSimC = stats.Mean(rltfC)
+	pt.LTFSync0 = stats.Mean(sy0L)
+	pt.RLTFSync0 = stats.Mean(sy0R)
+	pt.FFSync0 = stats.Mean(sy0F)
+	pt.LTFSyncC = stats.Mean(syCL)
+	pt.RLTFSyncC = stats.Mean(syCR)
+	pt.OverheadLTF0 = stats.Mean(oL0)
+	pt.OverheadLTFC = stats.Mean(oLC)
+	pt.OverheadRLTF0 = stats.Mean(oR0)
+	pt.OverheadRLTFC = stats.Mean(oRC)
+	pt.LTFStages = stats.Mean(stL)
+	pt.RLTFStages = stats.Mean(stR)
+	pt.LTFComms = stats.Mean(cmL)
+	pt.RLTFComms = stats.Mean(cmR)
+	return pt
+}

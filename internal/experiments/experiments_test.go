@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// miniConfig keeps test sweeps fast.
+func miniConfig(eps, crashes int) Config {
+	cfg := DefaultConfig(eps, crashes)
+	cfg.GraphsPerPoint = 4
+	cfg.Granularities = []float64{0.8, 1.6}
+	return cfg
+}
+
+func TestRunProducesPoints(t *testing.T) {
+	pts := Run(miniConfig(1, 1))
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.N == 0 {
+			t.Fatalf("no instance succeeded at g=%v (fails %d/%d/%d)",
+				p.Granularity, p.LTFFail, p.RLTFFail, p.FFFail)
+		}
+		if p.LTFBound <= 0 || p.RLTFBound <= 0 {
+			t.Fatalf("bad bounds at g=%v: %+v", p.Granularity, p)
+		}
+	}
+}
+
+func TestPaperShapeInvariants(t *testing.T) {
+	pts := Run(miniConfig(1, 1))
+	for _, p := range pts {
+		// The figures' central claims, per point:
+		if p.RLTFBound > p.LTFBound+1e-9 {
+			t.Errorf("g=%v: R-LTF bound %v above LTF bound %v", p.Granularity, p.RLTFBound, p.LTFBound)
+		}
+		if p.LTFSync0 > p.LTFBound+1e-6 || p.RLTFSync0 > p.RLTFBound+1e-6 {
+			t.Errorf("g=%v: measured sync latency exceeds its bound", p.Granularity)
+		}
+		if p.LTFSyncC < 0.95*p.LTFSync0 || p.RLTFSyncC < 0.95*p.RLTFSync0 {
+			t.Errorf("g=%v: crash latency far below 0-crash latency", p.Granularity)
+		}
+		if p.FFSync0 > p.RLTFSync0 {
+			t.Errorf("g=%v: fault-free reference slower than replicated R-LTF", p.Granularity)
+		}
+		if p.OverheadRLTF0 < 0 {
+			t.Errorf("g=%v: negative overhead %v", p.Granularity, p.OverheadRLTF0)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := Run(miniConfig(1, 1))
+	b := Run(miniConfig(1, 1))
+	for i := range a {
+		if a[i].LTFBound != b[i].LTFBound || a[i].RLTFSync0 != b[i].RLTFSync0 ||
+			a[i].LTFSimC != b[i].LTFSimC || a[i].N != b[i].N {
+			t.Fatalf("sweep not deterministic at point %d:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeriesColumns(t *testing.T) {
+	pts := Run(miniConfig(1, 1))
+	for _, fig := range []Figure{FigBounds, FigCrash, FigOverhead} {
+		header, rows := Series(pts, fig)
+		if len(header) != 5 {
+			t.Fatalf("fig %d header = %v", fig, header)
+		}
+		if len(rows) != len(pts) {
+			t.Fatalf("fig %d rows = %d", fig, len(rows))
+		}
+		for _, row := range rows {
+			if len(row) != 5 {
+				t.Fatalf("fig %d row width %d", fig, len(row))
+			}
+		}
+	}
+}
+
+func TestSeriesUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Series(nil, Figure(99))
+}
+
+func TestFormatTableAndCSV(t *testing.T) {
+	header := []string{"a", "b"}
+	rows := [][]float64{{1, 2}, {3, 4}}
+	tab := FormatTable(header, rows)
+	if !strings.Contains(tab, "a") || !strings.Contains(tab, "3.000") {
+		t.Fatalf("table:\n%s", tab)
+	}
+	csv := CSV(header, rows)
+	if !strings.HasPrefix(csv, "a,b\n1,2\n") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	pts := []Point{{Granularity: 0.5, N: 3, LTFBound: 100, RLTFBound: 80}}
+	s := Summary(pts)
+	if !strings.Contains(s, "0.50") || !strings.Contains(s, "100.0") {
+		t.Fatalf("summary:\n%s", s)
+	}
+}
+
+func TestFig1ReproducesPaperValues(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact paper values for the pipelined and data-parallel scenarios.
+	if r.PipeStages != 2 || math.Abs(r.PipeLatency-90) > 1e-9 || math.Abs(1/r.PipeThroughput-30) > 1e-9 {
+		t.Fatalf("pipelined: S=%d L=%v 1/T=%v, want S=2 L=90 1/T=30",
+			r.PipeStages, r.PipeLatency, 1/r.PipeThroughput)
+	}
+	if math.Abs(r.DataParThroughput-1.0/20) > 1e-9 {
+		t.Fatalf("data-parallel T = %v, want 1/20", r.DataParThroughput)
+	}
+	// Task parallelism: the paper's 39 is one optimum of a hand schedule;
+	// we accept the same neighbourhood.
+	if r.TaskParLatency < 30 || r.TaskParLatency > 55 {
+		t.Fatalf("task-parallel L = %v, outside the paper's neighbourhood", r.TaskParLatency)
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestFig2QualitativeClaim(t *testing.T) {
+	r, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltfBest := r.Best("LTF")
+	rltfBest := r.Best("R-LTF")
+	if ltfBest == nil || rltfBest == nil {
+		t.Fatalf("no feasible cells: %v", r)
+	}
+	// The paper's qualitative claim: R-LTF produces fewer stages and lower
+	// latency than LTF (its best feasible schedules).
+	if rltfBest.Stages >= ltfBest.Stages {
+		t.Fatalf("R-LTF stages %d not below LTF stages %d", rltfBest.Stages, ltfBest.Stages)
+	}
+	if rltfBest.Latency >= ltfBest.Latency {
+		t.Fatalf("R-LTF latency %v not below LTF latency %v", rltfBest.Latency, ltfBest.Latency)
+	}
+	if r.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestEps3Sweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pts := Run(miniConfig(3, 2))
+	for _, p := range pts {
+		if p.N == 0 {
+			t.Fatalf("no ε=3 instance succeeded at g=%v", p.Granularity)
+		}
+		// Crashes remove replicas (which can only push the surviving valid
+		// exits to deeper stages) but also remove contention inside each
+		// cycle, so a small dip is possible; allow 5% slack.
+		if p.RLTFSyncC < 0.95*p.RLTFSync0 {
+			t.Fatalf("g=%v: ε=3 crash latency %v far below 0-crash %v",
+				p.Granularity, p.RLTFSyncC, p.RLTFSync0)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package experiments
+
+// Extended evaluation beyond the paper's figures: R-LTF against the §3
+// related-work heuristics (ETF, HEFT, WMSH-style clustering) at ε = 0 —
+// the setting those heuristics support — and the latency/throughput
+// trade-off curve of the paper's introduction.
+
+import (
+	"math"
+
+	"streamsched/internal/baselines"
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+	"streamsched/internal/stats"
+)
+
+// RelatedPoint aggregates one granularity point of the related-work
+// comparison (means over instances where all four heuristics succeeded).
+type RelatedPoint struct {
+	Granularity float64
+	N           int
+	// Mean pipeline stage counts.
+	RLTFStages, ETFStages, HEFTStages, ClustStages float64
+	// Mean latency bounds (2S−1)Δ.
+	RLTFBound, ETFBound, HEFTBound, ClustBound float64
+	// Mean inter-processor communication counts.
+	RLTFComms, ETFComms, HEFTComms, ClustComms float64
+}
+
+// RelatedWork sweeps granularity and compares the four heuristics at ε=0
+// under the same period Δ_base.
+func RelatedWork(cfg Config) []RelatedPoint {
+	if cfg.GraphsPerPoint <= 0 {
+		cfg.GraphsPerPoint = 60
+	}
+	var out []RelatedPoint
+	for gi, gran := range cfg.Granularities {
+		var stR, stE, stH, stC []float64
+		var lbR, lbE, lbH, lbC []float64
+		var cmR, cmE, cmH, cmC []float64
+		n := 0
+		for rep := 0; rep < cfg.GraphsPerPoint; rep++ {
+			seed := cfg.Seed ^ uint64(gi)<<40 ^ uint64(rep)<<12 ^ 0xBEEF
+			r := rng.New(seed)
+			p := platform.RandomHeterogeneous(r, cfg.Procs, 0.5, 1.0, 0.5, 1.0, 100)
+			gcfg := randgraph.DefaultStreamConfig()
+			gcfg.Granularity = gran
+			gcfg.PeriodBase = cfg.PeriodBase
+			if cfg.ComputeFraction > 0 {
+				gcfg.ComputeFraction = cfg.ComputeFraction
+			}
+			g := randgraph.Stream(r, gcfg, p)
+
+			rs, err1 := rltf.FaultFree(g, p, cfg.PeriodBase, rltf.Options{})
+			es, err2 := baselines.ETF(g, p, cfg.PeriodBase)
+			hs, err3 := baselines.HEFT(g, p, cfg.PeriodBase)
+			cs, err4 := baselines.Clustered(g, p, cfg.PeriodBase)
+			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+				continue
+			}
+			n++
+			collect := func(s *schedule.Schedule, st, lb, cm *[]float64) {
+				*st = append(*st, float64(s.Stages()))
+				*lb = append(*lb, s.LatencyBound())
+				*cm = append(*cm, float64(s.CrossComms()))
+			}
+			collect(rs, &stR, &lbR, &cmR)
+			collect(es, &stE, &lbE, &cmE)
+			collect(hs, &stH, &lbH, &cmH)
+			collect(cs, &stC, &lbC, &cmC)
+		}
+		out = append(out, RelatedPoint{
+			Granularity: gran, N: n,
+			RLTFStages: stats.Mean(stR), ETFStages: stats.Mean(stE),
+			HEFTStages: stats.Mean(stH), ClustStages: stats.Mean(stC),
+			RLTFBound: stats.Mean(lbR), ETFBound: stats.Mean(lbE),
+			HEFTBound: stats.Mean(lbH), ClustBound: stats.Mean(lbC),
+			RLTFComms: stats.Mean(cmR), ETFComms: stats.Mean(cmE),
+			HEFTComms: stats.Mean(cmH), ClustComms: stats.Mean(cmC),
+		})
+	}
+	return out
+}
+
+// RelatedSeries renders the latency-bound comparison as a table/CSV/plot
+// source.
+func RelatedSeries(points []RelatedPoint) (header []string, rows [][]float64) {
+	header = []string{"granularity", "R-LTF", "ETF", "HEFT", "CLUST"}
+	for _, p := range points {
+		rows = append(rows, []float64{p.Granularity, p.RLTFBound, p.ETFBound, p.HEFTBound, p.ClustBound})
+	}
+	return header, rows
+}
+
+// TradeoffPoint is one (period, latency) sample of the latency/throughput
+// conflict the paper's introduction describes.
+type TradeoffPoint struct {
+	Period       float64
+	Stages       int
+	LatencyBound float64
+	ProcsUsed    int
+	Feasible     bool
+}
+
+// Tradeoff sweeps the required period geometrically from the minimal
+// feasible period (found by binary search) up to relax× that value and
+// records the resulting stage counts and latency bounds for R-LTF.
+func Tradeoff(g *dag.Graph, p *platform.Platform, eps int, points int, relax float64) ([]TradeoffPoint, error) {
+	sched := func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+		return rltf.Schedule(g, p, eps, period, rltf.Options{})
+	}
+	minP, _, err := baselines.MinPeriod(g, p, eps, sched, 1e-3)
+	if err != nil {
+		return nil, err
+	}
+	if points < 2 {
+		points = 2
+	}
+	if relax <= 1 {
+		relax = 4
+	}
+	out := make([]TradeoffPoint, 0, points)
+	for i := 0; i < points; i++ {
+		frac := float64(i) / float64(points-1)
+		period := minP * math.Pow(relax, 1-frac)
+		s, err := sched(g, p, eps, period)
+		tp := TradeoffPoint{Period: period}
+		if err == nil {
+			tp.Feasible = true
+			tp.Stages = s.Stages()
+			tp.LatencyBound = s.LatencyBound()
+			tp.ProcsUsed = s.ProcsUsed()
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}

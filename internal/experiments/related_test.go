@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+)
+
+func TestRelatedWorkComparison(t *testing.T) {
+	cfg := DefaultConfig(0, 0)
+	cfg.GraphsPerPoint = 5
+	cfg.Granularities = []float64{0.8, 1.6}
+	pts := RelatedWork(cfg)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.N == 0 {
+			t.Fatalf("no comparable instance at g=%v", p.Granularity)
+		}
+		// The paper's thesis extended to the related work: stage-aware
+		// R-LTF yields the fewest stages and the lowest latency bound.
+		for name, v := range map[string]float64{
+			"ETF": p.ETFBound, "HEFT": p.HEFTBound, "CLUST": p.ClustBound,
+		} {
+			if p.RLTFBound > v+1e-9 {
+				t.Errorf("g=%v: R-LTF bound %v above %s %v", p.Granularity, p.RLTFBound, name, v)
+			}
+		}
+	}
+}
+
+func TestRelatedSeriesShape(t *testing.T) {
+	pts := []RelatedPoint{{Granularity: 1, RLTFBound: 10, ETFBound: 20, HEFTBound: 30, ClustBound: 40}}
+	header, rows := RelatedSeries(pts)
+	if len(header) != 5 || len(rows) != 1 || rows[0][4] != 40 {
+		t.Fatalf("series: %v %v", header, rows)
+	}
+}
+
+func TestTradeoffCurve(t *testing.T) {
+	g := randgraph.Butterfly(3, 3, 1)
+	p := platform.Homogeneous(12, 1, 2)
+	pts, err := Tradeoff(g, p, 1, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Periods decrease towards the minimal feasible one; the relaxed end
+	// must be feasible.
+	if !pts[0].Feasible {
+		t.Fatal("relaxed end infeasible")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Period >= pts[i-1].Period {
+			t.Fatalf("periods not decreasing: %v then %v", pts[i-1].Period, pts[i].Period)
+		}
+	}
+	feasible := 0
+	for _, tp := range pts {
+		if tp.Feasible {
+			feasible++
+			if tp.LatencyBound < tp.Period {
+				t.Fatalf("latency %v below one period %v", tp.LatencyBound, tp.Period)
+			}
+		}
+	}
+	if feasible < len(pts)/2 {
+		t.Fatalf("only %d/%d points feasible", feasible, len(pts))
+	}
+}
+
+func TestTradeoffInfeasibleInstance(t *testing.T) {
+	g := randgraph.Chain(3, 10, 1)
+	p := platform.Homogeneous(2, 1, 1)
+	if _, err := Tradeoff(g, p, 3, 4, 2); err == nil {
+		t.Fatal("ε+1 > m must fail")
+	}
+}

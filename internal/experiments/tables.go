@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure identifies one of the paper's evaluation plots.
+type Figure int
+
+const (
+	// Fig3a / Fig4a: latency bounds vs 0-crash measurements.
+	FigBounds Figure = iota
+	// Fig3b / Fig4b: measured latency, 0 vs c crashes.
+	FigCrash
+	// Fig3c / Fig4c: fault-tolerance overhead (%) vs the fault-free
+	// reference.
+	FigOverhead
+)
+
+// Series renders one figure's data series from the sweep points: the first
+// column is the granularity, the remaining columns are the plotted curves in
+// the paper's legend order.
+func Series(points []Point, fig Figure) (header []string, rows [][]float64) {
+	switch fig {
+	case FigBounds:
+		header = []string{"granularity", "R-LTF With 0 Crash", "R-LTF UpperBound", "LTF With 0 Crash", "LTF UpperBound"}
+		for _, p := range points {
+			rows = append(rows, []float64{p.Granularity, p.RLTFSync0, p.RLTFBound, p.LTFSync0, p.LTFBound})
+		}
+	case FigCrash:
+		header = []string{"granularity", "R-LTF With 0 Crash", "R-LTF With Crash", "LTF With 0 Crash", "LTF With Crash"}
+		for _, p := range points {
+			rows = append(rows, []float64{p.Granularity, p.RLTFSync0, p.RLTFSyncC, p.LTFSync0, p.LTFSyncC})
+		}
+	case FigOverhead:
+		header = []string{"granularity", "R-LTF With 0 Crash", "R-LTF With Crash", "LTF With 0 Crash", "LTF With Crash"}
+		for _, p := range points {
+			rows = append(rows, []float64{p.Granularity, p.OverheadRLTF0, p.OverheadRLTFC, p.OverheadLTF0, p.OverheadLTFC})
+		}
+	default:
+		panic(fmt.Sprintf("experiments: unknown figure %d", fig))
+	}
+	return header, rows
+}
+
+// FormatTable renders header/rows as an aligned text table.
+func FormatTable(header []string, rows [][]float64) string {
+	var b strings.Builder
+	for i, h := range header {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-20s", h)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-20.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders header/rows as comma-separated values (gnuplot friendly).
+func CSV(header []string, rows [][]float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.6g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary renders the full point table, including the synchronous-mode
+// ("sync", the paper's semantics) and dataflow ("df") measurements, stage
+// counts, comm counts and failure rates — the data EXPERIMENTS.md reports.
+func Summary(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-3s | %-8s %-8s %-8s | %-8s %-8s %-8s | %-8s %-8s | %-6s %-6s | %-6s %-6s | %-6s %-6s | %s\n",
+		"g", "N", "LTF-UB", "LTFsync0", "LTFsyncC", "RLTF-UB", "RLTsync0", "RLTsyncC", "FF-UB", "FFsync0",
+		"LTFdf0", "RLTdf0", "S(L)", "S(R)", "X(L)", "X(R)", "fails L/R/FF")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-5.2f %-3d | %-8.1f %-8.1f %-8.1f | %-8.1f %-8.1f %-8.1f | %-8.1f %-8.1f | %-6.1f %-6.1f | %-6.2f %-6.2f | %-6.1f %-6.1f | %d/%d/%d\n",
+			p.Granularity, p.N,
+			p.LTFBound, p.LTFSync0, p.LTFSyncC,
+			p.RLTFBound, p.RLTFSync0, p.RLTFSyncC,
+			p.FFBound, p.FFSync0,
+			p.LTFSim0, p.RLTFSim0,
+			p.LTFStages, p.RLTFStages,
+			p.LTFComms, p.RLTFComms,
+			p.LTFFail, p.RLTFFail, p.FFFail)
+	}
+	return b.String()
+}

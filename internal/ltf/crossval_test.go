@@ -1,0 +1,199 @@
+package ltf_test
+
+// Cross-algorithm stress validation: the exhaustive reliability audit and
+// the full constraint validation applied to both schedulers across many
+// random instances, fault-tolerance degrees and period pressures. These
+// tests are the ground truth for the vulnerability discipline documented
+// in internal/mapper.
+
+import (
+	"fmt"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sim"
+)
+
+func randomDAG(r *rng.Source, n int) *dag.Graph {
+	g := dag.New("rand")
+	for i := 0; i < n; i++ {
+		g.AddTask("t", r.Uniform(0.5, 1.5))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(2.5 / float64(n)) {
+				g.MustAddEdge(dag.TaskID(i), dag.TaskID(j), r.Uniform(0.1, 1.5))
+			}
+		}
+	}
+	return g
+}
+
+type algo struct {
+	name string
+	run  func(*dag.Graph, *platform.Platform, int, float64) (*schedule.Schedule, error)
+}
+
+var algos = []algo{
+	{"LTF", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+		return ltf.Schedule(g, p, eps, period, ltf.Options{})
+	}},
+	{"R-LTF", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+		return rltf.Schedule(g, p, eps, period, rltf.Options{})
+	}},
+	{"LTF/full", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+		return ltf.Schedule(g, p, eps, period, ltf.Options{DisableOneToOne: true})
+	}},
+	{"LTF/B=1", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+		return ltf.Schedule(g, p, eps, period, ltf.Options{ChunkSize: 1})
+	}},
+}
+
+// TestStressFullValidation runs every algorithm over a grid of random
+// instances and audits every produced schedule, including the exhaustive
+// ≤ε failure enumeration.
+func TestStressFullValidation(t *testing.T) {
+	r := rng.New(20090413)
+	produced := map[string]int{}
+	for trial := 0; trial < 40; trial++ {
+		n := 8 + r.IntN(25)
+		m := 6 + r.IntN(8)
+		eps := r.IntN(3)
+		// Period pressure from comfortable to tight.
+		pressure := []float64{2.5, 1.2, 0.7}[r.IntN(3)]
+		g := randomDAG(r, n)
+		p := platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 10)
+		period := pressure * float64(eps+1) * g.TotalWork() / (p.MeanSpeed() * float64(m))
+		if period <= 0 {
+			continue
+		}
+		for _, a := range algos {
+			s, err := a.run(g, p, eps, period)
+			if err != nil {
+				continue // infeasible is a legitimate outcome
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("trial %d %s (n=%d m=%d eps=%d Δ=%.3g): %v",
+					trial, a.name, n, m, eps, period, err)
+			}
+			produced[a.name]++
+		}
+	}
+	for _, a := range algos {
+		if produced[a.name] == 0 {
+			t.Errorf("%s never produced a feasible schedule — stress grid too tight", a.name)
+		}
+	}
+	t.Logf("validated schedules: %v", produced)
+}
+
+// TestStressSimulatedCrashes cross-checks the analytic validity predicate
+// against the simulator: for every feasible instance and every single
+// processor crash, the simulator must deliver all items iff the analytic
+// audit says the schedule survives that crash (it always should, ε ≥ 1).
+func TestStressSimulatedCrashes(t *testing.T) {
+	r := rng.New(4242)
+	checked := 0
+	for trial := 0; trial < 25 && checked < 8; trial++ {
+		g := randomDAG(r, 10+r.IntN(12))
+		m := 6 + r.IntN(4)
+		p := platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 10)
+		s, err := rltf.Schedule(g, p, 1, 1.5*g.TotalWork()/p.MeanSpeed()/float64(m)*2, rltf.Options{})
+		if err != nil {
+			continue
+		}
+		for u := 0; u < m; u++ {
+			crash := platform.ProcID(u)
+			analytic := s.ValidUnderFailures(func(x platform.ProcID) bool { return x == crash })
+			if !analytic {
+				t.Fatalf("trial %d: ε=1 schedule does not survive crash of P%d", trial, u+1)
+			}
+			res, err := sim.Run(s, sim.Config{Items: 15, Warmup: 3,
+				Failures: sim.FailureSpec{Procs: []platform.ProcID{crash}}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Delivered != res.Items {
+				t.Fatalf("trial %d: simulator lost items under crash of P%d that the audit accepts", trial, u+1)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no feasible instance in the stress grid")
+	}
+}
+
+// TestStressEps3Exhaustive hammers the ε=3 case — four replicas, the
+// all-or-nothing reverse rule, the vulnerability cap — with the exhaustive
+// C(m,≤3) audit.
+func TestStressEps3Exhaustive(t *testing.T) {
+	r := rng.New(777)
+	validated := 0
+	for trial := 0; trial < 15 && validated < 6; trial++ {
+		g := randomDAG(r, 10+r.IntN(10))
+		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
+		period := 2.0 * 4 * g.TotalWork() / (p.MeanSpeed() * 10)
+		for _, a := range algos[:2] {
+			s, err := a.run(g, p, 3, period)
+			if err != nil {
+				continue
+			}
+			if !s.ToleratesAllFailures() {
+				t.Fatalf("trial %d %s: ε=3 schedule fails the exhaustive audit\n%s",
+					trial, a.name, s.Gantt(100))
+			}
+			validated++
+		}
+	}
+	if validated == 0 {
+		t.Skip("no feasible ε=3 instance")
+	}
+}
+
+// TestSchedulersAgreeOnInfeasibleReplicaCount documents the shared
+// precondition: ε+1 replicas cannot exceed the processor count.
+func TestSchedulersAgreeOnInfeasibleReplicaCount(t *testing.T) {
+	g := randomDAG(rng.New(1), 5)
+	p := platform.Homogeneous(3, 1, 1)
+	for _, a := range algos {
+		if _, err := a.run(g, p, 3, 1000); err == nil {
+			t.Errorf("%s accepted ε+1 > m", a.name)
+		}
+	}
+}
+
+// TestLatencyOrderingAcrossAlgorithms spot-checks the paper's headline on a
+// deterministic set of instances: where both succeed, R-LTF's latency bound
+// is at most LTF's in the clear majority of cases.
+func TestLatencyOrderingAcrossAlgorithms(t *testing.T) {
+	r := rng.New(31337)
+	wins, losses := 0, 0
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(r, 15+r.IntN(20))
+		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
+		period := 2.0 * 2 * g.TotalWork() / (p.MeanSpeed() * 10)
+		ls, err1 := ltf.Schedule(g, p, 1, period, ltf.Options{})
+		rs, err2 := rltf.Schedule(g, p, 1, period, rltf.Options{})
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if rs.LatencyBound() <= ls.LatencyBound() {
+			wins++
+		} else {
+			losses++
+		}
+	}
+	if wins+losses == 0 {
+		t.Skip("no comparable instances")
+	}
+	if losses > wins {
+		t.Fatalf("R-LTF lost the latency comparison %d-%d — the paper's headline inverted", losses, wins)
+	}
+	t.Log(fmt.Sprintf("R-LTF wins/ties %d, losses %d", wins, losses))
+}

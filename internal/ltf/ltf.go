@@ -1,0 +1,144 @@
+// Package ltf implements the LTF (Latency, Throughput, Failures) scheduling
+// algorithm — Algorithm 4.1 of the paper. LTF extends Iso-Level CAFT with a
+// throughput constraint: tasks are consumed in priority order in chunks β of
+// up to B ready tasks, each task is replicated ε+1 times, replicas are
+// placed with the one-to-one mapping procedure while singleton processors
+// remain (minimizing replicated communications) and with full communication
+// replication otherwise, and every placement must satisfy condition (1):
+// the target's computing load and the affected send/receive port loads must
+// all fit within the period Δ = 1/T. LTF fails — returns an error — when no
+// processor can accommodate a replica within the period.
+package ltf
+
+import (
+	"fmt"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/mapper"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+)
+
+// Options tune the algorithm.
+type Options struct {
+	// ChunkSize is B, the number of ready tasks mapped per iso-level chunk.
+	// 0 means the paper's default, B = m. ChunkSize 1 degrades LTF to plain
+	// one-task-at-a-time list scheduling (the ablation of DESIGN.md §E10).
+	ChunkSize int
+	// DisableOneToOne forces full communication replication everywhere —
+	// the (ε+1)² baseline the one-to-one procedure improves on (§4.2 claim,
+	// DESIGN.md §E9).
+	DisableOneToOne bool
+}
+
+// Schedule maps g onto p tolerating eps failures at the given period, and
+// returns the resulting schedule. The error is non-nil when the instance is
+// infeasible for LTF (a *mapper.InfeasibleError wraps the failing task).
+func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts Options) (*schedule.Schedule, error) {
+	st, err := mapper.New(g, p, eps, period, "LTF")
+	if err != nil {
+		return nil, err
+	}
+	st.OneToOneOff = opts.DisableOneToOne
+	b := opts.ChunkSize
+	if b <= 0 {
+		b = p.NumProcs()
+	}
+	if err := run(st, b, mapper.MinFinish); err != nil {
+		return nil, err
+	}
+	return st.Sched, nil
+}
+
+// run executes the chunked replica-placement loop shared with R-LTF (which
+// calls it on the reversed graph with a different comparator factory).
+func run(st *mapper.State, chunkSize int, better mapper.Better) error {
+	return runWith(st, chunkSize, func(dag.TaskID) mapper.Better { return better })
+}
+
+// runWith is run with a per-task comparator (R-LTF's Rule 1 bound depends on
+// the stages of the current task's already-placed neighbors).
+//
+// Forward mode interleaves the chunk tasks' replica rounds (the iso-level
+// balancing of Algorithm 4.1). Reverse mode places each task's ε+1 replicas
+// contiguously and all-or-nothing — either every copy through the
+// one-to-one procedure or every copy through the fallback — because a
+// mixture would leave the consumers that are no chain's head fed only by
+// the fallback copies, an untracked vulnerability (see mapper's discipline
+// note). A mid-way one-to-one failure rolls the task back via snapshot.
+func runWith(st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
+	for !st.Done() {
+		chunk := st.PopChunk(chunkSize)
+		if len(chunk) == 0 {
+			return fmt.Errorf("ltf: no ready task but %s", "unscheduled tasks remain (graph not acyclic?)")
+		}
+		if st.ReverseMode {
+			for _, t := range chunk {
+				if err := placeTaskAllOrNothing(st, t, betterFor(t)); err != nil {
+					return err
+				}
+			}
+			st.MarkScheduled(chunk)
+			continue
+		}
+		pools := make([][][]schedule.Ref, len(chunk))
+		theta := make([]int, len(chunk))
+		z := make([]int, len(chunk))
+		for k, t := range chunk {
+			pools[k] = st.Pools(t)
+			theta[k] = st.Theta(pools[k])
+		}
+		for n := 0; n <= st.Eps; n++ {
+			for k, t := range chunk {
+				better := betterFor(t)
+				if !st.OneToOneOff && z[k] < theta[k] && st.OneToOne(t, n, pools[k], better) {
+					z[k]++
+					continue
+				}
+				if err := st.Fallback(t, n, better); err != nil {
+					return err
+				}
+			}
+		}
+		st.MarkScheduled(chunk)
+	}
+	return nil
+}
+
+// placeTaskAllOrNothing implements the reverse-mode per-task dichotomy with
+// a retry ladder: a full one-to-one chain with the stage-preserving
+// comparator first; if the aggressive merging runs the chains into a wall,
+// a full chain with the finish-time comparator (which spreads load); and
+// only then the all-fallback placement with its (ε+1)²-per-edge
+// communications. Each failed rung rolls back through a snapshot.
+func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better) error {
+	if !st.OneToOneOff && st.Theta(st.Pools(t)) >= st.Eps+1 {
+		for _, b := range []mapper.Better{better, mapper.MinFinish} {
+			pools := st.Pools(t)
+			snap := st.Snapshot(t)
+			ok := true
+			for n := 0; n <= st.Eps; n++ {
+				if !st.OneToOne(t, n, pools, b) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return nil
+			}
+			st.Restore(snap)
+		}
+	}
+	for n := 0; n <= st.Eps; n++ {
+		if err := st.Fallback(t, n, better); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run is the shared driver exposed for R-LTF. It is not part of the public
+// façade API.
+func Run(st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
+	return runWith(st, chunkSize, betterFor)
+}

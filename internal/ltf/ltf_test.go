@@ -1,0 +1,268 @@
+package ltf
+
+import (
+	"errors"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/mapper"
+	"streamsched/internal/platform"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+func chain(n int, work, vol float64) *dag.Graph {
+	g := dag.New("chain")
+	prev := g.AddTask("t0", work)
+	for i := 1; i < n; i++ {
+		cur := g.AddTask("t", work)
+		g.MustAddEdge(prev, cur, vol)
+		prev = cur
+	}
+	return g
+}
+
+func diamond() *dag.Graph {
+	g := dag.New("diamond")
+	a := g.AddTask("a", 2)
+	b := g.AddTask("b", 3)
+	c := g.AddTask("c", 4)
+	d := g.AddTask("d", 2)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, d, 1)
+	g.MustAddEdge(c, d, 1)
+	return g
+}
+
+// randomDAG builds a layered random DAG for stress tests.
+func randomDAG(r *rng.Source, n int) *dag.Graph {
+	g := dag.New("rand")
+	for i := 0; i < n; i++ {
+		g.AddTask("t", r.Uniform(0.5, 1.5))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(2.0 / float64(n)) {
+				g.MustAddEdge(dag.TaskID(i), dag.TaskID(j), r.Uniform(0.1, 1))
+			}
+		}
+	}
+	return g
+}
+
+func TestChainNoReplication(t *testing.T) {
+	g := chain(5, 1, 1)
+	p := platform.Homogeneous(4, 1, 1)
+	s, err := Schedule(g, p, 0, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Generous period: the whole chain fits on one processor; min-finish
+	// placement keeps it there (no comm beats any cross-proc alternative),
+	// giving a single stage.
+	if s.Stages() != 1 {
+		t.Fatalf("chain stages = %d, want 1\n%s", s.Stages(), s.Gantt(60))
+	}
+	if s.LatencyBound() != 100 {
+		t.Fatalf("L = %v", s.LatencyBound())
+	}
+}
+
+func TestChainReplicated(t *testing.T) {
+	g := chain(4, 1, 1)
+	p := platform.Homogeneous(6, 1, 1)
+	s, err := Schedule(g, p, 1, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		reps := s.Replicas(dag.TaskID(i))
+		if len(reps) != 2 || reps[0] == nil || reps[1] == nil {
+			t.Fatalf("task %d replicas: %v", i, reps)
+		}
+	}
+	if !s.ToleratesAllFailures() {
+		t.Fatal("ε=1 schedule must tolerate any single failure")
+	}
+}
+
+func TestDiamondEps2(t *testing.T) {
+	p := platform.Homogeneous(8, 1, 1)
+	s, err := Schedule(diamond(), p, 2, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughputRespected(t *testing.T) {
+	// Period 2 with unit tasks: at most 2 replicas per processor.
+	g := chain(6, 1, 0.1)
+	p := platform.Homogeneous(8, 1, 1)
+	s, err := Schedule(g, p, 1, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := s.Loads()
+	for u, sig := range l.Sigma {
+		if sig > 2+1e-9 {
+			t.Fatalf("Σ_%d = %v exceeds period 2", u, sig)
+		}
+	}
+	if got := s.AchievedCycleTime(); got > 2+1e-9 {
+		t.Fatalf("achieved cycle time %v exceeds period", got)
+	}
+}
+
+func TestInfeasibleReturnsError(t *testing.T) {
+	// 6 unit tasks, 2 processors, period 2: 2·6 = 12 replica-time > 2·2·...
+	// with ε=1 there are 12 units of work and 2·2=4 units of capacity.
+	g := chain(6, 1, 0.1)
+	p := platform.Homogeneous(2, 1, 1)
+	_, err := Schedule(g, p, 1, 2, Options{})
+	if err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	var inf *mapper.InfeasibleError
+	if !errors.As(err, &inf) {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+}
+
+func TestTooFewProcessorsForReplicas(t *testing.T) {
+	g := chain(2, 1, 1)
+	p := platform.Homogeneous(2, 1, 1)
+	if _, err := Schedule(g, p, 3, 100, Options{}); err == nil {
+		t.Fatal("ε+1 > m must fail")
+	}
+}
+
+func TestReplicasOnDistinctProcs(t *testing.T) {
+	g := diamond()
+	p := platform.Homogeneous(6, 1, 1)
+	s, err := Schedule(g, p, 1, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		reps := s.Replicas(dag.TaskID(i))
+		if reps[0].Proc == reps[1].Proc {
+			t.Fatalf("task %d replicas share processor %d", i, reps[0].Proc)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	r := rng.New(5)
+	g := randomDAG(r, 30)
+	p := platform.RandomHeterogeneous(rng.New(6), 8, 0.5, 1, 0.5, 1, 10)
+	s1, err1 := Schedule(g, p, 1, 50, Options{})
+	s2, err2 := Schedule(g, p, 1, 50, Options{})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		for c := 0; c <= 1; c++ {
+			r1 := s1.Replica(schedule.Ref{Task: dag.TaskID(i), Copy: c})
+			r2 := s2.Replica(schedule.Ref{Task: dag.TaskID(i), Copy: c})
+			if r1.Proc != r2.Proc || r1.Start != r2.Start {
+				t.Fatalf("nondeterministic placement of t%d(%d)", i, c+1)
+			}
+		}
+	}
+}
+
+func TestRandomGraphsValidate(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(r, 10+r.IntN(30))
+		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
+		eps := r.IntN(3)
+		s, err := Schedule(g, p, eps, 100, Options{})
+		if err != nil {
+			continue // infeasible instances are fine; validity is the point
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d (eps=%d): %v", trial, eps, err)
+		}
+	}
+}
+
+func TestChunkSizeOne(t *testing.T) {
+	g := diamond()
+	p := platform.Homogeneous(6, 1, 1)
+	s, err := Schedule(g, p, 1, 100, Options{ChunkSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryReplicasSpread(t *testing.T) {
+	// A single entry task with ε=2 must land on three distinct processors.
+	g := dag.New("entry")
+	g.AddTask("only", 1)
+	p := platform.Homogeneous(5, 1, 1)
+	s, err := Schedule(g, p, 2, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := map[platform.ProcID]bool{}
+	for _, r := range s.All() {
+		procs[r.Proc] = true
+	}
+	if len(procs) != 3 {
+		t.Fatalf("entry replicas on %d processors, want 3", len(procs))
+	}
+}
+
+func TestHeterogeneousPrefersFastProc(t *testing.T) {
+	// One task, two processors with very different speeds: min finish time
+	// must pick the fast one for the first copy.
+	g := dag.New("one")
+	g.AddTask("t", 10)
+	p := platform.New([]float64{5, 1}, [][]float64{{0, 1}, {1, 0}})
+	s, err := Schedule(g, p, 0, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Replica(schedule.Ref{Task: 0, Copy: 0}).Proc != 0 {
+		t.Fatal("copy placed on slow processor")
+	}
+}
+
+func TestOneToOneLimitsComms(t *testing.T) {
+	// Fork-join with ε=1 and plenty of processors: the one-to-one procedure
+	// should produce far fewer than the full (ε+1)² comms per edge.
+	g := dag.New("fj")
+	e := g.AddTask("e", 1)
+	x := g.AddTask("x", 1)
+	for i := 0; i < 4; i++ {
+		m := g.AddTask("m", 1)
+		g.MustAddEdge(e, m, 1)
+		g.MustAddEdge(m, x, 1)
+	}
+	p := platform.Homogeneous(16, 1, 1)
+	s, err := Schedule(g, p, 1, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := g.NumEdges() * 2 * 2 // (ε+1)² per edge
+	if s.TotalComms() >= full {
+		t.Fatalf("one-to-one did not reduce comms: %d ≥ %d", s.TotalComms(), full)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

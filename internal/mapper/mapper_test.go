@@ -1,0 +1,394 @@
+package mapper
+
+import (
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+func chainAB() *dag.Graph {
+	g := dag.New("ab")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 2)
+	return g
+}
+
+func newState(t *testing.T, g *dag.Graph, m, eps int, period float64) *State {
+	t.Helper()
+	st, err := New(g, platform.Homogeneous(m, 1, 1), eps, period, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestNewRejectsTooFewProcs(t *testing.T) {
+	if _, err := New(chainAB(), platform.Homogeneous(2, 1, 1), 2, 10, "x"); err == nil {
+		t.Fatal("ε+1 > m accepted")
+	}
+}
+
+func TestNewRejectsCyclicGraph(t *testing.T) {
+	g := dag.New("cyc")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, a, 1)
+	if _, err := New(g, platform.Homogeneous(2, 1, 1), 0, 10, "x"); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+}
+
+func TestReadyAndChunks(t *testing.T) {
+	g := dag.New("three")
+	a := g.AddTask("a", 3) // highest priority (heaviest path)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, c, 1)
+	_ = b
+	st := newState(t, g, 4, 0, 100)
+	if st.ReadyCount() != 2 {
+		t.Fatalf("ready = %d, want 2 entries", st.ReadyCount())
+	}
+	chunk := st.PopChunk(1)
+	if len(chunk) != 1 || chunk[0] != a {
+		t.Fatalf("chunk = %v, want highest-priority task a", chunk)
+	}
+	st.CommitPlace(a, 0, 0, nil)
+	st.MarkScheduled(chunk)
+	// c becomes ready after a.
+	if st.ReadyCount() != 2 {
+		t.Fatalf("ready after a = %d, want {b, c}", st.ReadyCount())
+	}
+	if st.Done() {
+		t.Fatal("not done yet")
+	}
+}
+
+func TestMarkScheduledTwicePanics(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 2, 0, 100)
+	chunk := st.PopChunk(1)
+	st.CommitPlace(chunk[0], 0, 0, nil)
+	st.MarkScheduled(chunk)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.MarkScheduled(chunk)
+}
+
+func TestFeasibleComputeBudget(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 2, 0, 1.5) // period 1.5, unit tasks
+	if !st.Feasible(0, 0, nil) {
+		t.Fatal("empty processor must accept one unit task")
+	}
+	st.CommitPlace(0, 0, 0, nil)
+	st.MarkScheduled([]dag.TaskID{0})
+	// Second unit task would push Σ to 2 > 1.5.
+	if st.Feasible(1, 0, []schedule.Ref{{Task: 0, Copy: 0}}) {
+		t.Fatal("Σ budget exceeded but Feasible said yes")
+	}
+	if !st.Feasible(1, 1, []schedule.Ref{{Task: 0, Copy: 0}}) {
+		// comm volume 2 / bw 1 = 2 > 1.5 → port budget also binds
+		t.Log("cross placement rejected due to port budget (expected)")
+	}
+}
+
+func TestFeasiblePortBudget(t *testing.T) {
+	g := dag.New("wide")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddEdge(a, b, 3) // comm time 3 on unit links
+	st, err := New(g, platform.Homogeneous(2, 1, 1), 0, 2.5, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.CommitPlace(0, 0, 0, nil)
+	st.MarkScheduled([]dag.TaskID{0})
+	// Cross-processor comm time = 3 > 2.5: C^I budget violated even though
+	// Σ_1 = 1 would fit.
+	if st.Feasible(1, 1, []schedule.Ref{{Task: 0, Copy: 0}}) {
+		t.Fatal("port budget exceeded but Feasible said yes")
+	}
+	// Co-located placement prices no comm; Σ_0 = 1+1 = 2 ≤ 2.5.
+	if !st.Feasible(1, 0, []schedule.Ref{{Task: 0, Copy: 0}}) {
+		t.Fatal("co-located placement should be feasible")
+	}
+}
+
+func TestFeasibleRejectsSameProcCopies(t *testing.T) {
+	g := dag.New("one")
+	g.AddTask("a", 0.1)
+	st := newState(t, g, 3, 1, 100)
+	st.CommitPlace(0, 0, 1, nil)
+	if st.Feasible(0, 1, nil) {
+		t.Fatal("two copies on one processor accepted")
+	}
+	if !st.Feasible(0, 2, nil) {
+		t.Fatal("distinct processor rejected")
+	}
+}
+
+func TestCommitPlaceUpdatesLoads(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 2, 0, 100)
+	st.CommitPlace(0, 0, 0, nil)
+	st.MarkScheduled([]dag.TaskID{0})
+	st.CommitPlace(1, 0, 1, []schedule.Ref{{Task: 0, Copy: 0}})
+	if st.Sigma[0] != 1 || st.Sigma[1] != 1 {
+		t.Fatalf("Σ = %v", st.Sigma)
+	}
+	if st.CIn[1] != 2 || st.COut[0] != 2 {
+		t.Fatalf("ports: in=%v out=%v", st.CIn, st.COut)
+	}
+	// Stage bookkeeping: b crossed a processor boundary.
+	if st.Stage[schedule.Ref{Task: 1, Copy: 0}] != 2 {
+		t.Fatalf("stage = %d", st.Stage[schedule.Ref{Task: 1, Copy: 0}])
+	}
+}
+
+func TestTrialFinishMatchesCommit(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 2, 0, 100)
+	st.CommitPlace(0, 0, 0, nil)
+	st.MarkScheduled([]dag.TaskID{0})
+	want := st.TrialFinish(1, 1, []schedule.Ref{{Task: 0, Copy: 0}})
+	rep := st.CommitPlace(1, 0, 1, []schedule.Ref{{Task: 0, Copy: 0}})
+	if rep.Finish != want {
+		t.Fatalf("trial %v vs commit %v", want, rep.Finish)
+	}
+}
+
+func TestTrialFinishDoesNotMutate(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 2, 0, 100)
+	st.CommitPlace(0, 0, 0, nil)
+	before := st.Sys.Comp(1).Len()
+	_ = st.TrialFinish(1, 1, []schedule.Ref{{Task: 0, Copy: 0}})
+	if st.Sys.Comp(1).Len() != before {
+		t.Fatal("trial mutated committed timelines")
+	}
+	if st.Sched.Replica(schedule.Ref{Task: 1, Copy: 0}) != nil {
+		t.Fatal("trial registered a replica")
+	}
+}
+
+func TestPoolsAndTheta(t *testing.T) {
+	g := dag.New("join")
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	c := g.AddTask("c", 1)
+	g.MustAddEdge(a, c, 1)
+	g.MustAddEdge(b, c, 1)
+	st := newState(t, g, 6, 1, 100)
+	st.CommitPlace(a, 0, 0, nil)
+	st.CommitPlace(a, 1, 1, nil)
+	st.CommitPlace(b, 0, 2, nil)
+	st.CommitPlace(b, 1, 3, nil)
+	st.MarkScheduled([]dag.TaskID{a, b})
+	pools := st.Pools(c)
+	if len(pools) != 2 || len(pools[0]) != 2 || len(pools[1]) != 2 {
+		t.Fatalf("pools = %v", pools)
+	}
+	if st.Theta(pools) != 2 {
+		t.Fatalf("θ = %d", st.Theta(pools))
+	}
+	// Entry task: θ = ε+1.
+	if st.Theta(nil) != 2 {
+		t.Fatalf("entry θ = %d", st.Theta(nil))
+	}
+}
+
+func TestOneToOneDisjointChains(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 6, 1, 100)
+	pools0 := st.Pools(dag.TaskID(0))
+	if !st.OneToOne(0, 0, pools0, MinFinish) || !st.OneToOne(0, 1, pools0, MinFinish) {
+		t.Fatal("entry one-to-one failed")
+	}
+	st.MarkScheduled([]dag.TaskID{0})
+	pools := st.Pools(dag.TaskID(1))
+	if !st.OneToOne(1, 0, pools, MinFinish) || !st.OneToOne(1, 1, pools, MinFinish) {
+		t.Fatal("one-to-one failed for b")
+	}
+	// Claims of the two copies must be disjoint.
+	for u := range st.Claim[1][0] {
+		if st.Claim[1][1][u] {
+			t.Fatalf("claims overlap on P%d", u)
+		}
+	}
+	// Each b copy has exactly one input.
+	for c := 0; c <= 1; c++ {
+		rep := st.Sched.Replica(schedule.Ref{Task: 1, Copy: c})
+		if len(rep.In) != 1 {
+			t.Fatalf("copy %d has %d inputs", c, len(rep.In))
+		}
+	}
+}
+
+func TestFallbackFullReplication(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 6, 1, 100)
+	pools := st.Pools(dag.TaskID(0))
+	st.OneToOne(0, 0, pools, MinFinish)
+	st.OneToOne(0, 1, pools, MinFinish)
+	st.MarkScheduled([]dag.TaskID{0})
+	if err := st.Fallback(1, 0, MinFinish); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.Sched.Replica(schedule.Ref{Task: 1, Copy: 0})
+	if len(rep.In) != 2 {
+		t.Fatalf("fallback must receive from all copies, got %d", len(rep.In))
+	}
+}
+
+func TestFallbackInfeasible(t *testing.T) {
+	g := dag.New("heavy")
+	g.AddTask("a", 10)
+	st := newState(t, g, 2, 0, 5) // exec 10 > period 5 everywhere
+	err := st.Fallback(0, 0, MinFinish)
+	if err == nil {
+		t.Fatal("expected infeasibility")
+	}
+	if _, ok := err.(*InfeasibleError); !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 4, 1, 100)
+	st.ReverseMode = true
+	pools := st.Pools(dag.TaskID(0))
+	snapBefore := st.Snapshot(0)
+	if !st.OneToOne(0, 0, pools, MinFinish) {
+		t.Fatal("one-to-one failed")
+	}
+	if st.Sched.Replica(schedule.Ref{Task: 0, Copy: 0}) == nil {
+		t.Fatal("replica missing after placement")
+	}
+	st.Restore(snapBefore)
+	if st.Sched.Replica(schedule.Ref{Task: 0, Copy: 0}) != nil {
+		t.Fatal("replica survived rollback")
+	}
+	if st.Sigma[0] != 0 || st.Sys.Comp(0).Len() != 0 {
+		t.Fatal("loads/timelines survived rollback")
+	}
+	if len(st.Claim[0][0]) != 0 {
+		t.Fatal("claims survived rollback")
+	}
+	// Placement works again after rollback.
+	if !st.OneToOne(0, 0, st.Pools(dag.TaskID(0)), MinFinish) {
+		t.Fatal("placement after rollback failed")
+	}
+}
+
+func TestComparators(t *testing.T) {
+	fast := Candidate{Proc: 0, Finish: 5, Stage: 3}
+	slow := Candidate{Proc: 1, Finish: 9, Stage: 1}
+	if !MinFinish(fast, slow) {
+		t.Fatal("MinFinish must prefer the earlier finish")
+	}
+	sp := StagePreserving(2)
+	if !sp(slow, fast) {
+		t.Fatal("StagePreserving must prefer the stage ≤ bound")
+	}
+	// Both within bound → lower stage wins; equal stages → earlier finish.
+	a := Candidate{Proc: 0, Finish: 9, Stage: 1}
+	b := Candidate{Proc: 1, Finish: 5, Stage: 2}
+	if !sp(a, b) {
+		t.Fatal("lower stage must win inside the bound")
+	}
+	c := Candidate{Proc: 0, Finish: 5, Stage: 1}
+	if !sp(c, a) {
+		t.Fatal("earlier finish must break stage ties")
+	}
+}
+
+func TestMaxPredStage(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 4, 0, 100)
+	st.CommitPlace(0, 0, 0, nil)
+	st.MarkScheduled([]dag.TaskID{0})
+	if got := st.MaxPredStage(1); got != 1 {
+		t.Fatalf("MaxPredStage = %d", got)
+	}
+	if got := st.MaxPredStage(0); got != 0 {
+		t.Fatalf("entry MaxPredStage = %d", got)
+	}
+}
+
+func TestVulnCapDefault(t *testing.T) {
+	g := chainAB()
+	st, err := New(g, platform.Homogeneous(20, 1, 1), 3, 100, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VulnCap != 5 {
+		t.Fatalf("VulnCap = %d, want 20/4", st.VulnCap)
+	}
+	st2 := newState(t, g, 2, 1, 100)
+	if st2.VulnCap != 2 {
+		t.Fatalf("VulnCap floor = %d, want 2", st2.VulnCap)
+	}
+}
+
+// Property: on random instances, interleaving one-to-one and fallback via
+// the public entry points always preserves claim disjointness per task.
+func TestClaimDisjointnessProperty(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.IntN(15)
+		g := dag.New("rand")
+		for i := 0; i < n; i++ {
+			g.AddTask("t", r.Uniform(0.5, 1.5))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if r.Bool(0.15) {
+					g.MustAddEdge(dag.TaskID(i), dag.TaskID(j), r.Uniform(0.1, 1))
+				}
+			}
+		}
+		eps := 1 + r.IntN(2)
+		st, err := New(g, platform.Homogeneous(8, 1, 1), eps, 50, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for !st.Done() {
+			chunk := st.PopChunk(8)
+			for _, task := range chunk {
+				pools := st.Pools(task)
+				for c := 0; c <= eps; c++ {
+					if !st.OneToOne(task, c, pools, MinFinish) {
+						if err := st.Fallback(task, c, MinFinish); err != nil {
+							t.Skip("infeasible instance")
+						}
+					}
+				}
+			}
+			st.MarkScheduled(chunk)
+		}
+		for task := 0; task < n; task++ {
+			for c1 := 0; c1 <= eps; c1++ {
+				for c2 := c1 + 1; c2 <= eps; c2++ {
+					for u := range st.Claim[task][c1] {
+						if st.Claim[task][c2][u] {
+							t.Fatalf("trial %d: task %d claims overlap on P%d", trial, task, u)
+						}
+					}
+				}
+			}
+		}
+	}
+}

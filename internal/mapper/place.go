@@ -1,0 +1,581 @@
+package mapper
+
+import (
+	"sort"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/oneport"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+	"streamsched/internal/timeline"
+)
+
+// Reliability discipline
+//
+// The paper locks processors per scheduled task ("P is said locked either if
+// it is already involved in a communication with a replica of t, or it
+// processes itself one of these replicas"). That rule is necessary but not
+// *transitively* sufficient: replication chains braid across tasks, and two
+// failures can take out all three replicas of a join task whose incoming
+// chains share an upstream processor (DESIGN.md records a concrete
+// counterexample found by the exhaustive tolerance test). We therefore
+// strengthen the discipline to an inductive invariant:
+//
+//	V(r) — the vulnerability set of replica r — is r's own processor plus
+//	the vulnerability sets of the replicas it chain-receives from
+//	(fallback inputs contribute nothing: they arrive from all ε+1 copies
+//	of the predecessor, at least one of which survives by induction).
+//	The invariant: for every task, the V-sets of its ε+1 replicas are
+//	pairwise disjoint.
+//
+// Under the invariant, any failure set F with |F| ≤ ε invalidates at most
+// |F| replicas of each task, so at least one replica of every task — in
+// particular of every exit task — stays valid. Forward construction (LTF)
+// freezes V(r) at placement time; reverse construction (R-LTF) grows the
+// V-sets of already-placed downstream replicas as their chain ancestors
+// appear, which is what the support maps below account for.
+
+// procSet is a small set of processors.
+type procSet map[platform.ProcID]bool
+
+func (s procSet) add(u platform.ProcID) { s[u] = true }
+
+func (s procSet) addAll(o procSet) {
+	for u := range o {
+		s[u] = true
+	}
+}
+
+func (s procSet) intersects(o procSet) bool {
+	a, b := s, o
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	for u := range a {
+		if b[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidate describes one evaluated placement of a replica: the target
+// processor, the finish time the placement would achieve, the pipeline stage
+// the replica would take, and the communication sources it would consume.
+type Candidate struct {
+	Proc    platform.ProcID
+	Finish  float64
+	Stage   int
+	Sources []schedule.Ref
+}
+
+// Better compares two candidates and reports whether a is preferable to b.
+// It parameterizes the difference between LTF ("minimum finish time F") and
+// R-LTF (Rule 1: do not increase the stage number).
+type Better func(a, b Candidate) bool
+
+// MinFinish is LTF's candidate comparator.
+func MinFinish(a, b Candidate) bool {
+	if a.Finish != b.Finish {
+		return a.Finish < b.Finish
+	}
+	if a.Stage != b.Stage {
+		return a.Stage < b.Stage
+	}
+	return a.Proc < b.Proc
+}
+
+// StagePreserving is R-LTF's comparator: candidates that keep the stage
+// number at or below bound win over those that exceed it (Rule 1); within
+// each class, lower stage wins, then earlier finish.
+func StagePreserving(bound int) Better {
+	return func(a, b Candidate) bool {
+		ap, bp := a.Stage > bound, b.Stage > bound
+		if ap != bp {
+			return bp
+		}
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		if a.Finish != b.Finish {
+			return a.Finish < b.Finish
+		}
+		return a.Proc < b.Proc
+	}
+}
+
+// orderedSources returns the sources sorted by availability time (then ref,
+// for determinism) — the order in which their transfers are scheduled.
+func (st *State) orderedSources(sources []schedule.Ref) []schedule.Ref {
+	out := append([]schedule.Ref(nil), sources...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := st.Sched.Replica(out[i]), st.Sched.Replica(out[j])
+		if a.Finish != b.Finish {
+			return a.Finish < b.Finish
+		}
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Copy < out[j].Copy
+	})
+	return out
+}
+
+// TrialFinish simulates placing a replica of t on u with the given sources
+// and returns the finish time, without mutating anything.
+func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) float64 {
+	txn := st.Sys.Begin()
+	defer txn.Discard()
+	ready := 0.0
+	for _, src := range st.orderedSources(sources) {
+		r := st.Sched.Replica(src)
+		_, fin := txn.Transfer(r.Proc, u, st.volume(src.Task, t), r.Finish, "")
+		if fin > ready {
+			ready = fin
+		}
+	}
+	_, fin := txn.Compute(u, st.G.Task(t).Work, ready, "")
+	return fin
+}
+
+// CommitPlace irrevocably places copy `copy` of t on u, consuming the given
+// sources: transfers are reserved on the one-port timelines, the replica is
+// registered in the schedule, and the steady-state loads and stage map are
+// updated. It returns the placed replica. Reliability bookkeeping is the
+// caller's job (commitChain/commitFallback).
+func (st *State) CommitPlace(t dag.TaskID, copy int, u platform.ProcID, sources []schedule.Ref) *schedule.Replica {
+	ref := schedule.Ref{Task: t, Copy: copy}
+	txn := st.Sys.Begin()
+	ready := 0.0
+	in := make([]schedule.Comm, 0, len(sources))
+	for _, src := range st.orderedSources(sources) {
+		r := st.Sched.Replica(src)
+		vol := st.volume(src.Task, t)
+		cs, cf := txn.Transfer(r.Proc, u, vol, r.Finish, src.String()+"→"+ref.String())
+		in = append(in, schedule.Comm{From: src, Volume: vol, Start: cs, Finish: cf})
+		if cf > ready {
+			ready = cf
+		}
+		if r.Proc != u {
+			d := cf - cs
+			st.CIn[u] += d
+			st.COut[r.Proc] += d
+		}
+	}
+	start, finish := txn.Compute(u, st.G.Task(t).Work, ready, ref.String())
+	txn.Commit()
+	st.Sigma[u] += finish - start
+	rep := &schedule.Replica{Ref: ref, Proc: u, Start: start, Finish: finish, In: in}
+	st.Sched.AddReplica(rep)
+	st.Stage[ref] = st.stageOf(u, sources)
+	st.copyProcs[t][u] = true
+	return rep
+}
+
+// Pools returns, for every predecessor of t, the replicas that can serve as
+// one-to-one communication heads.
+//
+// The paper restricts pools to replicas on *singleton* processors
+// (processors hosting exactly one replica of ⋃_i B(t_i), §4's X set) — its
+// mechanism for keeping replication chains processor-disjoint. Our
+// vulnerability discipline enforces that disjointness exactly (claims and
+// support maps), which subsumes the singleton rule; keeping the restriction
+// would force unnecessary fallbacks after Rule-1 merging, because
+// co-located consumer replicas are never singleton. We therefore admit
+// every placed replica and let the claims filter the unsafe combinations
+// (documented deviation, DESIGN.md §3).
+func (st *State) Pools(t dag.TaskID) [][]schedule.Ref {
+	preds := st.G.Pred(t)
+	pools := make([][]schedule.Ref, len(preds))
+	for i, pe := range preds {
+		for _, ref := range schedule.ReplicaRefs(pe.From, st.Eps) {
+			if st.Sched.Replica(ref) != nil {
+				pools[i] = append(pools[i], ref)
+			}
+		}
+	}
+	return pools
+}
+
+// Theta returns θ = min_i λ_i, the number of replicas of t that the
+// one-to-one procedure can place (ε+1 for entry tasks, which need no
+// incoming communications).
+func (st *State) Theta(pools [][]schedule.Ref) int {
+	if len(pools) == 0 {
+		return st.Eps + 1
+	}
+	min := len(pools[0])
+	for _, p := range pools[1:] {
+		if len(p) < min {
+			min = len(p)
+		}
+	}
+	if min > st.Eps+1 {
+		min = st.Eps + 1
+	}
+	return min
+}
+
+// singleCommFinish returns the earliest finish of a single transfer from
+// src's processor to u, against the committed port state (read-only).
+func (st *State) singleCommFinish(src schedule.Ref, t dag.TaskID, u platform.ProcID) float64 {
+	r := st.Sched.Replica(src)
+	if r.Proc == u {
+		return r.Finish
+	}
+	dur := st.P.CommTime(st.volume(src.Task, t), r.Proc, u)
+	start := timeline.EarliestCommonGap(r.Finish, dur, st.Sys.Send(r.Proc), st.Sys.Recv(u))
+	return start + dur
+}
+
+// siblingVuln returns the union of the vulnerability sets of the other
+// copies of t — the processors a new placement of copy `copy` must avoid.
+func (st *State) siblingVuln(t dag.TaskID, copy int) procSet {
+	out := make(procSet)
+	for m := 0; m <= st.Eps; m++ {
+		if m != copy {
+			out.addAll(st.Claim[t][m])
+		}
+	}
+	return out
+}
+
+// headsForward selects, for each pool, the admissible head with the earliest
+// single-communication finish onto u. A head is admissible when its (frozen)
+// vulnerability set avoids the sibling vulnerabilities. Returns nil if some
+// pool has no admissible head.
+func (st *State) headsForward(t dag.TaskID, u platform.ProcID, pools [][]schedule.Ref, sibV procSet) []schedule.Ref {
+	heads := make([]schedule.Ref, len(pools))
+	for i, pool := range pools {
+		found := false
+		bestFin := 0.0
+		for _, ref := range pool {
+			if st.Claim[ref.Task][ref.Copy].intersects(sibV) {
+				continue
+			}
+			fin := st.singleCommFinish(ref, t, u)
+			if !found || fin < bestFin {
+				bestFin = fin
+				heads[i] = ref
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return heads
+}
+
+// headsReverse selects heads for reverse-mode construction: consumer
+// replicas whose support maps merge without assigning two different copies
+// of any task, and whose merged claims admit u. It returns the heads and the
+// merged support map, or nil if no consistent choice exists.
+func (st *State) headsReverse(t dag.TaskID, copy int, u platform.ProcID, pools [][]schedule.Ref) ([]schedule.Ref, map[dag.TaskID]int) {
+	merged := map[dag.TaskID]int{t: copy}
+	heads := make([]schedule.Ref, len(pools))
+	for i, pool := range pools {
+		// Sort candidates by communication finish, then take the first
+		// consistent one.
+		type cand struct {
+			ref schedule.Ref
+			fin float64
+		}
+		cands := make([]cand, 0, len(pool))
+		for _, ref := range pool {
+			cands = append(cands, cand{ref, st.singleCommFinish(ref, t, u)})
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].fin != cands[b].fin {
+				return cands[a].fin < cands[b].fin
+			}
+			if cands[a].ref.Task != cands[b].ref.Task {
+				return cands[a].ref.Task < cands[b].ref.Task
+			}
+			return cands[a].ref.Copy < cands[b].ref.Copy
+		})
+		chosen := false
+		for _, c := range cands {
+			if st.consistentSupport(merged, c.ref, u) {
+				for task, cp := range st.Supp[c.ref] {
+					merged[task] = cp
+				}
+				heads[i] = c.ref
+				chosen = true
+				break
+			}
+		}
+		if !chosen {
+			return nil, nil
+		}
+	}
+	// Final claim check for u over the merged support.
+	for task, cp := range merged {
+		for m := 0; m <= st.Eps; m++ {
+			if m != cp && st.Claim[task][m][u] {
+				return nil, nil
+			}
+		}
+	}
+	return heads, merged
+}
+
+// consistentSupport reports whether head's support map can merge into merged
+// without conflicts and without claiming u for two different copies.
+func (st *State) consistentSupport(merged map[dag.TaskID]int, head schedule.Ref, u platform.ProcID) bool {
+	supp := st.Supp[head]
+	for task, cp := range supp {
+		if prev, ok := merged[task]; ok && prev != cp {
+			return false
+		}
+	}
+	return true
+}
+
+// OneToOne runs one step of the one-to-one mapping procedure (Algorithm 4.2)
+// for copy `copy` of t: predecessor pools are consulted for the best head
+// per candidate processor, condition (1) and the vulnerability discipline
+// are enforced, and the candidate preferred by `better` is committed.
+// Chosen heads are consumed from the pools. It returns false when no
+// admissible candidate exists; the caller then falls back.
+func (st *State) OneToOne(t dag.TaskID, copy int, pools [][]schedule.Ref, better Better) bool {
+	for _, pool := range pools {
+		if len(pool) == 0 {
+			return false
+		}
+	}
+	sibV := st.siblingVuln(t, copy)
+
+	var best Candidate
+	var bestSupp map[dag.TaskID]int
+	found := false
+	for u := 0; u < st.P.NumProcs(); u++ {
+		pu := platform.ProcID(u)
+		if sibV[pu] {
+			continue
+		}
+		var heads []schedule.Ref
+		var supp map[dag.TaskID]int
+		if st.ReverseMode {
+			heads, supp = st.headsReverse(t, copy, pu, pools)
+			if supp == nil {
+				continue
+			}
+			// The widest claim this commit would produce is the reverse
+			// analogue of the forward vulnerability size.
+			wide := 0
+			for task, cp := range supp {
+				n := len(st.Claim[task][cp])
+				if !st.Claim[task][cp][pu] {
+					n++
+				}
+				if n > wide {
+					wide = n
+				}
+			}
+			if wide > st.VulnCap {
+				continue // vulnerability too wide; force a fallback reset
+			}
+		} else {
+			heads = st.headsForward(t, pu, pools, sibV)
+			if heads == nil {
+				continue
+			}
+			v := make(procSet)
+			v.add(pu)
+			for _, h := range heads {
+				v.addAll(st.Claim[h.Task][h.Copy])
+			}
+			if len(v) > st.VulnCap {
+				continue // vulnerability too wide; force a fallback reset
+			}
+		}
+		if !st.Feasible(t, pu, heads) {
+			continue
+		}
+		cand := Candidate{
+			Proc:    pu,
+			Finish:  st.TrialFinish(t, pu, heads),
+			Stage:   st.stageOf(pu, heads),
+			Sources: heads,
+		}
+		if !found || better(cand, best) {
+			best = cand
+			bestSupp = supp
+			found = true
+		}
+	}
+	if !found {
+		return false
+	}
+	st.CommitPlace(t, copy, best.Proc, best.Sources)
+	if st.ReverseMode {
+		st.commitReverse(t, copy, best.Proc, bestSupp)
+	} else {
+		st.commitForward(t, copy, best.Proc, best.Sources)
+	}
+	for i, head := range best.Sources {
+		for k, ref := range pools[i] {
+			if ref == head {
+				pools[i] = append(pools[i][:k], pools[i][k+1:]...)
+				break
+			}
+		}
+	}
+	return true
+}
+
+// commitForward freezes the vulnerability set of a forward chain replica:
+// its processor plus the vulnerabilities of its heads.
+func (st *State) commitForward(t dag.TaskID, copy int, u platform.ProcID, heads []schedule.Ref) {
+	v := st.Claim[t][copy]
+	v.add(u)
+	for _, h := range heads {
+		v.addAll(st.Claim[h.Task][h.Copy])
+	}
+}
+
+// commitReverse records the new replica's support and adds its processor to
+// the claims of every (task, copy) it transitively supports.
+func (st *State) commitReverse(t dag.TaskID, copy int, u platform.ProcID, supp map[dag.TaskID]int) {
+	if supp == nil {
+		supp = map[dag.TaskID]int{t: copy}
+	}
+	st.Supp[schedule.Ref{Task: t, Copy: copy}] = supp
+	for task, cp := range supp {
+		st.Claim[task][cp].add(u)
+	}
+}
+
+// AllSources returns every placed replica of every predecessor of t — the
+// fallback's full communication replication (each replica of t then receives
+// from all ε+1 copies of each predecessor, so validity never depends on
+// chain disjointness).
+func (st *State) AllSources(t dag.TaskID) []schedule.Ref {
+	var out []schedule.Ref
+	for _, pe := range st.G.Pred(t) {
+		for _, ref := range schedule.ReplicaRefs(pe.From, st.Eps) {
+			if st.Sched.Replica(ref) != nil {
+				out = append(out, ref)
+			}
+		}
+	}
+	return out
+}
+
+// Fallback places copy `copy` of t with full communication replication.
+// The replica's vulnerability reduces to its own processor (every
+// predecessor keeps at least one valid copy by the invariant), so the
+// placement must only avoid the sibling vulnerability sets; the throughput
+// part of condition (1) is hard and yields InfeasibleError when violated
+// everywhere.
+func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
+	sources := st.AllSources(t)
+	sibV := st.siblingVuln(t, copy)
+	var best Candidate
+	found := false
+	for u := 0; u < st.P.NumProcs(); u++ {
+		pu := platform.ProcID(u)
+		if sibV[pu] {
+			continue
+		}
+		if !st.Feasible(t, pu, sources) {
+			continue
+		}
+		cand := Candidate{
+			Proc:    pu,
+			Finish:  st.TrialFinish(t, pu, sources),
+			Stage:   st.stageOf(pu, sources),
+			Sources: sources,
+		}
+		if !found || better(cand, best) {
+			best = cand
+			found = true
+		}
+	}
+	if !found {
+		return &InfeasibleError{Task: t, Copy: copy}
+	}
+	st.CommitPlace(t, copy, best.Proc, best.Sources)
+	if st.ReverseMode {
+		st.commitReverse(t, copy, best.Proc, nil)
+	} else {
+		st.Claim[t][copy].add(best.Proc)
+	}
+	return nil
+}
+
+// TaskSnapshot captures everything a task's replica placements mutate, so a
+// partially chained task can be rolled back and retried in all-fallback mode
+// (reverse construction must never mix chain and fallback copies of one
+// task: consumers that are no chain's head would then receive inputs only
+// from the fallback copies, an untracked vulnerability — see the discipline
+// note above).
+type TaskSnapshot struct {
+	task               dag.TaskID
+	sys                *oneport.Snapshot
+	sigma, cin, cout   []float64
+	claim              [][]procSet
+	copyProcsSnapshots map[platform.ProcID]bool
+}
+
+// Snapshot captures the rollback state before placing task t's replicas.
+func (st *State) Snapshot(t dag.TaskID) *TaskSnapshot {
+	snap := &TaskSnapshot{
+		task:  t,
+		sys:   st.Sys.Snapshot(),
+		sigma: append([]float64(nil), st.Sigma...),
+		cin:   append([]float64(nil), st.CIn...),
+		cout:  append([]float64(nil), st.COut...),
+		claim: make([][]procSet, len(st.Claim)),
+	}
+	for i := range st.Claim {
+		snap.claim[i] = make([]procSet, len(st.Claim[i]))
+		for c := range st.Claim[i] {
+			cp := make(procSet, len(st.Claim[i][c]))
+			cp.addAll(st.Claim[i][c])
+			snap.claim[i][c] = cp
+		}
+	}
+	snap.copyProcsSnapshots = make(map[platform.ProcID]bool, len(st.copyProcs[t]))
+	for u := range st.copyProcs[t] {
+		snap.copyProcsSnapshots[u] = true
+	}
+	return snap
+}
+
+// Restore rolls the state back to the snapshot, withdrawing any replicas of
+// the snapshot's task placed since. A snapshot may be restored at most once.
+func (st *State) Restore(snap *TaskSnapshot) {
+	st.Sys.Restore(snap.sys)
+	st.Sigma = snap.sigma
+	st.CIn = snap.cin
+	st.COut = snap.cout
+	st.Claim = snap.claim
+	for _, ref := range schedule.ReplicaRefs(snap.task, st.Eps) {
+		if st.Sched.Replica(ref) != nil {
+			st.Sched.RemoveReplica(ref)
+		}
+		delete(st.Stage, ref)
+		delete(st.Supp, ref)
+	}
+	st.copyProcs[snap.task] = make(map[platform.ProcID]bool, st.Eps+1)
+	for u := range snap.copyProcsSnapshots {
+		st.copyProcs[snap.task][u] = true
+	}
+}
+
+// MaxPredStage returns the largest stage number among the placed replicas of
+// t's predecessors (R-LTF's Rule 1 bound; on the reversed graph these are
+// the successors of the original task).
+func (st *State) MaxPredStage(t dag.TaskID) int {
+	max := 0
+	for _, pe := range st.G.Pred(t) {
+		for _, ref := range schedule.ReplicaRefs(pe.From, st.Eps) {
+			if st.Sched.Replica(ref) != nil && st.Stage[ref] > max {
+				max = st.Stage[ref]
+			}
+		}
+	}
+	return max
+}

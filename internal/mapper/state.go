@@ -1,0 +1,273 @@
+// Package mapper holds the scheduling machinery shared by LTF and R-LTF:
+// ready-list management with tℓ+bℓ priorities, the condition-(1) throughput
+// feasibility test, the one-to-one mapping procedure (Algorithm 4.2) with
+// its singleton/locked processor discipline, and the fallback placement that
+// replicates communications in full (the Iso-Level CAFT rule).
+//
+// LTF drives this machinery over the forward graph; R-LTF drives it over the
+// reversed graph with a stage-preserving placement preference and mirrors
+// the result (see package rltf). The two algorithms differ only in their
+// traversal direction and candidate-selection comparator, which is why the
+// comparator is a parameter here.
+package mapper
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/oneport"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+)
+
+// tol absorbs floating-point jitter in feasibility comparisons.
+const tol = 1e-9
+
+// InfeasibleError reports that no processor can accommodate a replica under
+// the throughput constraint — the condition under which "the algorithm
+// fails" (§4.1).
+type InfeasibleError struct {
+	Task dag.TaskID
+	Copy int
+}
+
+func (e *InfeasibleError) Error() string {
+	return fmt.Sprintf("mapper: no processor can host task %d copy %d within the period", e.Task, e.Copy)
+}
+
+// State carries one in-progress schedule construction.
+type State struct {
+	G      *dag.Graph
+	P      *platform.Platform
+	Eps    int
+	Period float64
+	Sys    *oneport.System
+	Sched  *schedule.Schedule
+
+	// Per-processor steady-state loads, maintained incrementally; these are
+	// the Σ_u, C_u^I, C_u^O of condition (1).
+	Sigma []float64
+	CIn   []float64
+	COut  []float64
+
+	// Stage holds the pipeline stage number of every placed replica,
+	// maintained incrementally (R-LTF's Rule 1 consults it mid-construction).
+	Stage map[schedule.Ref]int
+
+	// Claim[t][c] is the vulnerability set of copy c of task t as known so
+	// far: the processors whose failure can invalidate the replica through
+	// its chain inputs. The reliability invariant keeps Claim[t][·] pairwise
+	// disjoint (see the discipline note in place.go).
+	Claim [][]procSet
+	// Supp maps a placed replica to the (task → copy) assignments its
+	// processor supports; only used in reverse mode, where vulnerability
+	// flows from consumers to producers.
+	Supp map[schedule.Ref]map[dag.TaskID]int
+	// ReverseMode marks a construction over the reversed graph (R-LTF).
+	ReverseMode bool
+	// OneToOneOff disables the one-to-one procedure entirely, forcing full
+	// communication replication for every placement — the ablation baseline
+	// for the §4.2 communication-count claim.
+	OneToOneOff bool
+	// VulnCap bounds the vulnerability-set size a chain replica may reach
+	// (and, in reverse mode, the number of task-copies one replica may
+	// support). Without the cap, long chains accumulate claims until the
+	// sibling exclusions cover the whole machine and placement fails even
+	// under generous periods; a fallback placement resets the set to the
+	// replica's own processor. Defaults to max(2, m/(ε+1)) — an even
+	// partition of the machine among the chains.
+	VulnCap int
+
+	prio      []float64 // static tℓ+bℓ priorities (average weights)
+	predLeft  []int
+	scheduled []bool
+	ready     []dag.TaskID
+	// copyProcs[t] records which processors already host a copy of t — the
+	// hard exclusion (two copies of one task must never share a processor).
+	copyProcs []map[platform.ProcID]bool
+	// predVol[t] maps each predecessor task of t to the edge volume.
+	predVol []map[dag.TaskID]float64
+}
+
+// New prepares a construction state. The algorithm name labels the resulting
+// schedule.
+func New(g *dag.Graph, p *platform.Platform, eps int, period float64, algorithm string) (*State, error) {
+	if eps+1 > p.NumProcs() {
+		return nil, fmt.Errorf("mapper: ε+1 = %d replicas need at least that many processors, have %d", eps+1, p.NumProcs())
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	meanS := p.MeanSpeed()
+	meanB := p.MeanBandwidth()
+	nw := func(t dag.Task) float64 { return t.Work / meanS }
+	ew := func(e dag.Edge) float64 {
+		if math.IsInf(meanB, 1) {
+			return 0
+		}
+		return e.Volume / meanB
+	}
+	st := &State{
+		G:         g,
+		P:         p,
+		Eps:       eps,
+		Period:    period,
+		Sys:       oneport.NewSystem(p),
+		Sched:     schedule.New(g, p, eps, period, algorithm),
+		Sigma:     make([]float64, p.NumProcs()),
+		CIn:       make([]float64, p.NumProcs()),
+		COut:      make([]float64, p.NumProcs()),
+		Stage:     make(map[schedule.Ref]int),
+		Claim:     make([][]procSet, g.NumTasks()),
+		Supp:      make(map[schedule.Ref]map[dag.TaskID]int),
+		prio:      g.Priorities(nw, ew),
+		predLeft:  make([]int, g.NumTasks()),
+		scheduled: make([]bool, g.NumTasks()),
+		copyProcs: make([]map[platform.ProcID]bool, g.NumTasks()),
+		predVol:   make([]map[dag.TaskID]float64, g.NumTasks()),
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		st.predLeft[i] = g.InDegree(dag.TaskID(i))
+		st.copyProcs[i] = make(map[platform.ProcID]bool, eps+1)
+		st.Claim[i] = make([]procSet, eps+1)
+		for c := range st.Claim[i] {
+			st.Claim[i][c] = make(procSet)
+		}
+		pv := make(map[dag.TaskID]float64, g.InDegree(dag.TaskID(i)))
+		for _, e := range g.Pred(dag.TaskID(i)) {
+			pv[e.From] = e.Volume
+		}
+		st.predVol[i] = pv
+	}
+	st.ready = append(st.ready, g.Entries()...)
+	st.VulnCap = p.NumProcs() / (eps + 1)
+	if st.VulnCap < 2 {
+		st.VulnCap = 2
+	}
+	return st, nil
+}
+
+// Priority returns the static tℓ+bℓ priority of task t.
+func (st *State) Priority(t dag.TaskID) float64 { return st.prio[t] }
+
+// Done reports whether every task has been scheduled.
+func (st *State) Done() bool {
+	for _, s := range st.scheduled {
+		if !s {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadyCount returns the current size of the ready list.
+func (st *State) ReadyCount() int { return len(st.ready) }
+
+// PopChunk removes and returns up to max ready tasks, highest priority first
+// (ties broken by smaller task ID for determinism). This is the β selection
+// of Algorithm 4.1: working on a chunk rather than one task improves load
+// balance (the Iso-Level idea).
+func (st *State) PopChunk(max int) []dag.TaskID {
+	sort.Slice(st.ready, func(i, j int) bool {
+		a, b := st.ready[i], st.ready[j]
+		if st.prio[a] != st.prio[b] {
+			return st.prio[a] > st.prio[b]
+		}
+		return a < b
+	})
+	n := max
+	if n > len(st.ready) {
+		n = len(st.ready)
+	}
+	chunk := append([]dag.TaskID(nil), st.ready[:n]...)
+	st.ready = st.ready[n:]
+	return chunk
+}
+
+// MarkScheduled declares the chunk tasks fully placed and releases their
+// ready successors.
+func (st *State) MarkScheduled(tasks []dag.TaskID) {
+	for _, t := range tasks {
+		if st.scheduled[t] {
+			panic(fmt.Sprintf("mapper: task %d scheduled twice", t))
+		}
+		st.scheduled[t] = true
+	}
+	for _, t := range tasks {
+		for _, e := range st.G.Succ(t) {
+			st.predLeft[e.To]--
+			if st.predLeft[e.To] == 0 {
+				st.ready = append(st.ready, e.To)
+			}
+		}
+	}
+}
+
+// execTime returns the running time of t on u.
+func (st *State) execTime(t dag.TaskID, u platform.ProcID) float64 {
+	return st.P.ExecTime(st.G.Task(t).Work, u)
+}
+
+// volume returns the edge volume carried from predecessor task p to t.
+func (st *State) volume(p, t dag.TaskID) float64 {
+	v, ok := st.predVol[t][p]
+	if !ok {
+		panic(fmt.Sprintf("mapper: %d is not a predecessor of %d", p, t))
+	}
+	return v
+}
+
+// Feasible evaluates condition (1) of §4.1 for placing a replica of t on u
+// with the given communication sources: with the new load added,
+// T·Σ_u ≤ 1, T·C_u^I ≤ 1 and T·C_h^O ≤ 1 for every sending processor h.
+// The caller handles the locking part of the condition.
+func (st *State) Feasible(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) bool {
+	if st.copyProcs[t][u] {
+		return false // hard: two copies of one task on one processor
+	}
+	if st.Sigma[u]+st.execTime(t, u) > st.Period+tol {
+		return false
+	}
+	addIn := 0.0
+	addOut := make(map[platform.ProcID]float64)
+	for _, src := range sources {
+		r := st.Sched.Replica(src)
+		if r == nil {
+			panic(fmt.Sprintf("mapper: source %v not placed", src))
+		}
+		if r.Proc == u {
+			continue
+		}
+		d := st.P.CommTime(st.volume(src.Task, t), r.Proc, u)
+		addIn += d
+		addOut[r.Proc] += d
+	}
+	if st.CIn[u]+addIn > st.Period+tol {
+		return false
+	}
+	for h, a := range addOut {
+		if st.COut[h]+a > st.Period+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// stageOf computes the pipeline stage a replica of t would get on u with the
+// given sources (η = 0 for co-located sources).
+func (st *State) stageOf(u platform.ProcID, sources []schedule.Ref) int {
+	stage := 1
+	for _, src := range sources {
+		r := st.Sched.Replica(src)
+		eta := 1
+		if r.Proc == u {
+			eta = 0
+		}
+		if v := st.Stage[src] + eta; v > stage {
+			stage = v
+		}
+	}
+	return stage
+}

@@ -1,0 +1,226 @@
+// Package oneport implements the bi-directional one-port communication model
+// with full computation/communication overlap (§2 of the paper, after Bhat
+// et al.): at any instant a processor may execute one task, send one message
+// and receive one message — the three in parallel — but never two sends or
+// two receives concurrently. With a fully interconnected platform the send
+// and receive ports are therefore the only shared communication resources,
+// so transfers reserve a common window on the sender's send-port timeline
+// and the receiver's receive-port timeline.
+//
+// Schedulers explore candidate placements ("simulate the mapping of each
+// task in the subset on all processors", Algorithm 4.1); the Txn type makes
+// those trials cheap and side-effect free: a transaction lazily clones only
+// the timelines it touches, serializes its own operations against each
+// other, and either commits atomically or is dropped.
+package oneport
+
+import (
+	"fmt"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/timeline"
+)
+
+// System tracks per-processor compute, send-port and receive-port timelines
+// over one schedule construction.
+type System struct {
+	plat *platform.Platform
+	comp []*timeline.Timeline
+	send []*timeline.Timeline
+	recv []*timeline.Timeline
+}
+
+// NewSystem returns an empty System for the platform.
+func NewSystem(p *platform.Platform) *System {
+	m := p.NumProcs()
+	s := &System{
+		plat: p,
+		comp: make([]*timeline.Timeline, m),
+		send: make([]*timeline.Timeline, m),
+		recv: make([]*timeline.Timeline, m),
+	}
+	for u := 0; u < m; u++ {
+		s.comp[u] = &timeline.Timeline{}
+		s.send[u] = &timeline.Timeline{}
+		s.recv[u] = &timeline.Timeline{}
+	}
+	return s
+}
+
+// Platform returns the underlying platform.
+func (s *System) Platform() *platform.Platform { return s.plat }
+
+// Comp returns processor u's compute timeline (read-only use).
+func (s *System) Comp(u platform.ProcID) *timeline.Timeline { return s.comp[u] }
+
+// Send returns processor u's send-port timeline (read-only use).
+func (s *System) Send(u platform.ProcID) *timeline.Timeline { return s.send[u] }
+
+// Recv returns processor u's receive-port timeline (read-only use).
+func (s *System) Recv(u platform.ProcID) *timeline.Timeline { return s.recv[u] }
+
+// Horizon returns the latest busy time across all timelines.
+func (s *System) Horizon() float64 {
+	h := 0.0
+	for u := range s.comp {
+		for _, tl := range []*timeline.Timeline{s.comp[u], s.send[u], s.recv[u]} {
+			if hz := tl.Horizon(); hz > h {
+				h = hz
+			}
+		}
+	}
+	return h
+}
+
+// Txn is an uncommitted view of the system. Operations performed through a
+// Txn see both committed state and the transaction's own reservations, but
+// never affect the parent System until Commit. A Txn must not outlive
+// intervening commits of other transactions on the same System.
+type Txn struct {
+	sys     *System
+	comp    []*timeline.Timeline // nil until touched
+	send    []*timeline.Timeline
+	recv    []*timeline.Timeline
+	touched bool
+	done    bool
+}
+
+// Begin opens a transaction.
+func (s *System) Begin() *Txn {
+	m := s.plat.NumProcs()
+	return &Txn{
+		sys:  s,
+		comp: make([]*timeline.Timeline, m),
+		send: make([]*timeline.Timeline, m),
+		recv: make([]*timeline.Timeline, m),
+	}
+}
+
+func (t *Txn) compTL(u platform.ProcID) *timeline.Timeline {
+	if t.comp[u] == nil {
+		t.comp[u] = t.sys.comp[u].Clone()
+	}
+	return t.comp[u]
+}
+
+func (t *Txn) sendTL(u platform.ProcID) *timeline.Timeline {
+	if t.send[u] == nil {
+		t.send[u] = t.sys.send[u].Clone()
+	}
+	return t.send[u]
+}
+
+func (t *Txn) recvTL(u platform.ProcID) *timeline.Timeline {
+	if t.recv[u] == nil {
+		t.recv[u] = t.sys.recv[u].Clone()
+	}
+	return t.recv[u]
+}
+
+// Transfer reserves the earliest window for moving vol data units from
+// processor `from` to processor `to`, no earlier than ready. It returns the
+// window; zero-duration transfers (same processor or zero volume) return
+// (ready, ready) and reserve nothing. The tag labels the reservation for
+// Gantt rendering.
+func (t *Txn) Transfer(from, to platform.ProcID, vol, ready float64, tag string) (start, finish float64) {
+	t.checkOpen()
+	if from == to || vol == 0 {
+		return ready, ready
+	}
+	dur := t.sys.plat.CommTime(vol, from, to)
+	st := t.sendTL(from)
+	rt := t.recvTL(to)
+	start = timeline.EarliestCommonGap(ready, dur, st, rt)
+	iv := timeline.Interval{Start: start, End: start + dur, Tag: tag}
+	st.MustReserve(iv)
+	rt.MustReserve(iv)
+	t.touched = true
+	return start, start + dur
+}
+
+// Compute reserves the earliest slot on processor u for a task of the given
+// work, no earlier than ready, and returns the slot.
+func (t *Txn) Compute(u platform.ProcID, work, ready float64, tag string) (start, finish float64) {
+	t.checkOpen()
+	dur := t.sys.plat.ExecTime(work, u)
+	tl := t.compTL(u)
+	start = tl.EarliestGap(ready, dur)
+	tl.MustReserve(timeline.Interval{Start: start, End: start + dur, Tag: tag})
+	t.touched = true
+	return start, start + dur
+}
+
+// Commit applies the transaction's reservations to the parent System.
+// The transaction cannot be used afterwards.
+func (t *Txn) Commit() {
+	t.checkOpen()
+	for u := range t.comp {
+		if t.comp[u] != nil {
+			t.sys.comp[u] = t.comp[u]
+		}
+		if t.send[u] != nil {
+			t.sys.send[u] = t.send[u]
+		}
+		if t.recv[u] != nil {
+			t.sys.recv[u] = t.recv[u]
+		}
+	}
+	t.done = true
+}
+
+// Discard drops the transaction. Safe to call on a committed transaction
+// (no-op) so callers can defer it.
+func (t *Txn) Discard() { t.done = true }
+
+func (t *Txn) checkOpen() {
+	if t.done {
+		panic("oneport: use of finished transaction")
+	}
+}
+
+// Snapshot captures a deep copy of every timeline, for coarse-grained
+// rollback (R-LTF retries a task's whole replica set in fallback mode when a
+// one-to-one chain attempt fails mid-way).
+type Snapshot struct {
+	comp, send, recv []*timeline.Timeline
+}
+
+// Snapshot returns a restorable copy of the current reservations.
+func (s *System) Snapshot() *Snapshot {
+	m := len(s.comp)
+	snap := &Snapshot{
+		comp: make([]*timeline.Timeline, m),
+		send: make([]*timeline.Timeline, m),
+		recv: make([]*timeline.Timeline, m),
+	}
+	for u := 0; u < m; u++ {
+		snap.comp[u] = s.comp[u].Clone()
+		snap.send[u] = s.send[u].Clone()
+		snap.recv[u] = s.recv[u].Clone()
+	}
+	return snap
+}
+
+// Restore rewinds the system to a previously captured snapshot. The system
+// takes ownership of the snapshot's timelines: a snapshot may be restored at
+// most once.
+func (s *System) Restore(snap *Snapshot) {
+	copy(s.comp, snap.comp)
+	copy(s.send, snap.send)
+	copy(s.recv, snap.recv)
+}
+
+// Validate re-checks every timeline invariant; tests call it after schedule
+// construction.
+func (s *System) Validate() error {
+	for u := range s.comp {
+		for name, tl := range map[string]*timeline.Timeline{
+			"comp": s.comp[u], "send": s.send[u], "recv": s.recv[u],
+		} {
+			if err := tl.Validate(); err != nil {
+				return fmt.Errorf("oneport: proc %d %s: %w", u, name, err)
+			}
+		}
+	}
+	return nil
+}

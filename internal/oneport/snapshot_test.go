@@ -1,0 +1,84 @@
+package oneport
+
+import (
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/rng"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(3, 1, 1))
+	txn := s.Begin()
+	txn.Compute(0, 5, 0, "before")
+	txn.Transfer(0, 1, 3, 5, "before")
+	txn.Commit()
+	snap := s.Snapshot()
+
+	txn2 := s.Begin()
+	txn2.Compute(0, 5, 0, "after")
+	txn2.Transfer(1, 2, 4, 0, "after")
+	txn2.Commit()
+	if s.Comp(0).Len() != 2 || s.Send(1).Len() != 1 {
+		t.Fatal("post-snapshot work missing")
+	}
+
+	s.Restore(snap)
+	if s.Comp(0).Len() != 1 {
+		t.Fatalf("comp not restored: %d intervals", s.Comp(0).Len())
+	}
+	if s.Send(1).Len() != 0 || s.Recv(2).Len() != 0 {
+		t.Fatal("ports not restored")
+	}
+	if s.Send(0).Len() != 1 || s.Recv(1).Len() != 1 {
+		t.Fatal("pre-snapshot reservations lost")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotIsolatedFromLaterMutations(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(2, 1, 1))
+	snap := s.Snapshot()
+	txn := s.Begin()
+	txn.Compute(0, 5, 0, "")
+	txn.Commit()
+	s.Restore(snap)
+	if s.Comp(0).Len() != 0 {
+		t.Fatal("snapshot polluted by later commit")
+	}
+	// Work again after restore.
+	txn = s.Begin()
+	st, fin := txn.Compute(0, 5, 0, "")
+	txn.Commit()
+	if st != 0 || fin != 5 {
+		t.Fatalf("post-restore placement [%v,%v)", st, fin)
+	}
+}
+
+func TestSnapshotRandomizedRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	s := NewSystem(platform.RandomHeterogeneous(r, 4, 0.5, 1, 0.5, 1, 10))
+	for i := 0; i < 40; i++ {
+		txn := s.Begin()
+		txn.Compute(platform.ProcID(r.IntN(4)), r.Uniform(0.1, 2), r.Uniform(0, 20), "")
+		txn.Commit()
+	}
+	busyBefore := s.Comp(1).TotalBusy()
+	snap := s.Snapshot()
+	for i := 0; i < 20; i++ {
+		txn := s.Begin()
+		txn.Transfer(platform.ProcID(r.IntN(4)), platform.ProcID(r.IntN(4)), r.Uniform(1, 5), 0, "")
+		txn.Commit()
+	}
+	s.Restore(snap)
+	if s.Comp(1).TotalBusy() != busyBefore {
+		t.Fatal("restore changed pre-snapshot state")
+	}
+	for u := 0; u < 4; u++ {
+		if s.Send(platform.ProcID(u)).Len() != 0 {
+			t.Fatal("transfers survived restore")
+		}
+	}
+}

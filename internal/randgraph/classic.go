@@ -1,0 +1,151 @@
+package randgraph
+
+import (
+	"fmt"
+
+	"streamsched/internal/dag"
+)
+
+// This file builds the regular task-graph topologies that recur across the
+// pipelined-scheduling literature (the related work of §3 evaluates on
+// several of them). They serve as deterministic fixtures for tests and as
+// realistic example workloads.
+
+// Chain returns a linear pipeline of n tasks.
+func Chain(n int, work, volume float64) *dag.Graph {
+	g := dag.New(fmt.Sprintf("chain-%d", n))
+	prev := g.AddTask("t0", work)
+	for i := 1; i < n; i++ {
+		cur := g.AddTask(fmt.Sprintf("t%d", i), work)
+		g.MustAddEdge(prev, cur, volume)
+		prev = cur
+	}
+	return g
+}
+
+// ForkJoin returns source → width parallel branches of the given depth →
+// sink.
+func ForkJoin(width, depth int, work, volume float64) *dag.Graph {
+	g := dag.New(fmt.Sprintf("forkjoin-%dx%d", width, depth))
+	src := g.AddTask("src", work)
+	snk := g.AddTask("sink", work)
+	for b := 0; b < width; b++ {
+		prev := src
+		for d := 0; d < depth; d++ {
+			cur := g.AddTask(fmt.Sprintf("b%d_%d", b, d), work)
+			g.MustAddEdge(prev, cur, volume)
+			prev = cur
+		}
+		g.MustAddEdge(prev, snk, volume)
+	}
+	return g
+}
+
+// InTree returns a complete binary in-tree of the given depth: 2^depth
+// leaves flowing to a single root (an aggregation workload).
+func InTree(depth int, work, volume float64) *dag.Graph {
+	g := dag.New(fmt.Sprintf("intree-%d", depth))
+	var build func(d int) dag.TaskID
+	build = func(d int) dag.TaskID {
+		id := g.AddTask(fmt.Sprintf("n%d", g.NumTasks()), work)
+		if d > 0 {
+			l := build(d - 1)
+			r := build(d - 1)
+			g.MustAddEdge(l, id, volume)
+			g.MustAddEdge(r, id, volume)
+		}
+		return id
+	}
+	build(depth)
+	return g
+}
+
+// OutTree returns a complete binary out-tree (a scatter workload).
+func OutTree(depth int, work, volume float64) *dag.Graph {
+	g := dag.New(fmt.Sprintf("outtree-%d", depth))
+	var build func(d int) dag.TaskID
+	build = func(d int) dag.TaskID {
+		id := g.AddTask(fmt.Sprintf("n%d", g.NumTasks()), work)
+		if d > 0 {
+			l := build(d - 1)
+			r := build(d - 1)
+			g.MustAddEdge(id, l, volume)
+			g.MustAddEdge(id, r, volume)
+		}
+		return id
+	}
+	build(depth)
+	return g
+}
+
+// Butterfly returns the FFT dataflow graph on 2^k points: k+1 ranks of 2^k
+// nodes with the classic butterfly wiring.
+func Butterfly(k int, work, volume float64) *dag.Graph {
+	n := 1 << uint(k)
+	g := dag.New(fmt.Sprintf("fft-%d", n))
+	ranks := make([][]dag.TaskID, k+1)
+	for rk := 0; rk <= k; rk++ {
+		ranks[rk] = make([]dag.TaskID, n)
+		for i := 0; i < n; i++ {
+			ranks[rk][i] = g.AddTask(fmt.Sprintf("r%d_%d", rk, i), work)
+		}
+	}
+	for rk := 1; rk <= k; rk++ {
+		span := 1 << uint(rk-1)
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(ranks[rk-1][i], ranks[rk][i], volume)
+			g.MustAddEdge(ranks[rk-1][i^span], ranks[rk][i], volume)
+		}
+	}
+	return g
+}
+
+// GaussianElimination returns the task graph of Gaussian elimination on an
+// n×n matrix: for each pivot step k, a pivot task feeds n−k−1 update tasks,
+// which feed the next pivot.
+func GaussianElimination(n int, work, volume float64) *dag.Graph {
+	g := dag.New(fmt.Sprintf("gauss-%d", n))
+	var prevUpdates []dag.TaskID
+	var prevPivot dag.TaskID = -1
+	for k := 0; k < n-1; k++ {
+		pivot := g.AddTask(fmt.Sprintf("piv%d", k), work)
+		if prevPivot >= 0 {
+			g.MustAddEdge(prevPivot, pivot, volume)
+		}
+		for _, u := range prevUpdates {
+			g.MustAddEdge(u, pivot, volume)
+		}
+		var updates []dag.TaskID
+		for j := k + 1; j < n; j++ {
+			u := g.AddTask(fmt.Sprintf("upd%d_%d", k, j), work)
+			g.MustAddEdge(pivot, u, volume)
+			updates = append(updates, u)
+		}
+		prevUpdates = updates
+		prevPivot = pivot
+	}
+	return g
+}
+
+// Stencil returns a 1-D stencil sweep: width columns × steps rows, each
+// node depending on its neighbours in the previous row.
+func Stencil(width, steps int, work, volume float64) *dag.Graph {
+	g := dag.New(fmt.Sprintf("stencil-%dx%d", width, steps))
+	prev := make([]dag.TaskID, width)
+	for i := 0; i < width; i++ {
+		prev[i] = g.AddTask(fmt.Sprintf("s0_%d", i), work)
+	}
+	for s := 1; s < steps; s++ {
+		cur := make([]dag.TaskID, width)
+		for i := 0; i < width; i++ {
+			cur[i] = g.AddTask(fmt.Sprintf("s%d_%d", s, i), work)
+			for _, j := range []int{i - 1, i, i + 1} {
+				if j >= 0 && j < width {
+					g.MustAddEdge(prev[j], cur[i], volume)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}

@@ -1,0 +1,70 @@
+package randgraph
+
+import (
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+)
+
+// The two worked examples of the paper.
+
+// Fig1Graph returns the 4-task workflow of Figure 1: "all task computation
+// times are equal to 15, and all edges have a communication volume equal to
+// 2". The figure's wiring is the diamond t1→{t2,t3}→t4.
+func Fig1Graph() *dag.Graph {
+	g := dag.New("fig1")
+	t1 := g.AddTask("t1", 15)
+	t2 := g.AddTask("t2", 15)
+	t3 := g.AddTask("t3", 15)
+	t4 := g.AddTask("t4", 15)
+	g.MustAddEdge(t1, t2, 2)
+	g.MustAddEdge(t1, t3, 2)
+	g.MustAddEdge(t2, t4, 2)
+	g.MustAddEdge(t3, t4, 2)
+	return g
+}
+
+// Fig1Platform returns the 4-processor platform of Figure 1:
+// s1 = s3 = 1.5, s2 = s4 = 1, unit link bandwidth.
+func Fig1Platform() *platform.Platform {
+	speeds := []float64{1.5, 1, 1.5, 1}
+	bw := make([][]float64, 4)
+	for u := range bw {
+		bw[u] = []float64{1, 1, 1, 1}
+		bw[u][u] = 0
+	}
+	return platform.New(speeds, bw)
+}
+
+// Fig2Graph returns the 7-task workflow of §4.3 / Figure 2. The figure
+// itself is not recoverable from the text, so the wiring is reconstructed
+// from the scheduling narrative (see DESIGN.md §6): t1 is the only entry;
+// scheduling t1 readies {t2, t3}; scheduling them readies {t4, t5}; then
+// t6; t7 is the only exit, with predecessors {t3, t6} (the reverse pass
+// starts with α = {t3, t6}). Execution times: E(t1)=E(t7)=15, E(t3)=20,
+// E(t2)=E(t6)=6, E(t4)=E(t5)=5; every edge costs 2 time units.
+func Fig2Graph() *dag.Graph {
+	g := dag.New("fig2")
+	t1 := g.AddTask("t1", 15)
+	t2 := g.AddTask("t2", 6)
+	t3 := g.AddTask("t3", 20)
+	t4 := g.AddTask("t4", 5)
+	t5 := g.AddTask("t5", 5)
+	t6 := g.AddTask("t6", 6)
+	t7 := g.AddTask("t7", 15)
+	g.MustAddEdge(t1, t2, 2)
+	g.MustAddEdge(t1, t3, 2)
+	g.MustAddEdge(t2, t4, 2)
+	g.MustAddEdge(t2, t5, 2)
+	g.MustAddEdge(t4, t6, 2)
+	g.MustAddEdge(t5, t6, 2)
+	g.MustAddEdge(t3, t7, 2)
+	g.MustAddEdge(t6, t7, 2)
+	return g
+}
+
+// Fig2Platform returns the §4.3 platform: m fully homogeneous processors of
+// speed 1 with unit-delay links for the 2-unit edge cost ("all edges have a
+// cost of 2 time units").
+func Fig2Platform(m int) *platform.Platform {
+	return platform.Homogeneous(m, 1, 1)
+}

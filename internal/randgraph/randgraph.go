@@ -1,0 +1,126 @@
+// Package randgraph generates workflow graphs: the randomly generated,
+// granularity-calibrated task graphs of the paper's experimental section
+// (§5), the classic regular topologies used throughout the scheduling
+// literature (chains, trees, fork-joins, FFT, Gaussian elimination), and the
+// two worked examples of the paper (Figures 1 and 2).
+package randgraph
+
+import (
+	"fmt"
+	"math"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/rng"
+)
+
+// StreamConfig parameterizes the §5 random workload generator. Zero fields
+// take the paper's defaults (see DefaultStreamConfig).
+type StreamConfig struct {
+	// MinTasks/MaxTasks bound the task count ("chosen uniformly from the
+	// range [50, 150]").
+	MinTasks, MaxTasks int
+	// Granularity is the target g(G,P) (swept 0.2..2.0 in the paper).
+	Granularity float64
+	// VolumeLo/VolumeHi bound the raw message volumes ("chosen uniformly
+	// from [50, 150]") before the granularity calibration rescales them.
+	VolumeLo, VolumeHi float64
+	// WorkLo/WorkHi shape the raw task works before normalization.
+	WorkLo, WorkHi float64
+	// ComputeFraction φ fixes the total compute load: works are normalized
+	// so that Σ_t E(t)/s̄ = φ·m·PeriodBase. The paper does not pin down work
+	// units (see DESIGN.md §3); φ controls how hard the throughput
+	// constraint bites.
+	ComputeFraction float64
+	// PeriodBase is Δ_base; the experiments use period Δ_base·(ε+1).
+	PeriodBase float64
+	// MeanInDegree is the average number of predecessors per non-entry task.
+	MeanInDegree float64
+}
+
+// DefaultStreamConfig returns the paper-aligned defaults.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		MinTasks:        50,
+		MaxTasks:        150,
+		Granularity:     1.0,
+		VolumeLo:        50,
+		VolumeHi:        150,
+		WorkLo:          0.5,
+		WorkHi:          1.5,
+		ComputeFraction: 0.2,
+		PeriodBase:      10,
+		MeanInDegree:    1.6,
+	}
+}
+
+// Stream generates one random layered workflow calibrated against p:
+// the returned graph has granularity cfg.Granularity (within float noise)
+// and total average compute time φ·m·Δ_base.
+func Stream(r *rng.Source, cfg StreamConfig, p *platform.Platform) *dag.Graph {
+	if cfg.MinTasks <= 0 {
+		cfg = DefaultStreamConfig()
+	}
+	v := r.IntRange(cfg.MinTasks, cfg.MaxTasks)
+	g := dag.New(fmt.Sprintf("stream-v%d-g%.2g", v, cfg.Granularity))
+
+	// Layered structure: depth ≈ √v keeps stage counts in the regime the
+	// paper's figures show.
+	layers := int(math.Sqrt(float64(v)))
+	if layers < 3 {
+		layers = 3
+	}
+	layerOf := make([]int, v)
+	for i := 0; i < v; i++ {
+		g.AddTask(fmt.Sprintf("t%d", i), r.Uniform(cfg.WorkLo, cfg.WorkHi))
+		if i < layers {
+			layerOf[i] = i // guarantee every layer is inhabited
+		} else {
+			layerOf[i] = r.IntN(layers)
+		}
+	}
+	// Group tasks per layer.
+	byLayer := make([][]dag.TaskID, layers)
+	for i := 0; i < v; i++ {
+		byLayer[layerOf[i]] = append(byLayer[layerOf[i]], dag.TaskID(i))
+	}
+	// Edges: each non-first-layer task draws preds from earlier layers,
+	// biased towards the adjacent one.
+	for l := 1; l < layers; l++ {
+		for _, t := range byLayer[l] {
+			want := 1
+			for r.Float64() < (cfg.MeanInDegree-1)/cfg.MeanInDegree && want < 3 {
+				want++
+			}
+			for k := 0; k < want; k++ {
+				src := l - 1
+				if r.Bool(0.25) && l > 1 {
+					src = r.IntN(l)
+				}
+				if len(byLayer[src]) == 0 {
+					continue
+				}
+				from := byLayer[src][r.IntN(len(byLayer[src]))]
+				_ = g.AddEdge(from, t, r.Uniform(cfg.VolumeLo, cfg.VolumeHi)) // dup edges skipped
+			}
+		}
+	}
+	Calibrate(g, p, cfg)
+	return g
+}
+
+// Calibrate rescales g in place: works so the total average compute time is
+// φ·m·Δ_base, then volumes so the granularity matches cfg.Granularity.
+func Calibrate(g *dag.Graph, p *platform.Platform, cfg StreamConfig) {
+	meanS := p.MeanSpeed()
+	target := cfg.ComputeFraction * float64(p.NumProcs()) * cfg.PeriodBase
+	current := g.TotalWork() / meanS
+	if current > 0 && target > 0 {
+		g.ScaleWork(target / current)
+	}
+	cur := platform.Granularity(g, p)
+	if !math.IsInf(cur, 1) && cfg.Granularity > 0 {
+		// g = comp/comm; comm scales inversely with the volume factor.
+		g.ScaleVolume(cur / cfg.Granularity)
+	}
+}

@@ -1,0 +1,234 @@
+package randgraph
+
+import (
+	"math"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/rng"
+)
+
+func TestStreamSizes(t *testing.T) {
+	r := rng.New(1)
+	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+	cfg := DefaultStreamConfig()
+	for i := 0; i < 20; i++ {
+		g := Stream(r, cfg, p)
+		if g.NumTasks() < 50 || g.NumTasks() > 150 {
+			t.Fatalf("task count %d outside [50,150]", g.NumTasks())
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStreamGranularityCalibration(t *testing.T) {
+	r := rng.New(2)
+	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+	for _, target := range []float64{0.2, 0.6, 1.0, 1.4, 2.0} {
+		cfg := DefaultStreamConfig()
+		cfg.Granularity = target
+		g := Stream(r, cfg, p)
+		got := platform.Granularity(g, p)
+		if math.Abs(got-target)/target > 1e-9 {
+			t.Fatalf("granularity %v, want %v", got, target)
+		}
+	}
+}
+
+func TestStreamComputeNormalization(t *testing.T) {
+	r := rng.New(3)
+	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+	cfg := DefaultStreamConfig()
+	g := Stream(r, cfg, p)
+	want := cfg.ComputeFraction * 20 * cfg.PeriodBase
+	got := g.TotalWork() / p.MeanSpeed()
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("total compute time %v, want %v", got, want)
+	}
+}
+
+func TestStreamZeroConfigUsesDefaults(t *testing.T) {
+	r := rng.New(4)
+	p := platform.Homogeneous(20, 1, 100)
+	g := Stream(r, StreamConfig{}, p)
+	if g.NumTasks() < 50 || g.NumTasks() > 150 {
+		t.Fatalf("defaults not applied: v=%d", g.NumTasks())
+	}
+}
+
+func TestStreamConnectedLayers(t *testing.T) {
+	// Every non-entry task has at least one predecessor by construction.
+	r := rng.New(5)
+	p := platform.Homogeneous(20, 1, 100)
+	g := Stream(r, DefaultStreamConfig(), p)
+	entries := 0
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.InDegree(dag.TaskID(i)) == 0 {
+			entries++
+		}
+	}
+	if entries == 0 || entries == g.NumTasks() {
+		t.Fatalf("degenerate entry structure: %d entries of %d", entries, g.NumTasks())
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5, 2, 3)
+	if g.NumTasks() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("chain: v=%d e=%d", g.NumTasks(), g.NumEdges())
+	}
+	if g.Depth() != 5 || g.Width() != 1 {
+		t.Fatalf("chain shape: depth=%d width=%d", g.Depth(), g.Width())
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g := ForkJoin(3, 2, 1, 1)
+	if g.NumTasks() != 2+3*2 {
+		t.Fatalf("forkjoin v=%d", g.NumTasks())
+	}
+	if len(g.Entries()) != 1 || len(g.Exits()) != 1 {
+		t.Fatal("forkjoin must have single source and sink")
+	}
+	if g.Width() != 3 {
+		t.Fatalf("forkjoin width=%d", g.Width())
+	}
+	if !g.IsSeriesParallel() {
+		t.Fatal("forkjoin should be series-parallel")
+	}
+}
+
+func TestInTree(t *testing.T) {
+	g := InTree(3, 1, 1)
+	if g.NumTasks() != 15 {
+		t.Fatalf("intree v=%d", g.NumTasks())
+	}
+	if len(g.Exits()) != 1 {
+		t.Fatal("intree must have one root exit")
+	}
+	if len(g.Entries()) != 8 {
+		t.Fatalf("intree entries=%d", len(g.Entries()))
+	}
+	for i := 0; i < g.NumTasks(); i++ {
+		if g.OutDegree(dag.TaskID(i)) > 1 {
+			t.Fatal("intree out-degree must be ≤1")
+		}
+	}
+}
+
+func TestOutTree(t *testing.T) {
+	g := OutTree(3, 1, 1)
+	if g.NumTasks() != 15 || len(g.Entries()) != 1 || len(g.Exits()) != 8 {
+		t.Fatalf("outtree shape wrong: v=%d", g.NumTasks())
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	g := Butterfly(3, 1, 1)
+	if g.NumTasks() != 4*8 {
+		t.Fatalf("fft v=%d, want 32", g.NumTasks())
+	}
+	if g.NumEdges() != 3*8*2 {
+		t.Fatalf("fft e=%d, want 48", g.NumEdges())
+	}
+	if g.Depth() != 4 {
+		t.Fatalf("fft depth=%d", g.Depth())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianElimination(t *testing.T) {
+	g := GaussianElimination(5, 1, 1)
+	// pivots: 4; updates: 4+3+2+1 = 10
+	if g.NumTasks() != 14 {
+		t.Fatalf("gauss v=%d, want 14", g.NumTasks())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Exits()) == 0 {
+		t.Fatal("gauss must have exits")
+	}
+}
+
+func TestStencil(t *testing.T) {
+	g := Stencil(4, 3, 1, 1)
+	if g.NumTasks() != 12 {
+		t.Fatalf("stencil v=%d", g.NumTasks())
+	}
+	if g.Depth() != 3 {
+		t.Fatalf("stencil depth=%d", g.Depth())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig1(t *testing.T) {
+	g := Fig1Graph()
+	if g.NumTasks() != 4 || g.NumEdges() != 4 {
+		t.Fatal("fig1 shape")
+	}
+	if g.TotalWork() != 60 {
+		t.Fatalf("fig1 total work %v", g.TotalWork())
+	}
+	p := Fig1Platform()
+	if p.NumProcs() != 4 || p.Speed(0) != 1.5 || p.Speed(1) != 1 {
+		t.Fatal("fig1 platform")
+	}
+	// Critical path on the fastest processor: 60/1.5 = 40; the paper's
+	// data-parallel scenario derives T = 2/40 from it.
+	if got := g.TotalWork() / p.MaxSpeed(); got != 40 {
+		t.Fatalf("fig1 single-proc time %v", got)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	g := Fig2Graph()
+	if g.NumTasks() != 7 || g.NumEdges() != 8 {
+		t.Fatalf("fig2 shape: v=%d e=%d", g.NumTasks(), g.NumEdges())
+	}
+	if g.TotalWork() != 72 {
+		t.Fatalf("fig2 total work %v", g.TotalWork())
+	}
+	es := g.Entries()
+	xs := g.Exits()
+	if len(es) != 1 || g.Task(es[0]).Name != "t1" {
+		t.Fatalf("fig2 entry: %v", es)
+	}
+	if len(xs) != 1 || g.Task(xs[0]).Name != "t7" {
+		t.Fatalf("fig2 exit: %v", xs)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalibrateNoEdges(t *testing.T) {
+	g := dag.New("edgeless")
+	g.AddTask("a", 1)
+	p := platform.Homogeneous(4, 1, 1)
+	cfg := DefaultStreamConfig()
+	Calibrate(g, p, cfg) // must not panic on infinite granularity
+	want := cfg.ComputeFraction * 4 * cfg.PeriodBase
+	if math.Abs(g.TotalWork()/p.MeanSpeed()-want) > 1e-9 {
+		t.Fatal("work normalization skipped for edgeless graph")
+	}
+}
+
+func TestStreamDeterministicPerSeed(t *testing.T) {
+	p := platform.Homogeneous(20, 1, 100)
+	g1 := Stream(rng.New(99), DefaultStreamConfig(), p)
+	g2 := Stream(rng.New(99), DefaultStreamConfig(), p)
+	if g1.NumTasks() != g2.NumTasks() || g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("generator not deterministic")
+	}
+	if g1.TotalWork() != g2.TotalWork() || g1.TotalVolume() != g2.TotalVolume() {
+		t.Fatal("weights not deterministic")
+	}
+}

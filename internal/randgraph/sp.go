@@ -1,0 +1,70 @@
+package randgraph
+
+import (
+	"fmt"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/rng"
+)
+
+// SeriesParallel generates a random two-terminal series-parallel workflow
+// with approximately n tasks, by recursive series/parallel composition —
+// the graph family for which §4.2 claims the one-to-one mapping needs only
+// e(ε+1) communications. Works are drawn from [workLo, workHi] and volumes
+// from [volLo, volHi].
+func SeriesParallel(r *rng.Source, n int, workLo, workHi, volLo, volHi float64) *dag.Graph {
+	if n < 1 {
+		n = 1
+	}
+	g := dag.New(fmt.Sprintf("sp-%d", n))
+	work := func() float64 { return r.Uniform(workLo, workHi) }
+	vol := func() float64 { return r.Uniform(volLo, volHi) }
+
+	// build emits a sub-workflow of ~size tasks and returns its unique
+	// source and sink task (possibly the same task).
+	var build func(size int) (src, snk dag.TaskID)
+	build = func(size int) (dag.TaskID, dag.TaskID) {
+		if size <= 1 {
+			t := g.AddTask(fmt.Sprintf("t%d", g.NumTasks()), work())
+			return t, t
+		}
+		if r.Bool(0.5) {
+			// Series composition.
+			cut := 1 + r.IntN(size-1)
+			s1, k1 := build(cut)
+			s2, k2 := build(size - cut)
+			g.MustAddEdge(k1, s2, vol())
+			return s1, k2
+		}
+		// Parallel composition between fresh terminals.
+		src := g.AddTask(fmt.Sprintf("t%d", g.NumTasks()), work())
+		snk := g.AddTask(fmt.Sprintf("t%d", g.NumTasks()), work())
+		branches := 2 + r.IntN(2)
+		budget := size - 2
+		if budget < branches {
+			branches = max(2, budget)
+		}
+		for b := 0; b < branches; b++ {
+			share := budget / branches
+			if b == branches-1 {
+				share = budget - share*(branches-1)
+			}
+			if share < 1 {
+				share = 1
+			}
+			s, k := build(share)
+			g.MustAddEdge(src, s, vol())
+			g.MustAddEdge(k, snk, vol())
+		}
+		return src, snk
+	}
+	build(n)
+	return g
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+package randgraph
+
+import (
+	"testing"
+
+	"streamsched/internal/rng"
+)
+
+func TestSeriesParallelGeneratorIsSP(t *testing.T) {
+	r := rng.New(8)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.IntN(40)
+		g := SeriesParallel(r, n, 0.5, 1.5, 0.1, 1)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !g.IsSeriesParallel() {
+			t.Fatalf("trial %d: generator output not series-parallel:\n%s", trial, g.DOT())
+		}
+	}
+}
+
+func TestSeriesParallelSizeApproximate(t *testing.T) {
+	r := rng.New(9)
+	g := SeriesParallel(r, 40, 1, 1, 1, 1)
+	if g.NumTasks() < 20 || g.NumTasks() > 90 {
+		t.Fatalf("size %d too far from requested 40", g.NumTasks())
+	}
+}
+
+func TestSeriesParallelSingleTask(t *testing.T) {
+	g := SeriesParallel(rng.New(1), 1, 1, 1, 1, 1)
+	if g.NumTasks() != 1 || g.NumEdges() != 0 {
+		t.Fatalf("v=%d e=%d", g.NumTasks(), g.NumEdges())
+	}
+	if !g.IsSeriesParallel() {
+		t.Fatal("single task must be SP")
+	}
+}
+
+func TestSeriesParallelTerminals(t *testing.T) {
+	r := rng.New(10)
+	for trial := 0; trial < 20; trial++ {
+		g := SeriesParallel(r, 10+r.IntN(20), 1, 1, 1, 1)
+		if len(g.Entries()) != 1 || len(g.Exits()) != 1 {
+			t.Fatalf("trial %d: SP graph must be two-terminal (entries=%d exits=%d)",
+				trial, len(g.Entries()), len(g.Exits()))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package schedule
+
+// Energy accounting — the extension objective the paper's conclusion
+// singles out ("minimize the dissipated power for a prescribed
+// performance"). The model is the standard CMOS abstraction used across
+// the energy-aware scheduling literature:
+//
+//   - dynamic energy: running work w at speed s draws power ∝ s³ for w/s
+//     time, i.e. energy Dyn·s²·w per replica execution;
+//   - static energy: every processor hosting at least one replica burns
+//     Static·Δ per data item (it must stay powered for the whole period);
+//   - communication energy: Comm·volume per inter-processor transfer.
+//
+// Replication multiplies all three terms — the energy cost of reliability,
+// quantified by the EnergyOverhead helper.
+
+// EnergyModel sets the coefficients of the three terms.
+type EnergyModel struct {
+	// Dyn scales dynamic compute energy (energy per speed²·work unit).
+	Dyn float64
+	// Static is the per-period power of a powered processor.
+	Static float64
+	// Comm is the energy per data-volume unit crossing a link.
+	Comm float64
+}
+
+// DefaultEnergyModel returns coefficients that weigh the three terms
+// comparably for unit-scale workloads.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{Dyn: 1, Static: 0.1, Comm: 0.01}
+}
+
+// EnergyPerItem returns the energy consumed per data item under the model.
+func (s *Schedule) EnergyPerItem(m EnergyModel) float64 {
+	dyn := 0.0
+	for _, r := range s.All() {
+		sp := s.P.Speed(r.Proc)
+		dyn += sp * sp * s.G.Task(r.Ref.Task).Work
+	}
+	comm := 0.0
+	for _, r := range s.All() {
+		for _, c := range r.In {
+			if src := s.Replica(c.From); src != nil && src.Proc != r.Proc {
+				comm += c.Volume
+			}
+		}
+	}
+	return m.Dyn*dyn + m.Static*s.Period*float64(s.ProcsUsed()) + m.Comm*comm
+}
+
+// EnergyOverhead returns the relative extra energy of this schedule against
+// a reference (typically the fault-free schedule): (E − E_ref)/E_ref.
+func (s *Schedule) EnergyOverhead(m EnergyModel, ref *Schedule) float64 {
+	e := s.EnergyPerItem(m)
+	er := ref.EnergyPerItem(m)
+	return (e - er) / er
+}

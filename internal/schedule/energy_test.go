@@ -1,0 +1,62 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"streamsched/internal/platform"
+)
+
+func TestEnergyPerItemHandComputed(t *testing.T) {
+	s := fixture(t) // 4 unit-work replicas on 4 unit-speed procs, 2 cross comms of volume 2
+	m := EnergyModel{Dyn: 1, Static: 0.5, Comm: 0.25}
+	// dyn = 4·(1²·1) = 4; static = 0.5·10·4 = 20; comm = 0.25·(2+2) = 1.
+	want := 4.0 + 20.0 + 1.0
+	if got := s.EnergyPerItem(m); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestEnergySpeedQuadratic(t *testing.T) {
+	g := chainAB()
+	fast := New(g, platform.Homogeneous(1, 2.0, 1), 0, 10, "fast")
+	fast.AddReplica(&Replica{Ref: Ref{0, 0}, Proc: 0, Start: 0, Finish: 0.5})
+	fast.AddReplica(&Replica{Ref: Ref{1, 0}, Proc: 0, Start: 0.5, Finish: 1,
+		In: []Comm{{From: Ref{0, 0}, Volume: 2, Start: 0.5, Finish: 0.5}}})
+	slow := New(g, platform.Homogeneous(1, 1.0, 1), 0, 10, "slow")
+	slow.AddReplica(&Replica{Ref: Ref{0, 0}, Proc: 0, Start: 0, Finish: 1})
+	slow.AddReplica(&Replica{Ref: Ref{1, 0}, Proc: 0, Start: 1, Finish: 2,
+		In: []Comm{{From: Ref{0, 0}, Volume: 2, Start: 1, Finish: 1}}})
+	m := EnergyModel{Dyn: 1}
+	ef, es := fast.EnergyPerItem(m), slow.EnergyPerItem(m)
+	if math.Abs(ef/es-4) > 1e-9 {
+		t.Fatalf("2× speed should cost 4× dynamic energy: %v vs %v", ef, es)
+	}
+}
+
+func TestEnergyOverheadOfReplication(t *testing.T) {
+	// The ε=1 fixture against an ε=0 single-chain reference: replication
+	// must cost extra energy.
+	rep := fixture(t)
+	g := chainAB()
+	ref := New(g, platform.Homogeneous(4, 1, 1), 0, 10, "ref")
+	ref.AddReplica(&Replica{Ref: Ref{0, 0}, Proc: 0, Start: 0, Finish: 1})
+	ref.AddReplica(&Replica{Ref: Ref{1, 0}, Proc: 0, Start: 1, Finish: 2,
+		In: []Comm{{From: Ref{0, 0}, Volume: 2, Start: 1, Finish: 1}}})
+	m := DefaultEnergyModel()
+	if ov := rep.EnergyOverhead(m, ref); ov <= 0 {
+		t.Fatalf("replication overhead = %v, want > 0", ov)
+	}
+}
+
+func TestEnergyCoLocatedCommsFree(t *testing.T) {
+	g := chainAB()
+	s := New(g, platform.Homogeneous(2, 1, 1), 0, 10, "t")
+	s.AddReplica(&Replica{Ref: Ref{0, 0}, Proc: 0, Start: 0, Finish: 1})
+	s.AddReplica(&Replica{Ref: Ref{1, 0}, Proc: 0, Start: 1, Finish: 2,
+		In: []Comm{{From: Ref{0, 0}, Volume: 2, Start: 1, Finish: 1}}})
+	m := EnergyModel{Comm: 1}
+	if got := s.EnergyPerItem(m); got != 0 {
+		t.Fatalf("co-located comm billed: %v", got)
+	}
+}

@@ -1,0 +1,77 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamsched/internal/platform"
+)
+
+// Gantt renders an ASCII Gantt chart of the static schedule: one row per
+// processor, time flowing right, each replica drawn as a labelled block.
+// width is the number of character columns for the time axis (≥ 20).
+func (s *Schedule) Gantt(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	horizon := s.Makespan()
+	if horizon == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := float64(width) / horizon
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  Δ=%.4g  S=%d  L=%.4g  makespan=%.4g\n",
+		s.Algorithm, s.Period, s.Stages(), s.LatencyBound(), horizon)
+	for u := 0; u < s.P.NumProcs(); u++ {
+		reps := s.OnProc(platform.ProcID(u))
+		row := make([]byte, width+1)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, r := range reps {
+			lo := int(r.Start * scale)
+			hi := int(r.Finish * scale)
+			if hi >= len(row) {
+				hi = len(row) - 1
+			}
+			label := fmt.Sprintf("%d", r.Ref.Task)
+			for i := lo; i <= hi; i++ {
+				row[i] = '#'
+			}
+			for i, ch := range []byte(label) {
+				if lo+i <= hi && lo+i < len(row) {
+					row[lo+i] = ch
+				}
+			}
+		}
+		fmt.Fprintf(&b, "P%-3d |%s|\n", u+1, string(row))
+	}
+	return b.String()
+}
+
+// CommTable lists every cross-processor communication, sorted by start time;
+// useful for debugging one-port conflicts.
+func (s *Schedule) CommTable() string {
+	type row struct {
+		start, finish float64
+		desc          string
+	}
+	var rows []row
+	for _, r := range s.All() {
+		for _, c := range r.In {
+			src := s.Replica(c.From)
+			if src == nil || src.Proc == r.Proc {
+				continue
+			}
+			rows = append(rows, row{c.Start, c.Finish,
+				fmt.Sprintf("%v@P%d → %v@P%d vol=%.3g", c.From, src.Proc+1, r.Ref, r.Proc+1, c.Volume)})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].start < rows[j].start })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "[%8.3f,%8.3f) %s\n", r.start, r.finish, r.desc)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package schedule
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"streamsched/internal/platform"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := fixture(t)
+	data, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(data, s.G, s.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped schedule invalid: %v", err)
+	}
+	if back.Stages() != s.Stages() || back.LatencyBound() != s.LatencyBound() {
+		t.Fatal("metrics changed across round trip")
+	}
+	if back.Algorithm != s.Algorithm || back.Eps != s.Eps || back.Period != s.Period {
+		t.Fatal("header changed across round trip")
+	}
+	for _, r := range s.All() {
+		br := back.Replica(r.Ref)
+		if br == nil || br.Proc != r.Proc || br.Start != r.Start || len(br.In) != len(r.In) {
+			t.Fatalf("replica %v changed", r.Ref)
+		}
+	}
+}
+
+func TestJSONContent(t *testing.T) {
+	s := fixture(t)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// json.Marshal compacts the output of custom MarshalJSON methods.
+	str := string(data)
+	for _, want := range []string{`"algorithm":"test"`, `"stages":2`, `"name":"a"`} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, str)
+		}
+	}
+}
+
+func TestLoadJSONRejectsMismatch(t *testing.T) {
+	s := fixture(t)
+	data, _ := s.MarshalJSON()
+	wrongP := platform.Homogeneous(2, 1, 1)
+	if _, err := LoadJSON(data, s.G, wrongP); err == nil {
+		t.Fatal("platform mismatch accepted")
+	}
+	wrongG := chainAB()
+	wrongG.AddTask("extra", 1)
+	if _, err := LoadJSON(data, wrongG, s.P); err == nil {
+		t.Fatal("graph mismatch accepted")
+	}
+}
+
+func TestLoadJSONRejectsGarbage(t *testing.T) {
+	s := fixture(t)
+	if _, err := LoadJSON([]byte("{not json"), s.G, s.P); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadJSON([]byte(`{"period":0,"tasks":2,"procs":4}`), s.G, s.P); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package schedule
+
+import (
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+)
+
+func TestRemoveReplica(t *testing.T) {
+	g := dag.New("one")
+	g.AddTask("a", 1)
+	p := platform.Homogeneous(2, 1, 1)
+	s := New(g, p, 1, 10, "t")
+	s.AddReplica(&Replica{Ref: Ref{0, 0}, Proc: 0, Start: 0, Finish: 1})
+	if s.Replica(Ref{0, 0}) == nil {
+		t.Fatal("replica missing")
+	}
+	s.RemoveReplica(Ref{0, 0})
+	if s.Replica(Ref{0, 0}) != nil {
+		t.Fatal("replica not removed")
+	}
+	// Slot is reusable.
+	s.AddReplica(&Replica{Ref: Ref{0, 0}, Proc: 1, Start: 0, Finish: 1})
+	if s.Replica(Ref{0, 0}).Proc != 1 {
+		t.Fatal("re-add failed")
+	}
+}
+
+func TestRemoveAbsentPanics(t *testing.T) {
+	g := dag.New("one")
+	g.AddTask("a", 1)
+	s := New(g, platform.Homogeneous(1, 1, 1), 0, 10, "t")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.RemoveReplica(Ref{0, 0})
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+func chain(n int, work, vol float64) *dag.Graph {
+	g := dag.New("chain")
+	prev := g.AddTask("t0", work)
+	for i := 1; i < n; i++ {
+		cur := g.AddTask("t", work)
+		g.MustAddEdge(prev, cur, vol)
+		prev = cur
+	}
+	return g
+}
+
+func randomDAG(r *rng.Source, n int) *dag.Graph {
+	g := dag.New("rand")
+	for i := 0; i < n; i++ {
+		g.AddTask("t", r.Uniform(0.5, 1.5))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bool(2.0 / float64(n)) {
+				g.MustAddEdge(dag.TaskID(i), dag.TaskID(j), r.Uniform(0.1, 1))
+			}
+		}
+	}
+	return g
+}
+
+// manualChain builds a 2-proc, ε=0 pipelined schedule by hand:
+// a@P0 [0,1), comm [1,2), b@P1 [2,3); period 2.
+func manualChain(t *testing.T) *schedule.Schedule {
+	t.Helper()
+	g := chain(2, 1, 2)
+	p := platform.Homogeneous(2, 1, 2)
+	s := schedule.New(g, p, 0, 2, "manual")
+	s.AddReplica(&schedule.Replica{Ref: schedule.Ref{Task: 0, Copy: 0}, Proc: 0, Start: 0, Finish: 1})
+	s.AddReplica(&schedule.Replica{Ref: schedule.Ref{Task: 1, Copy: 0}, Proc: 1, Start: 2, Finish: 3,
+		In: []schedule.Comm{{From: schedule.Ref{Task: 0, Copy: 0}, Volume: 2, Start: 1, Finish: 2}}})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestManualChainSteadyState(t *testing.T) {
+	s := manualChain(t)
+	res, err := Run(s, Config{Items: 50, Warmup: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 50 {
+		t.Fatalf("delivered %d/50", res.Delivered)
+	}
+	// Per-item latency: 1 (exec a) + 1 (comm) + 1 (exec b) = 3 — each item
+	// flows without contention because the period (2) covers each resource's
+	// per-item usage (1).
+	if math.Abs(res.MeanLatency-3) > 1e-9 {
+		t.Fatalf("mean latency = %v, want 3", res.MeanLatency)
+	}
+	// Steady-state completion rate = one item per period.
+	if math.Abs(res.AchievedPeriod-2) > 1e-9 {
+		t.Fatalf("achieved period = %v, want 2", res.AchievedPeriod)
+	}
+}
+
+func TestLatencyBelowBound(t *testing.T) {
+	// Measured 0-crash latency never exceeds the (2S−1)Δ bound.
+	r := rng.New(3)
+	for trial := 0; trial < 10; trial++ {
+		g := randomDAG(r, 10+r.IntN(20))
+		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
+		s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+		if err != nil {
+			continue
+		}
+		res, err := Run(s, DefaultConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != res.Items {
+			t.Fatalf("trial %d: only %d/%d delivered without failures", trial, res.Delivered, res.Items)
+		}
+		if res.MaxLatency > s.LatencyBound()+1e-6 {
+			t.Fatalf("trial %d: measured %v exceeds bound %v", trial, res.MaxLatency, s.LatencyBound())
+		}
+	}
+}
+
+func TestCrashWithinToleranceStillDelivers(t *testing.T) {
+	r := rng.New(17)
+	delivered := 0
+	for trial := 0; trial < 10; trial++ {
+		g := randomDAG(r, 15)
+		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
+		s, err := ltf.Schedule(g, p, 1, 25, ltf.Options{})
+		if err != nil {
+			continue
+		}
+		crash := platform.ProcID(r.IntN(8))
+		res, err := Run(s, Config{Items: 30, Warmup: 5,
+			Failures: FailureSpec{Procs: []platform.ProcID{crash}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != res.Items {
+			t.Fatalf("trial %d: crash of P%d lost items: %d/%d",
+				trial, crash+1, res.Delivered, res.Items)
+		}
+		delivered++
+	}
+	if delivered == 0 {
+		t.Skip("all instances infeasible")
+	}
+}
+
+func TestCrashBeyondToleranceMayLoseItems(t *testing.T) {
+	// ε=0 schedule with its only processor for a task crashed: nothing is
+	// delivered.
+	s := manualChain(t)
+	res, err := Run(s, Config{Items: 20, Warmup: 0,
+		Failures: FailureSpec{Procs: []platform.ProcID{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 0 {
+		t.Fatalf("delivered %d items despite dead sink", res.Delivered)
+	}
+	if !math.IsNaN(res.MeanLatency) {
+		t.Fatalf("MeanLatency should be NaN, got %v", res.MeanLatency)
+	}
+}
+
+func TestMidStreamCrash(t *testing.T) {
+	// Crash at t=25 (after ~12 items of the manual chain): items completed
+	// before the crash are delivered, later ones are lost.
+	s := manualChain(t)
+	res, err := Run(s, Config{Items: 40, Warmup: 0,
+		Failures: FailureSpec{Procs: []platform.ProcID{1}, At: 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 || res.Delivered == 40 {
+		t.Fatalf("mid-stream crash should lose some items: delivered %d/40", res.Delivered)
+	}
+}
+
+func TestCrashIncreasesLatency(t *testing.T) {
+	// With ε=1 and a crash, the surviving chain's latency is at least the
+	// failure-free latency (averaged over trials it is typically larger).
+	r := rng.New(41)
+	checked := 0
+	for trial := 0; trial < 20 && checked < 5; trial++ {
+		g := randomDAG(r, 20)
+		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
+		s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+		if err != nil {
+			continue
+		}
+		base, err := Run(s, DefaultConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash := platform.ProcID(r.IntN(10))
+		cfg := DefaultConfig(s)
+		cfg.Failures = FailureSpec{Procs: []platform.ProcID{crash}}
+		crashed, err := Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if crashed.Delivered != crashed.Items {
+			t.Fatalf("trial %d: items lost under tolerated crash", trial)
+		}
+		if crashed.MeanLatency < base.MeanLatency-1e-6 {
+			t.Fatalf("trial %d: crash made latency smaller: %v < %v",
+				trial, crashed.MeanLatency, base.MeanLatency)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Skip("no feasible instances")
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	r := rng.New(9)
+	g := randomDAG(r, 20)
+	p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
+	s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+	if err != nil {
+		t.Skip("infeasible")
+	}
+	a, err := Run(s, DefaultConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, DefaultConfig(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLatency != b.MeanLatency || a.Delivered != b.Delivered {
+		t.Fatalf("nondeterministic simulation: %v vs %v", a, b)
+	}
+	for i := range a.Latencies {
+		if a.Latencies[i] != b.Latencies[i] {
+			t.Fatalf("latency %d differs", i)
+		}
+	}
+}
+
+func TestIncompleteScheduleRejected(t *testing.T) {
+	g := chain(2, 1, 1)
+	p := platform.Homogeneous(2, 1, 1)
+	s := schedule.New(g, p, 0, 10, "partial")
+	if _, err := Run(s, Config{Items: 5}); err == nil {
+		t.Fatal("expected error for incomplete schedule")
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	s := manualChain(t)
+	res, err := Run(s, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Items != DefaultConfig(s).Items {
+		t.Fatalf("default items not applied: %d", res.Items)
+	}
+}
+
+func TestThroughputSustained(t *testing.T) {
+	// The achieved steady-state period must not exceed the enforced period
+	// (the schedule met condition (1), so resources keep up).
+	r := rng.New(23)
+	for trial := 0; trial < 10; trial++ {
+		g := randomDAG(r, 15)
+		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
+		s, err := rltf.Schedule(g, p, 1, 15, rltf.Options{})
+		if err != nil {
+			continue
+		}
+		cfg := DefaultConfig(s)
+		cfg.Items *= 2
+		res, err := Run(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AchievedPeriod > s.Period*1.05 {
+			t.Fatalf("trial %d: achieved period %v exceeds enforced %v",
+				trial, res.AchievedPeriod, s.Period)
+		}
+	}
+}
+
+func TestReplicatedChainZeroCrashMatchesReplicaless(t *testing.T) {
+	// With generous resources, replication must not change the delivered
+	// count and every item arrives.
+	g := chain(4, 1, 1)
+	p := platform.Homogeneous(8, 1, 1)
+	s, err := rltf.Schedule(g, p, 2, 50, rltf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, Config{Items: 25, Warmup: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 25 {
+		t.Fatalf("delivered %d/25", res.Delivered)
+	}
+}
+
+func TestTwoCrashesEps3(t *testing.T) {
+	r := rng.New(53)
+	ran := false
+	for trial := 0; trial < 20 && !ran; trial++ {
+		g := randomDAG(r, 12)
+		p := platform.RandomHeterogeneous(r, 12, 0.5, 1, 0.5, 1, 10)
+		s, err := ltf.Schedule(g, p, 3, 30, ltf.Options{})
+		if err != nil {
+			continue
+		}
+		crashes := []platform.ProcID{platform.ProcID(r.IntN(12)), platform.ProcID((r.IntN(11) + 1 + r.IntN(1)) % 12)}
+		if crashes[0] == crashes[1] {
+			crashes[1] = (crashes[1] + 1) % 12
+		}
+		res, err := Run(s, Config{Items: 25, Warmup: 5,
+			Failures: FailureSpec{Procs: crashes}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Delivered != res.Items {
+			t.Fatalf("trial %d: ε=3 schedule lost items under 2 crashes", trial)
+		}
+		ran = true
+	}
+	if !ran {
+		t.Skip("no feasible instance")
+	}
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"streamsched/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+}
+
+func TestMeanSingle(t *testing.T) {
+	if got := Mean([]float64{7}); !almost(got, 7) {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestVariance(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} is 4.571428...
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4.571428571428571) > 1e-9 {
+		t.Fatalf("Variance = %v", got)
+	}
+}
+
+func TestVarianceShort(t *testing.T) {
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of single sample should be NaN")
+	}
+}
+
+func TestStdDevConstant(t *testing.T) {
+	if got := StdDev([]float64{3, 3, 3, 3}); !almost(got, 0) {
+		t.Fatalf("StdDev of constants = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); !almost(got, -1) {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); !almost(got, 5) {
+		t.Fatalf("Max = %v", got)
+	}
+}
+
+func TestMinMaxEmpty(t *testing.T) {
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("Min/Max of empty should be NaN")
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if got := Quantile(xs, 0); !almost(got, 1) {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); !almost(got, 5) {
+		t.Fatalf("q1 = %v", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.25); !almost(got, 2.5) {
+		t.Fatalf("q0.25 = %v", got)
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if got := Median([]float64{9, 1, 5}); !almost(got, 5) {
+		t.Fatalf("Median = %v", got)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	if got := Median([]float64{1, 2, 3, 4}); !almost(got, 2.5) {
+		t.Fatalf("Median = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if s.N != 3 || !almost(s.Mean, 2) || !almost(s.Min, 1) || !almost(s.Max, 3) || !almost(s.Median, 2) {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	r := rng.New(1)
+	small := make([]float64, 20)
+	big := make([]float64, 2000)
+	for i := range small {
+		small[i] = r.Float64()
+	}
+	for i := range big {
+		big[i] = r.Float64()
+	}
+	if CI95(big) >= CI95(small) {
+		t.Fatalf("CI95 did not shrink: big=%v small=%v", CI95(big), CI95(small))
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-6 && m <= Max(xs)+1e-6
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantile is monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.IntN(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Uniform(-100, 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-9 {
+				t.Fatalf("quantile decreased at q=%v", q)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,146 @@
+// Package textplot renders multi-series line charts as ASCII — enough to
+// eyeball the paper's figures directly in a terminal, since this module is
+// offline and ships no plotting dependency. Each series gets a marker
+// character; overlapping points show the later series' marker.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	// X and Y must have equal length; NaN points are skipped.
+	X, Y []float64
+}
+
+// Options control the canvas.
+type Options struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	Title  string
+	// YMin/YMax fix the vertical range; both zero → auto from the data.
+	YMin, YMax float64
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the series onto one chart.
+func Render(series []Series, opt Options) string {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "(no data)\n"
+	}
+	if opt.YMin != 0 || opt.YMax != 0 {
+		ymin, ymax = opt.YMin, opt.YMax
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(opt.Width-1)))
+		return clamp(c, 0, opt.Width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(opt.Height-1)))
+		return clamp(r, 0, opt.Height-1)
+	}
+	for si, s := range series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			grid[row(s.Y[i])][col(s.X[i])] = mk
+		}
+	}
+
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	for r := 0; r < opt.Height; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.4g", ymax)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%8.4g", ymin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", opt.Width))
+	fmt.Fprintf(&b, "%s  %-10.4g%s%10.4g\n", strings.Repeat(" ", 8),
+		xmin, strings.Repeat(" ", max(0, opt.Width-20)), xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "          %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// FromTable converts a header/rows pair (column 0 = x, columns 1.. = one
+// series each, as produced by experiments.Series) into plot series.
+func FromTable(header []string, rows [][]float64) []Series {
+	if len(header) < 2 || len(rows) == 0 {
+		return nil
+	}
+	out := make([]Series, len(header)-1)
+	for c := 1; c < len(header); c++ {
+		s := Series{Name: header[c]}
+		for _, row := range rows {
+			s.X = append(s.X, row[0])
+			s.Y = append(s.Y, row[c])
+		}
+		out[c-1] = s
+	}
+	return out
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,109 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render([]Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}, Options{Width: 20, Height: 8, Title: "test"})
+	if !strings.Contains(out, "test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "+ down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + xlabels + 2 legend lines
+	if len(lines) != 1+8+1+1+2 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderPlacesExtremes(t *testing.T) {
+	out := Render([]Series{
+		{Name: "s", X: []float64{0, 10}, Y: []float64{5, 15}},
+	}, Options{Width: 21, Height: 5})
+	lines := strings.Split(out, "\n")
+	// Max y (15) appears on the top row, min (5) on the bottom row.
+	if !strings.Contains(lines[0], "15") {
+		t.Fatalf("top label: %q", lines[0])
+	}
+	if !strings.HasPrefix(strings.TrimSpace(lines[4]), "5") {
+		t.Fatalf("bottom label: %q", lines[4])
+	}
+	if !strings.Contains(lines[0], "*") {
+		t.Fatal("max point not on top row")
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Fatal("min point not on bottom row")
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	out := Render([]Series{
+		{Name: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+	}, Options{Width: 10, Height: 4})
+	// Count markers in the plot area only (above the x axis), excluding the
+	// legend's marker.
+	plotArea := strings.Split(out, "+--")[0]
+	if strings.Count(plotArea, "*") != 2 {
+		t.Fatalf("NaN point drawn:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(nil, Options{}); !strings.Contains(out, "no data") {
+		t.Fatalf("empty render: %q", out)
+	}
+	allNaN := Render([]Series{{Name: "x", X: []float64{1}, Y: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(allNaN, "no data") {
+		t.Fatal("all-NaN should render as no data")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	out := Render([]Series{
+		{Name: "flat", X: []float64{0, 1}, Y: []float64{5, 5}},
+	}, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "*") {
+		t.Fatal("flat series missing")
+	}
+}
+
+func TestFixedYRange(t *testing.T) {
+	out := Render([]Series{
+		{Name: "s", X: []float64{0, 1}, Y: []float64{2, 3}},
+	}, Options{Width: 10, Height: 4, YMin: 0, YMax: 10})
+	if !strings.Contains(out, "10") {
+		t.Fatalf("fixed range label missing:\n%s", out)
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	header := []string{"g", "a", "b"}
+	rows := [][]float64{{0.2, 10, 20}, {0.4, 11, 21}}
+	series := FromTable(header, rows)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if series[0].Name != "a" || series[1].Name != "b" {
+		t.Fatal("names wrong")
+	}
+	if series[1].Y[1] != 21 || series[1].X[1] != 0.4 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestFromTableEmpty(t *testing.T) {
+	if FromTable([]string{"x"}, nil) != nil {
+		t.Fatal("degenerate table should return nil")
+	}
+}

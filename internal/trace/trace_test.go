@@ -1,0 +1,120 @@
+package trace_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sim"
+	"streamsched/internal/trace"
+)
+
+func testSchedule(t *testing.T) *schedule.Schedule {
+	t.Helper()
+	g := dag.New("g")
+	a := g.AddTask("alpha", 1)
+	b := g.AddTask("beta", 1)
+	// A period of 1.5 rules out co-location (Σ would be 2), so the chain
+	// must cross processors and the trace gains transfer spans.
+	g.MustAddEdge(a, b, 0.5)
+	p := platform.Homogeneous(4, 1, 1)
+	s, err := ltf.Schedule(g, p, 1, 1.5, ltf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestChromeJSONWellFormed(t *testing.T) {
+	spans := trace.FromSchedule(testSchedule(t))
+	if len(spans) == 0 {
+		t.Fatal("no spans")
+	}
+	data, err := trace.ChromeJSON(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != len(spans) {
+		t.Fatalf("events %d vs spans %d", len(events), len(spans))
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" || ev["name"] == "" || ev["tid"] == "" {
+			t.Fatalf("malformed event %v", ev)
+		}
+	}
+}
+
+func TestFromScheduleLanes(t *testing.T) {
+	spans := trace.FromSchedule(testSchedule(t))
+	var compute, send, recv int
+	for _, s := range spans {
+		switch {
+		case strings.Contains(s.Lane, ":send"):
+			send++
+		case strings.Contains(s.Lane, ":recv"):
+			recv++
+		default:
+			compute++
+		}
+	}
+	if compute != 4 { // 2 tasks × 2 copies
+		t.Fatalf("compute spans = %d, want 4", compute)
+	}
+	if send != recv {
+		t.Fatalf("send %d vs recv %d spans", send, recv)
+	}
+	if send == 0 {
+		t.Fatal("no transfer spans despite cross-processor placement")
+	}
+}
+
+func TestChromeJSONRejectsInvertedSpan(t *testing.T) {
+	if _, err := trace.ChromeJSON([]trace.Span{{Name: "bad", Start: 2, End: 1}}); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+}
+
+func TestSimTraceExport(t *testing.T) {
+	s := testSchedule(t)
+	res, err := sim.Run(s, sim.Config{Items: 6, Warmup: 1, TraceItems: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	// Only the first 3 items are traced: 3 items × 4 replicas compute
+	// spans, plus 2 port spans per cross transfer.
+	for _, sp := range res.Trace {
+		if item, ok := sp.Args["item"].(int); ok && item >= 3 {
+			t.Fatalf("span for untraced item %d", item)
+		}
+	}
+	data, err := trace.ChromeJSON(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimTraceDisabledByDefault(t *testing.T) {
+	s := testSchedule(t)
+	res, err := sim.Run(s, sim.Config{Items: 5, Warmup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 0 {
+		t.Fatal("trace recorded without TraceItems")
+	}
+}

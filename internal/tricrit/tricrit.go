@@ -1,0 +1,172 @@
+// Package tricrit implements the "symmetric" optimization problems the
+// paper's conclusion proposes as extensions (§6):
+//
+//   - MaxThroughput — "maximizing the throughput for a given latency and
+//     failure number";
+//   - MaxFailures — "maximizing the number of supported failures for a
+//     given latency and throughput";
+//   - MinProcessors — the platform-cost flavour ("minimize the 'rental'
+//     cost of the platform while enforcing the other criteria"), with unit
+//     cost per processor;
+//   - MinEnergy — the energy flavour ("minimize the dissipated power for a
+//     prescribed performance") over a candidate set of schedules, using the
+//     energy model of package schedule.
+//
+// All four are solved by search over the scheduling primitive: the
+// underlying decision problem ("is there a schedule at period Δ with ε
+// replicas within latency L?") is answered by running the scheduler and
+// checking the latency bound. The stage count S is not monotone in Δ, so
+// MaxThroughput scans a geometric grid before refining by bisection — a
+// heuristic search around a heuristic scheduler, documented as such.
+package tricrit
+
+import (
+	"fmt"
+	"math"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+)
+
+// Scheduler abstracts the algorithm driven by the searches (LTF or R-LTF).
+type Scheduler func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error)
+
+// feasibleAt runs the scheduler and checks the latency constraint.
+func feasibleAt(g *dag.Graph, p *platform.Platform, eps int, period, maxLatency float64, sched Scheduler) *schedule.Schedule {
+	s, err := sched(g, p, eps, period)
+	if err != nil {
+		return nil
+	}
+	if maxLatency > 0 && s.LatencyBound() > maxLatency+1e-9 {
+		return nil
+	}
+	return s
+}
+
+// periodBounds returns the search window for the period: the heaviest
+// replica on the fastest processor up to full serialization on the slowest
+// resources.
+func periodBounds(g *dag.Graph, p *platform.Platform, eps int) (lo, hi float64) {
+	for _, t := range g.Tasks() {
+		if et := t.Work / p.MaxSpeed(); et > lo {
+			lo = et
+		}
+	}
+	hi = float64(eps+1) * (g.TotalWork()/p.MinSpeed() + g.TotalVolume()/p.MinBandwidth())
+	if math.IsInf(hi, 1) || hi <= lo {
+		hi = math.Max(lo*float64(g.NumTasks()*(eps+1)), lo+1)
+	}
+	return lo, hi
+}
+
+// MaxThroughput finds the largest throughput T = 1/Δ for which a schedule
+// tolerating eps failures exists with latency bound ≤ maxLatency
+// (maxLatency ≤ 0 disables the latency constraint). It returns the period
+// and the schedule.
+func MaxThroughput(g *dag.Graph, p *platform.Platform, eps int, maxLatency float64, sched Scheduler) (float64, *schedule.Schedule, error) {
+	lo, hi := periodBounds(g, p, eps)
+
+	// Geometric scan from the relaxed end: S (and hence the latency
+	// feasibility) is not monotone in Δ, so probe broadly first.
+	var bestS *schedule.Schedule
+	bestPeriod := math.Inf(1)
+	const steps = 24
+	ratio := math.Pow(lo/hi, 1.0/steps)
+	for period := hi; period >= lo*0.999; period *= ratio {
+		if s := feasibleAt(g, p, eps, period, maxLatency, sched); s != nil && period < bestPeriod {
+			bestS, bestPeriod = s, period
+		}
+	}
+	if bestS == nil {
+		return 0, nil, fmt.Errorf("tricrit: no feasible schedule within latency %g", maxLatency)
+	}
+	// Refine just below the best grid point.
+	loB, hiB := math.Max(lo, bestPeriod*ratio/1.0), bestPeriod
+	for i := 0; i < 30 && hiB-loB > 1e-4*hiB; i++ {
+		mid := (loB + hiB) / 2
+		if s := feasibleAt(g, p, eps, mid, maxLatency, sched); s != nil {
+			bestS, bestPeriod = s, mid
+			hiB = mid
+		} else {
+			loB = mid
+		}
+	}
+	return bestPeriod, bestS, nil
+}
+
+// MaxFailures finds the largest ε for which a schedule exists at the given
+// period with latency bound ≤ maxLatency (maxLatency ≤ 0 disables the
+// latency check). ε is bounded by m−1 (replicas need distinct processors).
+func MaxFailures(g *dag.Graph, p *platform.Platform, period, maxLatency float64, sched Scheduler) (int, *schedule.Schedule, error) {
+	bestEps := -1
+	var bestS *schedule.Schedule
+	for eps := 0; eps < p.NumProcs(); eps++ {
+		s := feasibleAt(g, p, eps, period, maxLatency, sched)
+		if s == nil {
+			// Feasibility is monotone in ε in spirit but not guaranteed for
+			// a greedy scheduler; tolerate one gap before giving up.
+			if eps > bestEps+1 {
+				break
+			}
+			continue
+		}
+		bestEps, bestS = eps, s
+	}
+	if bestEps < 0 {
+		return 0, nil, fmt.Errorf("tricrit: no ε admits a schedule at period %g within latency %g (try raising the latency cap)", period, maxLatency)
+	}
+	return bestEps, bestS, nil
+}
+
+// MinProcessors finds the smallest prefix of the platform's processors on
+// which a schedule tolerating eps failures exists at the given period
+// (latency unconstrained): the paper's Fig. 2 question — "how many
+// processors does the algorithm need?". Returns the processor count and the
+// schedule.
+func MinProcessors(g *dag.Graph, p *platform.Platform, eps int, period float64, sched Scheduler) (int, *schedule.Schedule, error) {
+	speeds := p.Speeds()
+	for m := eps + 1; m <= p.NumProcs(); m++ {
+		sub := prefixPlatform(p, speeds, m)
+		if s := feasibleAt(g, sub, eps, period, 0, sched); s != nil {
+			return m, s, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("tricrit: infeasible even with all %d processors", p.NumProcs())
+}
+
+// prefixPlatform builds the sub-platform of the first m processors.
+func prefixPlatform(p *platform.Platform, speeds []float64, m int) *platform.Platform {
+	sp := make([]float64, m)
+	copy(sp, speeds[:m])
+	bw := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		bw[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			if i != j {
+				bw[i][j] = p.Bandwidth(platform.ProcID(i), platform.ProcID(j))
+			}
+		}
+	}
+	return platform.New(sp, bw)
+}
+
+// MinEnergy picks, among the provided schedules (e.g. LTF and R-LTF at the
+// same period), the one with the lowest per-item energy under the model.
+// Nil schedules are skipped; an error is returned when none remain.
+func MinEnergy(model schedule.EnergyModel, candidates ...*schedule.Schedule) (*schedule.Schedule, float64, error) {
+	var best *schedule.Schedule
+	bestE := math.Inf(1)
+	for _, s := range candidates {
+		if s == nil {
+			continue
+		}
+		if e := s.EnergyPerItem(model); e < bestE {
+			best, bestE = s, e
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("tricrit: no candidate schedules")
+	}
+	return best, bestE, nil
+}

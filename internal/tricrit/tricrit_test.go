@@ -1,0 +1,194 @@
+package tricrit
+
+import (
+	"math"
+	"testing"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/ltf"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rltf"
+	"streamsched/internal/schedule"
+)
+
+func rltfSched(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+	return rltf.Schedule(g, p, eps, period, rltf.Options{})
+}
+
+func ltfSched(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+	return ltf.Schedule(g, p, eps, period, ltf.Options{})
+}
+
+func TestMaxThroughputUnconstrained(t *testing.T) {
+	// 4 unit tasks on 2 processors, ε=0: best period ≈ 2.
+	g := randgraph.Chain(4, 1, 0.001)
+	p := platform.Homogeneous(2, 1, 1000)
+	period, s, err := MaxThroughput(g, p, 0, 0, rltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s == nil || period < 2-1e-3 || period > 2.2 {
+		t.Fatalf("period = %v, want ≈2", period)
+	}
+}
+
+func TestMaxThroughputLatencyConstraint(t *testing.T) {
+	g := randgraph.Chain(4, 1, 0.001)
+	p := platform.Homogeneous(4, 1, 1000)
+	// Unconstrained: the chain can split into 4 stages at period ≈1.
+	pu, su, err := MaxThroughput(g, p, 0, 0, rltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latency cap 9: a 4-stage, period-1 schedule has L = 7 ≤ 9; a tight
+	// cap of 4.5 forbids it (7 > 4.5) and forces a coarser pipeline.
+	pc, sc, err := MaxThroughput(g, p, 0, 4.5, rltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.LatencyBound() > 4.5+1e-6 {
+		t.Fatalf("latency constraint violated: %v", sc.LatencyBound())
+	}
+	if pc < pu-1e-9 {
+		t.Fatalf("constrained throughput better than unconstrained: %v < %v", pc, pu)
+	}
+	if su.LatencyBound() <= 4.5 {
+		t.Skip("unconstrained optimum already satisfies the cap; constraint not exercised")
+	}
+}
+
+func TestMaxThroughputInfeasible(t *testing.T) {
+	g := randgraph.Chain(3, 1, 1)
+	p := platform.Homogeneous(4, 1, 1)
+	// Latency cap below one task's execution time: impossible.
+	if _, _, err := MaxThroughput(g, p, 0, 0.5, rltfSched); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestMaxFailures(t *testing.T) {
+	g := randgraph.Chain(3, 1, 0.1)
+	p := platform.Homogeneous(6, 1, 10)
+	// Period 3: one full chain fits per processor; with 6 processors up to
+	// 5 replicas could fit load-wise, bounded by ε ≤ m−1 = 5.
+	eps, s, err := MaxFailures(g, p, 3.001, 0, ltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps < 1 {
+		t.Fatalf("ε = %d, want ≥ 1", eps)
+	}
+	if s.Eps != eps {
+		t.Fatalf("schedule ε mismatch: %d vs %d", s.Eps, eps)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFailuresTightPeriod(t *testing.T) {
+	g := randgraph.Chain(4, 1, 0.1)
+	p := platform.Homogeneous(4, 1, 10)
+	// Period 1.05: each processor fits one unit task; exactly one copy of
+	// each task → ε = 0.
+	eps, _, err := MaxFailures(g, p, 1.05, 0, ltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 0 {
+		t.Fatalf("ε = %d, want 0 under the tight period", eps)
+	}
+}
+
+func TestMaxFailuresInfeasible(t *testing.T) {
+	g := randgraph.Chain(2, 1, 0.1)
+	p := platform.Homogeneous(2, 1, 10)
+	if _, _, err := MaxFailures(g, p, 0.5, 0, ltfSched); err == nil {
+		t.Fatal("expected infeasibility below the exec-time floor")
+	}
+}
+
+func TestMinProcessorsFig2(t *testing.T) {
+	// The Figure 2 question, automated: how many processors does each
+	// algorithm need for the worked example at Δ=20, ε=1?
+	g := randgraph.Fig2Graph()
+	p := randgraph.Fig2Platform(16)
+	mL, sL, err := MinProcessors(g, p, 1, 20, ltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mR, sR, err := MinProcessors(g, p, 1, 20, rltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mL < 2 || mR < 2 {
+		t.Fatalf("implausible processor counts: LTF %d, R-LTF %d", mL, mR)
+	}
+	if sL.Stages() <= 0 || sR.Stages() <= 0 {
+		t.Fatal("bad schedules")
+	}
+	t.Logf("LTF needs m=%d (S=%d), R-LTF needs m=%d (S=%d)", mL, sL.Stages(), mR, sR.Stages())
+}
+
+func TestMinProcessorsLowerBound(t *testing.T) {
+	g := randgraph.Chain(2, 1, 0.1)
+	p := platform.Homogeneous(8, 1, 10)
+	m, _, err := MinProcessors(g, p, 2, 100, ltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 3 {
+		t.Fatalf("m = %d below ε+1 = 3", m)
+	}
+}
+
+func TestMinProcessorsInfeasible(t *testing.T) {
+	g := dag.New("heavy")
+	g.AddTask("a", 100)
+	p := platform.Homogeneous(4, 1, 1)
+	if _, _, err := MinProcessors(g, p, 0, 10, ltfSched); err == nil {
+		t.Fatal("expected infeasibility")
+	}
+}
+
+func TestMinEnergyPrefersFewerResources(t *testing.T) {
+	g := randgraph.Chain(4, 1, 1)
+	p := platform.Homogeneous(8, 1, 1)
+	ff, err := rltf.FaultFree(g, p, 100, rltf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rltf.Schedule(g, p, 1, 100, rltf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, e, err := MinEnergy(schedule.DefaultEnergyModel(), ff, rep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != ff {
+		t.Fatal("unreplicated schedule must use less energy")
+	}
+	if math.IsInf(e, 0) || e <= 0 {
+		t.Fatalf("energy = %v", e)
+	}
+}
+
+func TestMinEnergyEmpty(t *testing.T) {
+	if _, _, err := MinEnergy(schedule.DefaultEnergyModel(), nil, nil); err == nil {
+		t.Fatal("expected error for no candidates")
+	}
+}
+
+func TestMaxThroughputMatchesValidation(t *testing.T) {
+	g := randgraph.ForkJoin(3, 1, 1, 0.5)
+	p := platform.Homogeneous(6, 1, 2)
+	_, s, err := MaxThroughput(g, p, 1, 0, rltfSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

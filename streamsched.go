@@ -1,0 +1,280 @@
+// Package streamsched schedules streaming workflow applications on
+// heterogeneous platforms under simultaneous latency, throughput and
+// reliability requirements. It implements the LTF and Reverse-LTF (R-LTF)
+// algorithms of Benoit, Hakem and Robert, "Optimizing the Latency of
+// Streaming Applications under Throughput and Reliability Constraints"
+// (ICPP 2009 / LIP RR-2009-13), together with the substrate the paper
+// builds on: the bi-directional one-port communication model with full
+// computation/communication overlap, active replication tolerating ε
+// arbitrary fail-silent/fail-stop processor failures, pipelined execution
+// with latency L = (2S−1)/T, a discrete-event execution simulator with
+// crash injection, workload generators and the complete experiment harness
+// that regenerates the paper's figures.
+//
+// Quick start:
+//
+//	g := streamsched.NewGraph("pipeline")
+//	a := g.AddTask("decode", 4)
+//	b := g.AddTask("filter", 6)
+//	g.MustAddEdge(a, b, 2)
+//	p := streamsched.Homogeneous(4, 1.0, 10.0)
+//	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 12}
+//	s, err := prob.Solve(streamsched.RLTF)
+//	// s.Stages(), s.LatencyBound(), s.Gantt(80), streamsched.Simulate(s, ...)
+//
+// The package is a façade: the implementation lives under internal/ (one
+// package per subsystem, see DESIGN.md), and every type exposed here is an
+// alias of the internal one, so the façade adds no conversion friction.
+package streamsched
+
+import (
+	"streamsched/internal/baselines"
+	"streamsched/internal/core"
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sim"
+	"streamsched/internal/trace"
+	"streamsched/internal/tricrit"
+)
+
+// Application model.
+type (
+	// Graph is a weighted DAG of tasks (work E(t)) and communications
+	// (volumes).
+	Graph = dag.Graph
+	// TaskID identifies a task within a Graph.
+	TaskID = dag.TaskID
+	// Task is one workflow node.
+	Task = dag.Task
+	// Edge is one precedence/communication arc.
+	Edge = dag.Edge
+)
+
+// Platform model.
+type (
+	// Platform is a set of heterogeneous, fully interconnected processors.
+	Platform = platform.Platform
+	// ProcID identifies a processor.
+	ProcID = platform.ProcID
+)
+
+// Scheduling.
+type (
+	// Problem is a tri-criteria scheduling instance.
+	Problem = core.Problem
+	// Algorithm selects LTF, RLTF or FaultFree.
+	Algorithm = core.Algorithm
+	// Schedule is a replicated pipelined mapping with derived metrics.
+	Schedule = schedule.Schedule
+	// Replica is one placed task copy.
+	Replica = schedule.Replica
+	// Ref identifies a replica (task × copy).
+	Ref = schedule.Ref
+)
+
+// Algorithms.
+const (
+	// LTF is Algorithm 4.1 of the paper (forward, minimum finish time).
+	LTF = core.LTF
+	// RLTF is the Reverse LTF algorithm (§4.2), the paper's recommendation.
+	RLTF = core.RLTF
+	// FaultFree is the ε=0 reference schedule.
+	FaultFree = core.FaultFree
+)
+
+// Simulation.
+type (
+	// SimConfig controls a simulated execution.
+	SimConfig = sim.Config
+	// SimResult reports measured latency/throughput/delivery.
+	SimResult = sim.Result
+	// FailureSpec injects processor crashes.
+	FailureSpec = sim.FailureSpec
+)
+
+// Baselines (Figure 1 scenarios and the related-work period minimizer).
+type (
+	// TaskParallelResult is the classical list-scheduling scenario.
+	TaskParallelResult = baselines.TaskParallelResult
+	// DataParallelResult is the whole-graph replication scenario.
+	DataParallelResult = baselines.DataParallelResult
+)
+
+// NewGraph returns an empty workflow graph.
+func NewGraph(name string) *Graph { return dag.New(name) }
+
+// NewPlatform builds a platform from explicit speeds and a bandwidth matrix.
+func NewPlatform(speeds []float64, bandwidth [][]float64) *Platform {
+	return platform.New(speeds, bandwidth)
+}
+
+// Homogeneous builds m identical processors.
+func Homogeneous(m int, speed, bandwidth float64) *Platform {
+	return platform.Homogeneous(m, speed, bandwidth)
+}
+
+// RandomPlatform draws a heterogeneous platform like the paper's
+// experiments: speeds uniform in [speedLo, speedHi], per-link unit message
+// delays uniform in [delayLo, delayHi] (bandwidth = 100/delay).
+func RandomPlatform(seed uint64, m int, speedLo, speedHi, delayLo, delayHi float64) *Platform {
+	return platform.RandomHeterogeneous(rng.New(seed), m, speedLo, speedHi, delayLo, delayHi, 100)
+}
+
+// Granularity returns g(G,P), the computation-to-communication ratio of §2.
+func Granularity(g *Graph, p *Platform) float64 { return platform.Granularity(g, p) }
+
+// Simulate executes a schedule on the discrete-event engine.
+func Simulate(s *Schedule, cfg SimConfig) (*SimResult, error) { return sim.Run(s, cfg) }
+
+// DefaultSimConfig sizes a simulation for the schedule.
+func DefaultSimConfig(s *Schedule) SimConfig { return sim.DefaultConfig(s) }
+
+// TaskParallel evaluates the Figure 1(b) scenario (makespan scheduling,
+// one item at a time).
+func TaskParallel(g *Graph, p *Platform, eps int) (*TaskParallelResult, error) {
+	return baselines.TaskParallel(g, p, eps)
+}
+
+// DataParallel evaluates the Figure 1(c) scenario (whole-graph replication,
+// round-robin items).
+func DataParallel(g *Graph, p *Platform, eps int) (*DataParallelResult, error) {
+	return baselines.DataParallel(g, p, eps)
+}
+
+// Related-work list schedulers and clustering (§3 comparators; ε = 0).
+
+// ETF schedules with the Earliest-Task-First policy (Hwang et al.).
+func ETF(g *Graph, p *Platform, period float64) (*Schedule, error) {
+	return baselines.ETF(g, p, period)
+}
+
+// HEFT schedules in decreasing upward-rank order, minimum finish time
+// (Topcuoglu et al.).
+func HEFT(g *Graph, p *Platform, period float64) (*Schedule, error) {
+	return baselines.HEFT(g, p, period)
+}
+
+// Clustered schedules with the WMSH-style clustering heuristic
+// (Vydyanathan et al.).
+func Clustered(g *Graph, p *Platform, period float64) (*Schedule, error) {
+	return baselines.Clustered(g, p, period)
+}
+
+// UnconstrainedPeriod returns a period budget no schedule can exceed — the
+// related-work heuristics' native "no throughput requirement" setting.
+func UnconstrainedPeriod(g *Graph, p *Platform) float64 {
+	return baselines.UnconstrainedPeriod(g, p)
+}
+
+// RandomSP generates a random two-terminal series-parallel workflow of
+// roughly n tasks (the §4.2 communication-bound graph family).
+func RandomSP(seed uint64, n int, workLo, workHi, volLo, volHi float64) *Graph {
+	return randgraph.SeriesParallel(rng.New(seed), n, workLo, workHi, volLo, volHi)
+}
+
+// MinPeriod binary-searches the smallest feasible period for the algorithm
+// (the Hoang–Rabaey related-work utility).
+func MinPeriod(g *Graph, p *Platform, eps int, algo Algorithm, tol float64) (float64, *Schedule, error) {
+	return baselines.MinPeriod(g, p, eps, solver(algo), tol)
+}
+
+func solver(algo Algorithm) func(*Graph, *Platform, int, float64) (*Schedule, error) {
+	return func(g *Graph, p *Platform, eps int, period float64) (*Schedule, error) {
+		pr := &Problem{Graph: g, Platform: p, Eps: eps, Period: period}
+		return pr.Solve(algo)
+	}
+}
+
+// Symmetric tri-criteria problems (the paper's §6 extensions).
+
+// MaxThroughput finds the largest throughput under a latency cap
+// (maxLatency ≤ 0 disables the cap) at the given ε.
+func MaxThroughput(g *Graph, p *Platform, eps int, maxLatency float64, algo Algorithm) (period float64, s *Schedule, err error) {
+	return tricrit.MaxThroughput(g, p, eps, maxLatency, solver(algo))
+}
+
+// MaxFailures finds the largest tolerated ε at the given period and
+// latency cap (maxLatency ≤ 0 disables the cap).
+func MaxFailures(g *Graph, p *Platform, period, maxLatency float64, algo Algorithm) (eps int, s *Schedule, err error) {
+	return tricrit.MaxFailures(g, p, period, maxLatency, solver(algo))
+}
+
+// MinProcessors finds the smallest platform prefix on which the instance is
+// schedulable (the Figure 2 question).
+func MinProcessors(g *Graph, p *Platform, eps int, period float64, algo Algorithm) (m int, s *Schedule, err error) {
+	return tricrit.MinProcessors(g, p, eps, period, solver(algo))
+}
+
+// Energy accounting (the paper's §6 energy extension).
+type (
+	// EnergyModel sets the dynamic/static/communication coefficients.
+	EnergyModel = schedule.EnergyModel
+)
+
+// DefaultEnergyModel returns balanced coefficients for unit-scale work.
+func DefaultEnergyModel() EnergyModel { return schedule.DefaultEnergyModel() }
+
+// LoadScheduleJSON reconstructs a schedule serialized with
+// Schedule.MarshalJSON, re-bound to the graph and platform.
+func LoadScheduleJSON(data []byte, g *Graph, p *Platform) (*Schedule, error) {
+	return schedule.LoadJSON(data, g, p)
+}
+
+// Tracing (chrome://tracing / Perfetto export).
+
+// TraceSpan is one traced activity (compute or transfer).
+type TraceSpan = trace.Span
+
+// ScheduleTrace converts one static iteration of a schedule into trace
+// spans.
+func ScheduleTrace(s *Schedule) []TraceSpan { return trace.FromSchedule(s) }
+
+// ChromeTraceJSON renders spans — from ScheduleTrace or a simulation run
+// with SimConfig.TraceItems — in the Chrome trace-event format.
+func ChromeTraceJSON(spans []TraceSpan) ([]byte, error) { return trace.ChromeJSON(spans) }
+
+// Workload generators.
+
+// Chain returns a linear pipeline of n tasks.
+func Chain(n int, work, volume float64) *Graph { return randgraph.Chain(n, work, volume) }
+
+// ForkJoin returns a source → width×depth branches → sink workflow.
+func ForkJoin(width, depth int, work, volume float64) *Graph {
+	return randgraph.ForkJoin(width, depth, work, volume)
+}
+
+// InTree returns a complete binary aggregation tree.
+func InTree(depth int, work, volume float64) *Graph { return randgraph.InTree(depth, work, volume) }
+
+// OutTree returns a complete binary scatter tree.
+func OutTree(depth int, work, volume float64) *Graph { return randgraph.OutTree(depth, work, volume) }
+
+// Butterfly returns the FFT dataflow graph on 2^k points.
+func Butterfly(k int, work, volume float64) *Graph { return randgraph.Butterfly(k, work, volume) }
+
+// GaussianElimination returns the Gaussian-elimination task graph.
+func GaussianElimination(n int, work, volume float64) *Graph {
+	return randgraph.GaussianElimination(n, work, volume)
+}
+
+// Stencil returns a 1-D stencil sweep graph.
+func Stencil(width, steps int, work, volume float64) *Graph {
+	return randgraph.Stencil(width, steps, work, volume)
+}
+
+// RandomStream generates one paper-style random workflow calibrated to the
+// given granularity against p.
+func RandomStream(seed uint64, granularity float64, p *Platform) *Graph {
+	cfg := randgraph.DefaultStreamConfig()
+	cfg.Granularity = granularity
+	return randgraph.Stream(rng.New(seed), cfg, p)
+}
+
+// Fig1Graph and Fig2Graph return the paper's worked examples.
+func Fig1Graph() *Graph { return randgraph.Fig1Graph() }
+
+// Fig2Graph returns the reconstructed §4.3 example workflow.
+func Fig2Graph() *Graph { return randgraph.Fig2Graph() }
