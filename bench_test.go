@@ -6,6 +6,7 @@ package streamsched_test
 // stay benchmark-sized; cmd/paperfig regenerates the full 60-graph curves.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,7 +27,10 @@ func benchSweep(b *testing.B, eps, crashes int, fig experiments.Figure) {
 	cfg.Granularities = []float64{0.6, 1.0, 1.6}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		pts := experiments.Run(cfg)
+		pts, err := experiments.Run(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		_, rows := experiments.Series(pts, fig)
 		if len(rows) != len(cfg.Granularities) {
 			b.Fatal("bad series")
@@ -37,7 +41,7 @@ func benchSweep(b *testing.B, eps, crashes int, fig experiments.Figure) {
 // BenchmarkFig1 regenerates the Figure 1 scenario comparison (E1).
 func BenchmarkFig1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig1()
+		r, err := experiments.Fig1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -50,7 +54,7 @@ func BenchmarkFig1(b *testing.B) {
 // BenchmarkFig2 regenerates the §4.3 worked-example grid (E2).
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2()
+		r, err := experiments.Fig2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +81,10 @@ func BenchmarkRelatedWork(b *testing.B) {
 	cfg.GraphsPerPoint = 3
 	cfg.Granularities = []float64{0.8, 1.6}
 	for i := 0; i < b.N; i++ {
-		pts := experiments.RelatedWork(cfg)
+		pts, err := experiments.RelatedWork(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(pts) != 2 {
 			b.Fatal("bad points")
 		}
@@ -99,7 +106,7 @@ func BenchmarkAblationOneToOne(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			comms := 0
 			for i := 0; i < b.N; i++ {
-				s, err := rltf.Schedule(g, p, 1, 1000, rltf.Options{DisableOneToOne: mode.disable})
+				s, err := rltf.Schedule(context.Background(), g, p, 1, 1000, rltf.Options{DisableOneToOne: mode.disable})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -122,7 +129,7 @@ func BenchmarkAblationChunk(b *testing.B) {
 		b.Run(fmt.Sprintf("B=%d", chunk), func(b *testing.B) {
 			stages := 0
 			for i := 0; i < b.N; i++ {
-				s, err := ltf.Schedule(g, p, 1, 20, ltf.Options{ChunkSize: chunk})
+				s, err := ltf.Schedule(context.Background(), g, p, 1, 20, ltf.Options{ChunkSize: chunk})
 				if err != nil {
 					b.Skip("infeasible at this chunk size")
 				}
@@ -144,7 +151,7 @@ func BenchmarkLTF(b *testing.B) {
 			g := randgraph.Stream(r, cfg, p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := ltf.Schedule(g, p, eps, 10*float64(eps+1), ltf.Options{}); err != nil {
+				if _, err := ltf.Schedule(context.Background(), g, p, eps, 10*float64(eps+1), ltf.Options{}); err != nil {
 					b.Skip("infeasible instance")
 				}
 			}
@@ -161,7 +168,7 @@ func BenchmarkRLTF(b *testing.B) {
 			g := randgraph.Stream(r, cfg, p)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := rltf.Schedule(g, p, eps, 10*float64(eps+1), rltf.Options{}); err != nil {
+				if _, err := rltf.Schedule(context.Background(), g, p, eps, 10*float64(eps+1), rltf.Options{}); err != nil {
 					b.Skip("infeasible instance")
 				}
 			}
@@ -176,7 +183,7 @@ func BenchmarkSimulator(b *testing.B) {
 	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
 	cfg := randgraph.DefaultStreamConfig()
 	g := randgraph.Stream(r, cfg, p)
-	s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+	s, err := rltf.Schedule(context.Background(), g, p, 1, 20, rltf.Options{})
 	if err != nil {
 		b.Skip("infeasible instance")
 	}
@@ -188,7 +195,7 @@ func BenchmarkSimulator(b *testing.B) {
 			c := sim.DefaultConfig(s)
 			c.Synchronous = mode.sync
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.Run(s, c); err != nil {
+				if _, err := sim.Run(context.Background(), s, c); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -201,7 +208,7 @@ func BenchmarkSimulator(b *testing.B) {
 func BenchmarkValidate(b *testing.B) {
 	g := streamsched.Fig2Graph()
 	p := platform.Homogeneous(10, 1, 1)
-	s, err := ltf.Schedule(g, p, 1, 20, ltf.Options{})
+	s, err := ltf.Schedule(context.Background(), g, p, 1, 20, ltf.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -218,7 +225,7 @@ func BenchmarkMinPeriod(b *testing.B) {
 	g := randgraph.Butterfly(3, 3, 1)
 	p := platform.Homogeneous(12, 1, 2)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := streamsched.MinPeriod(g, p, 1, streamsched.RLTF, 1e-2); err != nil {
+		if _, _, err := streamsched.MinPeriod(context.Background(), g, p, 1, streamsched.RLTF, 1e-2); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,9 +19,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -38,35 +40,40 @@ func main() {
 	seed := flag.Uint64("seed", 0, "sweep seed (0 = paper default)")
 	flag.Parse()
 
+	// Ctrl-C cancels the campaign; the batch layer drains within one
+	// placement chunk per worker.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cmd := "all"
 	if flag.NArg() > 0 {
 		cmd = flag.Arg(0)
 	}
 	switch cmd {
 	case "fig1":
-		fig1()
+		fig1(ctx)
 	case "fig2":
-		fig2()
+		fig2(ctx)
 	case "fig3":
-		sweep(1, 1, "fig3", *reps, *seed, *csvDir)
+		sweep(ctx, 1, 1, "fig3", *reps, *seed, *csvDir)
 	case "fig4":
-		sweep(3, 2, "fig4", *reps, *seed, *csvDir)
+		sweep(ctx, 3, 2, "fig4", *reps, *seed, *csvDir)
 	case "related":
-		related(*reps, *seed, *csvDir)
+		related(ctx, *reps, *seed, *csvDir)
 	case "all":
-		fig1()
-		fig2()
-		sweep(1, 1, "fig3", *reps, *seed, *csvDir)
-		sweep(3, 2, "fig4", *reps, *seed, *csvDir)
-		related(*reps, *seed, *csvDir)
+		fig1(ctx)
+		fig2(ctx)
+		sweep(ctx, 1, 1, "fig3", *reps, *seed, *csvDir)
+		sweep(ctx, 3, 2, "fig4", *reps, *seed, *csvDir)
+		related(ctx, *reps, *seed, *csvDir)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown subcommand %q (want fig1|fig2|fig3|fig4|all)\n", cmd)
 		os.Exit(2)
 	}
 }
 
-func fig1() {
-	r, err := experiments.Fig1()
+func fig1(ctx context.Context) {
+	r, err := experiments.Fig1(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig1:", err)
 		os.Exit(1)
@@ -74,8 +81,8 @@ func fig1() {
 	fmt.Println(r)
 }
 
-func fig2() {
-	r, err := experiments.Fig2()
+func fig2(ctx context.Context) {
+	r, err := experiments.Fig2(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fig2:", err)
 		os.Exit(1)
@@ -83,14 +90,18 @@ func fig2() {
 	fmt.Println(r)
 }
 
-func sweep(eps, crashes int, name string, reps int, seed uint64, csvDir string) {
+func sweep(ctx context.Context, eps, crashes int, name string, reps int, seed uint64, csvDir string) {
 	cfg := experiments.DefaultConfig(eps, crashes)
 	cfg.GraphsPerPoint = reps
 	if seed != 0 {
 		cfg.Seed = seed
 	}
 	start := time.Now()
-	pts := experiments.Run(cfg)
+	pts, err := experiments.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
 	fmt.Printf("=== %s: ε=%d, c=%d, %d graphs/point (%.1fs)\n",
 		name, eps, crashes, reps, time.Since(start).Seconds())
 
@@ -119,14 +130,18 @@ func sweep(eps, crashes int, name string, reps int, seed uint64, csvDir string) 
 	fmt.Printf("--- %s summary\n%s", name, experiments.Summary(pts))
 }
 
-func related(reps int, seed uint64, csvDir string) {
+func related(ctx context.Context, reps int, seed uint64, csvDir string) {
 	cfg := experiments.DefaultConfig(0, 0)
 	cfg.GraphsPerPoint = reps
 	if seed != 0 {
 		cfg.Seed = seed
 	}
 	start := time.Now()
-	pts := experiments.RelatedWork(cfg)
+	pts, err := experiments.RelatedWork(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "related:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("=== related-work comparison: ε=0, Δ=%g, %d graphs/point (%.1fs)\n",
 		cfg.PeriodBase, reps, time.Since(start).Seconds())
 	header, rows := experiments.RelatedSeries(pts)

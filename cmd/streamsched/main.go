@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"streamsched"
 )
@@ -27,7 +30,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed for -hetero and -graph random")
 		eps     = flag.Int("eps", 1, "ε: number of tolerated processor failures")
 		period  = flag.Float64("period", 20, "required period Δ = 1/T (0: search minimum)")
-		algo    = flag.String("algo", "rltf", "algorithm: ltf|rltf|ff")
+		algo    = flag.String("algo", "rltf", "algorithm: ltf|rltf|ff|portfolio")
 		gantt   = flag.Bool("gantt", false, "print an ASCII Gantt chart")
 		dot     = flag.Bool("dot", false, "print the workflow in Graphviz dot")
 		simFlag = flag.Bool("simulate", false, "simulate the pipelined execution")
@@ -38,6 +41,10 @@ func main() {
 		jsonF   = flag.String("json", "", "write the schedule as JSON to this file")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the solve/search/simulation cleanly.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	p := buildPlatform(*hetero, *m, *seed)
 	g, err := buildGraph(*graph, *size, *gran, *seed, p)
@@ -56,21 +63,30 @@ func main() {
 		algorithm = streamsched.RLTF
 	case "ff":
 		algorithm = streamsched.FaultFree
+	case "portfolio":
+		algorithm = streamsched.Portfolio
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
 
 	var s *streamsched.Schedule
 	if *period <= 0 {
-		min, sched, err := streamsched.MinPeriod(g, p, *eps, algorithm, 1e-3)
+		min, sched, err := streamsched.MinPeriod(ctx, g, p, *eps, algorithm, 1e-3)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("minimum feasible period: %.4g\n", min)
 		s = sched
 	} else {
-		prob := &streamsched.Problem{Graph: g, Platform: p, Eps: *eps, Period: *period}
-		s, err = prob.Solve(algorithm)
+		solver, err := streamsched.NewSolver(
+			streamsched.WithAlgorithm(algorithm),
+			streamsched.WithEps(*eps),
+			streamsched.WithPeriod(*period),
+		)
+		if err != nil {
+			fatal(err)
+		}
+		s, err = solver.Solve(ctx, g, p)
 		if err != nil {
 			fatal(err)
 		}
@@ -116,7 +132,7 @@ func main() {
 			cfg.Failures = streamsched.FailureSpec{Procs: procs}
 			fmt.Printf("  crashing processors %v\n", procs)
 		}
-		res, err := streamsched.Simulate(s, cfg)
+		res, err := streamsched.Simulate(ctx, s, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -173,6 +189,13 @@ func buildGraph(kind string, size int, gran float64, seed uint64, p *streamsched
 }
 
 func fatal(err error) {
+	// Distinguish "no schedule exists" (an expected, classified outcome)
+	// from solver faults.
+	var inf *streamsched.InfeasibleError
+	if errors.As(err, &inf) {
+		fmt.Fprintf(os.Stderr, "streamsched: instance is infeasible (%v): %v\n", inf.Reason, err)
+		os.Exit(2)
+	}
 	fmt.Fprintln(os.Stderr, "streamsched:", err)
 	os.Exit(1)
 }

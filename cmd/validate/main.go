@@ -9,16 +9,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"streamsched/internal/core"
 	"streamsched/internal/dag"
-	"streamsched/internal/ltf"
 	"streamsched/internal/platform"
-	"streamsched/internal/rltf"
 	"streamsched/internal/rng"
-	"streamsched/internal/schedule"
 	"streamsched/internal/sim"
 )
 
@@ -29,16 +29,10 @@ func main() {
 	simChecks := flag.Int("simchecks", 2, "simulated crash scenarios per schedule")
 	flag.Parse()
 
+	ctx := context.Background()
 	r := rng.New(*seed)
 	type stats struct{ produced, infeasible int }
-	algos := map[string]func(*dag.Graph, *platform.Platform, int, float64) (*schedule.Schedule, error){
-		"LTF": func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-			return ltf.Schedule(g, p, eps, period, ltf.Options{})
-		},
-		"R-LTF": func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-			return rltf.Schedule(g, p, eps, period, rltf.Options{})
-		},
-	}
+	algos := map[string]core.Algorithm{"LTF": core.LTF, "R-LTF": core.RLTF}
 	counts := map[string]*stats{"LTF": {}, "R-LTF": {}}
 	bad := 0
 
@@ -64,9 +58,21 @@ func main() {
 		pressure := []float64{2.5, 1.4, 0.8}[r.IntN(3)]
 		period := pressure * float64(eps+1) * g.TotalWork() / (p.MeanSpeed() * float64(m))
 
-		for name, run := range algos {
-			s, err := run(g, p, eps, period)
+		for name, algo := range algos {
+			solver, err := core.NewSolver(core.WithAlgorithm(algo), core.WithEps(eps), core.WithPeriod(period))
 			if err != nil {
+				fmt.Fprintln(os.Stderr, "validate:", err)
+				os.Exit(1)
+			}
+			s, err := solver.Solve(ctx, g, p)
+			if err != nil {
+				// Only a classified infeasibility counts as "no schedule";
+				// anything else is a solver fault the fuzzer must surface.
+				if !errors.Is(err, core.ErrInfeasible) {
+					bad++
+					fmt.Printf("SOLVER FAULT [%s] instance %d: %v\n", name, i, err)
+					continue
+				}
 				counts[name].infeasible++
 				continue
 			}
@@ -83,7 +89,7 @@ func main() {
 				for k, u := range crashes {
 					procs[k] = platform.ProcID(u)
 				}
-				res, err := sim.Run(s, sim.Config{Items: 12, Warmup: 2,
+				res, err := sim.Run(ctx, s, sim.Config{Items: 12, Warmup: 2,
 					Failures: sim.FailureSpec{Procs: procs}})
 				if err != nil {
 					bad++

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -18,9 +20,11 @@ func main() {
 	g := streamsched.GaussianElimination(6, 3, 1)
 	p := streamsched.Homogeneous(12, 1, 4)
 	fmt.Printf("workflow %v on %v\n\n", g, p)
+	ctx := context.Background()
 
-	// 1. Maximize throughput with latency capped at 120 (ε = 1).
-	period, s1, err := streamsched.MaxThroughput(g, p, 1, 120, streamsched.RLTF)
+	// 1. Maximize throughput with latency capped at 120 (ε = 1). The
+	// search probes its period grid as one concurrent batch.
+	period, s1, err := streamsched.MaxThroughput(ctx, g, p, 1, 120, streamsched.RLTF)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -28,7 +32,7 @@ func main() {
 		period, period, s1.Stages(), s1.LatencyBound())
 
 	// 2. Maximize the tolerated failures at Δ = 30 with L ≤ 460.
-	eps, s2, err := streamsched.MaxFailures(g, p, 30, 460, streamsched.LTF)
+	eps, s2, err := streamsched.MaxFailures(ctx, g, p, 30, 460, streamsched.LTF)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,7 +40,7 @@ func main() {
 		eps, s2.Stages(), s2.LatencyBound())
 
 	// 3. Cheapest platform for Δ = 30, ε = 1.
-	m, s3, err := streamsched.MinProcessors(g, p, 1, 30, streamsched.RLTF)
+	m, s3, err := streamsched.MinProcessors(ctx, g, p, 1, 30, streamsched.RLTF)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,14 +50,23 @@ func main() {
 	// 4. The energy price of reliability.
 	model := streamsched.DefaultEnergyModel()
 	fmt.Println("\nenergy per item (dynamic + static + communication):")
-	var ref *streamsched.Schedule
+	// The ε ladder is a batch of independent instances.
+	var reqs []streamsched.SolveRequest
 	for e := 0; e <= 2; e++ {
-		prob := &streamsched.Problem{Graph: g, Platform: p, Eps: e, Period: 30}
-		s, err := prob.Solve(streamsched.RLTF)
-		if err != nil {
+		reqs = append(reqs, streamsched.SolveRequest{Graph: g, Platform: p,
+			Opts: []streamsched.SolverOption{streamsched.WithEps(e)}})
+	}
+	var ref *streamsched.Schedule
+	for e, r := range streamsched.SolveMany(ctx, reqs,
+		streamsched.WithAlgorithm(streamsched.RLTF), streamsched.WithPeriod(30)) {
+		if r.Err != nil {
+			if !errors.Is(r.Err, streamsched.ErrInfeasible) {
+				log.Fatal(r.Err)
+			}
 			fmt.Printf("  ε=%d: infeasible\n", e)
 			continue
 		}
+		s := r.Schedule
 		if ref == nil {
 			ref = s
 		}
@@ -64,7 +77,7 @@ func main() {
 	// 5. Export a Chrome trace of the simulated pipelined execution.
 	cfg := streamsched.DefaultSimConfig(s1)
 	cfg.TraceItems = 4
-	res, err := streamsched.Simulate(s1, cfg)
+	res, err := streamsched.Simulate(ctx, s1, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,7 +8,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"streamsched"
 )
@@ -20,31 +22,44 @@ func main() {
 		period = 20.0 // Δ = 10(ε+1), the paper's throughput constraint
 	)
 
+	ctx := context.Background()
+	grans := []float64{0.4, 0.6, 0.8, 1.0, 1.4, 2.0}
+
+	// Both algorithms at every granularity point: one concurrent batch of
+	// 2×len(grans) independent solves.
+	var reqs []streamsched.SolveRequest
+	for _, gran := range grans {
+		g := streamsched.RandomStream(7, gran, p)
+		for _, algo := range []streamsched.Algorithm{streamsched.LTF, streamsched.RLTF} {
+			reqs = append(reqs, streamsched.SolveRequest{Graph: g, Platform: p,
+				Opts: []streamsched.SolverOption{streamsched.WithAlgorithm(algo)}})
+		}
+	}
+	results := streamsched.SolveMany(ctx, reqs,
+		streamsched.WithEps(eps), streamsched.WithPeriod(period))
+
 	fmt.Println("granularity sweep on the paper's heterogeneous platform (ε=1, Δ=20)")
 	fmt.Printf("%6s | %18s | %18s | %s\n", "g", "LTF  S  L  comms", "R-LTF S  L  comms", "R-LTF measured")
-	for _, gran := range []float64{0.4, 0.6, 0.8, 1.0, 1.4, 2.0} {
-		g := streamsched.RandomStream(7, gran, p)
+	for i, gran := range grans {
 		row := fmt.Sprintf("%6.2f |", gran)
-
-		ltfProb := &streamsched.Problem{Graph: g, Platform: p, Eps: eps, Period: period}
-		if s, err := ltfProb.Solve(streamsched.LTF); err != nil {
+		ltfRes, rltfRes := results[2*i], results[2*i+1]
+		if ltfRes.Err != nil {
 			row += fmt.Sprintf(" %18s |", "infeasible")
 		} else {
+			s := ltfRes.Schedule
 			row += fmt.Sprintf("   %2d %5.0f %5d   |", s.Stages(), s.LatencyBound(), s.CrossComms())
 		}
-
-		rltfProb := &streamsched.Problem{Graph: g, Platform: p, Eps: eps, Period: period}
-		s, err := rltfProb.Solve(streamsched.RLTF)
-		if err != nil {
+		if rltfRes.Err != nil {
 			row += fmt.Sprintf(" %18s |", "infeasible")
 			fmt.Println(row)
 			continue
 		}
+		s := rltfRes.Schedule
 		row += fmt.Sprintf("   %2d %5.0f %5d   |", s.Stages(), s.LatencyBound(), s.CrossComms())
 
 		cfg := streamsched.DefaultSimConfig(s)
 		cfg.Synchronous = true
-		res, err := streamsched.Simulate(s, cfg)
+		res, err := streamsched.Simulate(ctx, s, cfg)
 		if err == nil {
 			row += fmt.Sprintf(" %.0f (bound %.0f)", res.MeanLatency, s.LatencyBound())
 		}
@@ -63,8 +78,15 @@ func main() {
 		{"heterogeneous", p},
 		{"homogeneous", homo},
 	} {
-		prob := &streamsched.Problem{Graph: g, Platform: tc.plat, Eps: eps, Period: period}
-		s, err := prob.Solve(streamsched.RLTF)
+		solver, err := streamsched.NewSolver(
+			streamsched.WithAlgorithm(streamsched.RLTF),
+			streamsched.WithEps(eps),
+			streamsched.WithPeriod(period),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := solver.Solve(ctx, g, tc.plat)
 		if err != nil {
 			fmt.Printf("  %-14s infeasible: %v\n", tc.name, err)
 			continue

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -32,9 +34,21 @@ func main() {
 
 	// One data item must be accepted every 8 time units (T = 1/8), and the
 	// schedule must survive any single processor failure (ε = 1).
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 8}
-	s, err := prob.Solve(streamsched.RLTF)
+	ctx := context.Background()
+	solver, err := streamsched.NewSolver(
+		streamsched.WithAlgorithm(streamsched.RLTF),
+		streamsched.WithEps(1),
+		streamsched.WithPeriod(8),
+	)
 	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := solver.Solve(ctx, g, p)
+	if err != nil {
+		// Infeasibility is typed: the error says *why* no schedule exists.
+		if errors.Is(err, streamsched.ErrInfeasible) {
+			log.Fatalf("no schedule exists: %v", err)
+		}
 		log.Fatal(err)
 	}
 
@@ -51,7 +65,7 @@ func main() {
 	fmt.Println("validation: ok — survives every single-processor failure")
 
 	// Stream 60 items through the pipeline.
-	res, err := streamsched.Simulate(s, streamsched.DefaultSimConfig(s))
+	res, err := streamsched.Simulate(ctx, s, streamsched.DefaultSimConfig(s))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +76,7 @@ func main() {
 	// alive, at a latency cost.
 	cfg := streamsched.DefaultSimConfig(s)
 	cfg.Failures = streamsched.FailureSpec{Procs: []streamsched.ProcID{0}}
-	crashed, err := streamsched.Simulate(s, cfg)
+	crashed, err := streamsched.Simulate(ctx, s, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,11 +51,12 @@ func main() {
 	fmt.Printf("workflow %v, %d-node cluster, %g fps → Δ = %g ms\n\n",
 		g, p.NumProcs(), fps, period)
 
+	ctx := context.Background()
 	// Reference: no replication.
-	ff := solve(g, p, 0, period, streamsched.FaultFree)
+	ff := solve(ctx, g, p, 0, period, streamsched.FaultFree)
 	// Fault tolerant: one arbitrary node may die.
-	ltf := solve(g, p, 1, period, streamsched.LTF)
-	rltf := solve(g, p, 1, period, streamsched.RLTF)
+	ltf := solve(ctx, g, p, 1, period, streamsched.LTF)
+	rltf := solve(ctx, g, p, 1, period, streamsched.RLTF)
 
 	fmt.Printf("%-22s %8s %14s %10s\n", "algorithm", "stages", "latency bound", "comms")
 	for _, s := range []*streamsched.Schedule{ff, ltf, rltf} {
@@ -68,7 +70,7 @@ func main() {
 	// replicas — dies 4 seconds in.
 	cfg := streamsched.SimConfig{Items: 250, Warmup: 20,
 		Failures: streamsched.FailureSpec{Procs: []streamsched.ProcID{0}, At: 4000}}
-	res, err := streamsched.Simulate(rltf, cfg)
+	res, err := streamsched.Simulate(ctx, rltf, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +84,7 @@ func main() {
 	for u := 0; u < p.NumProcs(); u++ {
 		cfg := streamsched.SimConfig{Items: 50, Warmup: 5,
 			Failures: streamsched.FailureSpec{Procs: []streamsched.ProcID{streamsched.ProcID(u)}}}
-		r, err := streamsched.Simulate(ff, cfg)
+		r, err := streamsched.Simulate(ctx, ff, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -94,9 +96,16 @@ func main() {
 		lost, p.NumProcs())
 }
 
-func solve(g *streamsched.Graph, p *streamsched.Platform, eps int, period float64, algo streamsched.Algorithm) *streamsched.Schedule {
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: eps, Period: period}
-	s, err := prob.Solve(algo)
+func solve(ctx context.Context, g *streamsched.Graph, p *streamsched.Platform, eps int, period float64, algo streamsched.Algorithm) *streamsched.Schedule {
+	solver, err := streamsched.NewSolver(
+		streamsched.WithAlgorithm(algo),
+		streamsched.WithEps(eps),
+		streamsched.WithPeriod(period),
+	)
+	if err != nil {
+		log.Fatalf("%v: %v", algo, err)
+	}
+	s, err := solver.Solve(ctx, g, p)
 	if err != nil {
 		log.Fatalf("%v: %v", algo, err)
 	}

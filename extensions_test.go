@@ -4,6 +4,7 @@ package streamsched_test
 // searches, the energy model, and schedule serialization.
 
 import (
+	"context"
 	"testing"
 
 	"streamsched"
@@ -12,7 +13,7 @@ import (
 func TestFacadeMaxThroughput(t *testing.T) {
 	g := streamsched.Chain(4, 1, 0.01)
 	p := streamsched.Homogeneous(4, 1, 100)
-	period, s, err := streamsched.MaxThroughput(g, p, 1, 0, streamsched.RLTF)
+	period, s, err := streamsched.MaxThroughput(context.Background(), g, p, 1, 0, streamsched.RLTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestFacadeMaxThroughput(t *testing.T) {
 func TestFacadeMaxFailures(t *testing.T) {
 	g := streamsched.Chain(3, 1, 0.1)
 	p := streamsched.Homogeneous(8, 1, 10)
-	eps, s, err := streamsched.MaxFailures(g, p, 3.001, 0, streamsched.LTF)
+	eps, s, err := streamsched.MaxFailures(context.Background(), g, p, 3.001, 0, streamsched.LTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestFacadeMaxFailures(t *testing.T) {
 func TestFacadeMinProcessors(t *testing.T) {
 	g := streamsched.Fig2Graph()
 	p := streamsched.Homogeneous(16, 1, 1)
-	m, s, err := streamsched.MinProcessors(g, p, 1, 20, streamsched.LTF)
+	m, s, err := streamsched.MinProcessors(context.Background(), g, p, 1, 20, streamsched.LTF)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module streamsched
+
+go 1.24

@@ -13,11 +13,14 @@
 package baselines
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/ltf"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
@@ -36,12 +39,12 @@ type TaskParallelResult struct {
 // TaskParallel schedules the replicated DAG for minimum makespan with the
 // LTF machinery under an effectively unconstrained period, reproducing the
 // paper's "task parallelism" scenario.
-func TaskParallel(g *dag.Graph, p *platform.Platform, eps int) (*TaskParallelResult, error) {
+func TaskParallel(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int) (*TaskParallelResult, error) {
 	// A period that can never bind: total sequential work plus total
 	// communication on the slowest resources.
 	period := (eps + 1) * 2
 	unconstrained := float64(period)*g.TotalWork()/p.MinSpeed() + float64(period)*g.TotalVolume()/p.MinBandwidth() + 1
-	s, err := ltf.Schedule(g, p, eps, unconstrained, ltf.Options{})
+	s, err := ltf.Schedule(ctx, g, p, eps, unconstrained, ltf.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +78,8 @@ type DataParallelResult struct {
 func DataParallel(g *dag.Graph, p *platform.Platform, eps int) (*DataParallelResult, error) {
 	m := p.NumProcs()
 	if eps+1 > m {
-		return nil, fmt.Errorf("baselines: ε+1 = %d replicas need ≥ that many processors, have %d", eps+1, m)
+		return nil, infeas.Newf(infeas.ReasonNoProcessor, 0,
+			"ε+1 = %d replicas need ≥ that many processors, have %d", eps+1, m)
 	}
 	speeds := append([]float64(nil), p.Speeds()...)
 	sort.Sort(sort.Reverse(sort.Float64Slice(speeds)))
@@ -99,13 +103,19 @@ func DataParallel(g *dag.Graph, p *platform.Platform, eps int) (*DataParallelRes
 }
 
 // Scheduler abstracts the algorithms MinPeriod can drive.
-type Scheduler func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error)
+type Scheduler func(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error)
 
 // MinPeriod binary-searches the smallest period for which sched succeeds,
 // within relative tolerance tol (e.g. 1e-3). It returns the period and the
 // schedule obtained at it. The search brackets with an always-feasible
 // upper bound; if even that fails, the instance is declared infeasible.
-func MinPeriod(g *dag.Graph, p *platform.Platform, eps int, sched Scheduler, tol float64) (float64, *schedule.Schedule, error) {
+// Only infeasibility (errors.Is infeas.ErrInfeasible) narrows the bracket:
+// any other scheduler error — including ctx cancellation — aborts the
+// search and is returned as-is.
+func MinPeriod(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, sched Scheduler, tol float64) (float64, *schedule.Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if tol <= 0 {
 		tol = 1e-3
 	}
@@ -121,19 +131,28 @@ func MinPeriod(g *dag.Graph, p *platform.Platform, eps int, sched Scheduler, tol
 	if math.IsInf(hi, 1) || hi <= 0 {
 		hi = math.Max(1, lo*float64(g.NumTasks()*(eps+1)))
 	}
-	best, err := sched(g, p, eps, hi)
+	best, err := sched(ctx, g, p, eps, hi)
 	if err != nil {
+		if !errors.Is(err, infeas.ErrInfeasible) {
+			return 0, nil, err
+		}
 		return 0, nil, fmt.Errorf("baselines: instance infeasible even at period %g: %w", hi, err)
 	}
 	bestPeriod := hi
 	for hi-lo > tol*hi {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		mid := (lo + hi) / 2
-		s, err := sched(g, p, eps, mid)
-		if err != nil {
-			lo = mid
-		} else {
+		s, err := sched(ctx, g, p, eps, mid)
+		switch {
+		case err == nil:
 			hi = mid
 			best, bestPeriod = s, mid
+		case errors.Is(err, infeas.ErrInfeasible):
+			lo = mid
+		default:
+			return 0, nil, err
 		}
 	}
 	return bestPeriod, best, nil

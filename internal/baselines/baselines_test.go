@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -12,18 +13,18 @@ import (
 	"streamsched/internal/schedule"
 )
 
-func ltfSched(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-	return ltf.Schedule(g, p, eps, period, ltf.Options{})
+func ltfSched(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+	return ltf.Schedule(ctx, g, p, eps, period, ltf.Options{})
 }
 
-func rltfSched(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-	return rltf.Schedule(g, p, eps, period, rltf.Options{})
+func rltfSched(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+	return rltf.Schedule(ctx, g, p, eps, period, rltf.Options{})
 }
 
 func TestTaskParallelFig1(t *testing.T) {
 	g := randgraph.Fig1Graph()
 	p := randgraph.Fig1Platform()
-	res, err := TaskParallel(g, p, 1)
+	res, err := TaskParallel(context.Background(), g, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestMinPeriodChain(t *testing.T) {
 	// (two tasks per processor), communication aside.
 	g := randgraph.Chain(4, 1, 0.001)
 	p := platform.Homogeneous(2, 1, 1000)
-	period, s, err := MinPeriod(g, p, 0, rltfSched, 1e-4)
+	period, s, err := MinPeriod(context.Background(), g, p, 0, rltfSched, 1e-4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestMinPeriodLowerBoundRespected(t *testing.T) {
 	g := dag.New("one")
 	g.AddTask("t", 12)
 	p := platform.New([]float64{3, 1}, [][]float64{{0, 1}, {1, 0}})
-	period, _, err := MinPeriod(g, p, 0, rltfSched, 1e-4)
+	period, _, err := MinPeriod(context.Background(), g, p, 0, rltfSched, 1e-4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,11 +105,11 @@ func TestMinPeriodLowerBoundRespected(t *testing.T) {
 func TestMinPeriodMonotoneInEps(t *testing.T) {
 	g := randgraph.Chain(5, 1, 0.01)
 	p := platform.Homogeneous(6, 1, 100)
-	p0, _, err := MinPeriod(g, p, 0, ltfSched, 1e-3)
+	p0, _, err := MinPeriod(context.Background(), g, p, 0, ltfSched, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p1, _, err := MinPeriod(g, p, 1, ltfSched, 1e-3)
+	p1, _, err := MinPeriod(context.Background(), g, p, 1, ltfSched, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestMinPeriodInfeasible(t *testing.T) {
 	g := randgraph.Chain(3, 1, 1)
 	p := platform.Homogeneous(2, 1, 1)
 	// ε+1 = 4 > m = 2: no period can help.
-	if _, _, err := MinPeriod(g, p, 3, ltfSched, 1e-3); err == nil {
+	if _, _, err := MinPeriod(context.Background(), g, p, 3, ltfSched, 1e-3); err == nil {
 		t.Fatal("expected infeasibility")
 	}
 }
@@ -129,7 +130,7 @@ func TestMinPeriodInfeasible(t *testing.T) {
 func TestTaskParallelSchedulesEverything(t *testing.T) {
 	g := randgraph.GaussianElimination(5, 2, 1)
 	p := platform.Homogeneous(6, 1, 1)
-	res, err := TaskParallel(g, p, 1)
+	res, err := TaskParallel(context.Background(), g, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,10 +12,10 @@ package baselines
 // of the surveyed heuristics replicates.
 
 import (
-	"fmt"
 	"sort"
 
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
@@ -100,7 +100,8 @@ func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Sc
 		})
 		a, b := list[0], list[1]
 		if load[a]+load[b] > period {
-			return nil, fmt.Errorf("baselines: clustering cannot reduce to %d processors within period %g", p.NumProcs(), period)
+			return nil, infeas.Newf(infeas.ReasonPeriodExceeded, period,
+				"clustering cannot reduce to %d processors", p.NumProcs())
 		}
 		parent[b] = a
 		load[a] += load[b]
@@ -147,7 +148,7 @@ func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Sc
 	for _, t := range order {
 		u := procOf[t]
 		if !ls.feasible(t, u) {
-			return nil, fmt.Errorf("baselines: clustering placement of task %d violates the period on P%d", t, u+1)
+			return nil, &infeas.Error{Reason: infeas.ReasonPeriodExceeded, Task: t, Copy: -1, Proc: u, Period: period}
 		}
 		ls.commit(t, u)
 	}

@@ -15,10 +15,10 @@ package baselines
 //     processor minimizing its finish time.
 
 import (
-	"fmt"
 	"math"
 
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/oneport"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
@@ -150,7 +150,8 @@ func ETF(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Schedule
 			}
 		}
 		if bestIdx < 0 {
-			return nil, fmt.Errorf("baselines: ETF cannot place any ready task within period %g", period)
+			return nil, infeas.Newf(infeas.ReasonPeriodExceeded, period,
+				"ETF cannot place any ready task")
 		}
 		t := ready[bestIdx]
 		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
@@ -209,7 +210,7 @@ func HEFT(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Schedul
 			}
 		}
 		if bestProc < 0 {
-			return nil, fmt.Errorf("baselines: HEFT cannot place task %d within period %g", t, period)
+			return nil, infeas.AtTask(infeas.ReasonPeriodExceeded, t, -1, period)
 		}
 		ls.commit(t, bestProc)
 	}

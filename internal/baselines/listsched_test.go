@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"streamsched/internal/dag"
@@ -121,7 +122,7 @@ func TestRLTFStagesBeatListSchedulers(t *testing.T) {
 		cfg.MinTasks, cfg.MaxTasks = 30, 60
 		g := randgraph.Stream(r, cfg, p)
 		period := 10.0
-		rs, err := rltfSched(g, p, 0, period)
+		rs, err := rltfSched(context.Background(), g, p, 0, period)
 		if err != nil {
 			continue
 		}

@@ -5,16 +5,20 @@
 // minimizing the latency L = (2S−1)/T.
 //
 // The package is a thin, stable façade over internal/ltf and internal/rltf;
-// the root streamsched package re-exports it for library consumers.
+// the root streamsched package re-exports it for library consumers. The
+// entry point is the context-aware Solver (see solver.go), configured with
+// functional options and reporting infeasibility through the typed
+// ErrInfeasible/*InfeasibleError family; Batch and SolveMany fan instances
+// across a bounded worker pool, and the Portfolio algorithm races LTF
+// against R-LTF per instance.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"streamsched/internal/dag"
-	"streamsched/internal/ltf"
 	"streamsched/internal/platform"
-	"streamsched/internal/rltf"
 	"streamsched/internal/schedule"
 )
 
@@ -30,6 +34,9 @@ const (
 	RLTF
 	// FaultFree is the reference schedule: R-LTF with ε forced to 0.
 	FaultFree
+	// Portfolio races LTF and R-LTF concurrently on the instance and keeps
+	// the lower-latency feasible schedule (ties favour R-LTF).
+	Portfolio
 )
 
 // String names the algorithm as in the paper.
@@ -41,6 +48,8 @@ func (a Algorithm) String() string {
 		return "R-LTF"
 	case FaultFree:
 		return "FF"
+	case Portfolio:
+		return "Portfolio"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -81,33 +90,39 @@ func (pr *Problem) Validate() error {
 	return nil
 }
 
-// Solve runs the selected algorithm on the instance.
-func (pr *Problem) Solve(algo Algorithm) (*schedule.Schedule, error) {
+// Solver converts the instance into an equivalent Solver for algo.
+func (pr *Problem) Solver(algo Algorithm) (*Solver, error) {
 	if err := pr.Validate(); err != nil {
 		return nil, err
 	}
-	switch algo {
-	case LTF:
-		return ltf.Schedule(pr.Graph, pr.Platform, pr.Eps, pr.Period, ltf.Options{
-			ChunkSize:       pr.ChunkSize,
-			DisableOneToOne: pr.DisableOneToOne,
-		})
-	case RLTF:
-		return rltf.Schedule(pr.Graph, pr.Platform, pr.Eps, pr.Period, rltf.Options{
-			ChunkSize:       pr.ChunkSize,
-			DisableOneToOne: pr.DisableOneToOne,
-		})
-	case FaultFree:
-		return rltf.FaultFree(pr.Graph, pr.Platform, pr.Period, rltf.Options{
-			ChunkSize: pr.ChunkSize,
-		})
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	return NewSolver(
+		WithAlgorithm(algo),
+		WithEps(pr.Eps),
+		WithPeriod(pr.Period),
+		WithChunkSize(pr.ChunkSize),
+		WithOneToOne(!pr.DisableOneToOne),
+	)
+}
+
+// Solve runs the selected algorithm on the instance.
+//
+// Deprecated: build a Solver with NewSolver and call Solve(ctx, g, p) —
+// it accepts a context, a latency cap and the Portfolio mode. Solve is a
+// thin shim kept for source compatibility; it solves under
+// context.Background().
+func (pr *Problem) Solve(algo Algorithm) (*schedule.Schedule, error) {
+	s, err := pr.Solver(algo)
+	if err != nil {
+		return nil, err
 	}
+	return s.Solve(context.Background(), pr.Graph, pr.Platform)
 }
 
 // SolveAll runs LTF and R-LTF on the instance and returns both schedules
 // (nil where infeasible) — the comparison the paper's evaluation makes.
+//
+// Deprecated: use SolveMany with two requests, or a Portfolio Solver when
+// only the better schedule is needed.
 func (pr *Problem) SolveAll() (ltfSched, rltfSched *schedule.Schedule, ltfErr, rltfErr error) {
 	ltfSched, ltfErr = pr.Solve(LTF)
 	rltfSched, rltfErr = pr.Solve(RLTF)

@@ -4,17 +4,26 @@
 // simulator (with and without crashes), and averaged. The Figure 3 and 4
 // series are column views over the resulting points; the Figure 1 and 2
 // worked examples live in fig12.go.
+//
+// The harness is built on the core solving API: every (granularity,
+// replicate) cell of a campaign contributes its three scheduling requests
+// (fault-free reference, LTF, R-LTF) to one core.Batch, so the whole
+// campaign's schedules are computed concurrently on a bounded worker pool
+// rather than point by point; the simulation phase then fans the surviving
+// cells across the same worker budget. Cells remain individually seeded, so
+// the results are deterministic for any worker count.
 package experiments
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 
-	"streamsched/internal/ltf"
+	"streamsched/internal/core"
+	"streamsched/internal/dag"
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
-	"streamsched/internal/rltf"
 	"streamsched/internal/rng"
 	"streamsched/internal/schedule"
 	"streamsched/internal/sim"
@@ -102,38 +111,19 @@ type instanceResult struct {
 	ltfComms, rltfComms          float64
 }
 
-// Run executes the sweep and returns one Point per granularity.
-func Run(cfg Config) []Point {
-	if cfg.GraphsPerPoint <= 0 {
-		cfg.GraphsPerPoint = 60
-	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	points := make([]Point, len(cfg.Granularities))
-	for gi, gran := range cfg.Granularities {
-		results := make([]instanceResult, cfg.GraphsPerPoint)
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for rep := 0; rep < cfg.GraphsPerPoint; rep++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(gi, rep int, gran float64) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				results[rep] = runInstance(cfg, gi, rep, gran)
-			}(gi, rep, gran)
-		}
-		wg.Wait()
-		points[gi] = aggregate(gran, results)
-	}
-	return points
+// cell is one (granularity, replicate) instance of a campaign, generated
+// up-front from its own deterministic seed.
+type cell struct {
+	gi, rep int
+	gran    float64
+	g       *dag.Graph
+	p       *platform.Platform
+	crashed []platform.ProcID
 }
 
-// runInstance evaluates one (granularity, replicate) cell.
-func runInstance(cfg Config, gi, rep int, gran float64) instanceResult {
-	// Independent deterministic streams per cell.
+// makeCell draws one cell. The rng consumption order (platform, graph,
+// crash sample) is part of the campaign's reproducibility contract.
+func makeCell(cfg Config, gi, rep int, gran float64) cell {
 	seed := cfg.Seed ^ uint64(gi)<<32 ^ uint64(rep)<<8 ^ uint64(cfg.Eps)
 	r := rng.New(seed)
 	p := platform.RandomHeterogeneous(r, cfg.Procs, 0.5, 1.0, 0.5, 1.0, 100)
@@ -144,26 +134,112 @@ func runInstance(cfg Config, gi, rep int, gran float64) instanceResult {
 		gcfg.ComputeFraction = cfg.ComputeFraction
 	}
 	g := randgraph.Stream(r, gcfg, p)
+	c := cell{gi: gi, rep: rep, gran: gran, g: g, p: p}
+	if cfg.Crashes > 0 {
+		// "Processors that fail ... are chosen uniformly" — same crash set
+		// for both algorithms, for a paired comparison.
+		for _, u := range r.Sample(cfg.Procs, cfg.Crashes) {
+			c.crashed = append(c.crashed, platform.ProcID(u))
+		}
+	}
+	return c
+}
 
+// Run executes the sweep and returns one Point per granularity. The whole
+// campaign — every granularity's schedules and simulations — runs
+// concurrently under cfg.Workers; a cancelled ctx aborts with ctx.Err().
+func Run(ctx context.Context, cfg Config) ([]Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.GraphsPerPoint <= 0 {
+		cfg.GraphsPerPoint = 60
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Phase 1: generate every cell of the campaign.
+	cells := make([]cell, 0, len(cfg.Granularities)*cfg.GraphsPerPoint)
+	for gi, gran := range cfg.Granularities {
+		for rep := 0; rep < cfg.GraphsPerPoint; rep++ {
+			cells = append(cells, makeCell(cfg, gi, rep, gran))
+		}
+	}
+
+	// Phase 2: one batch of 3 requests per cell — the fault-free reference
+	// at Δ_base and LTF/R-LTF at Δ_base·(ε+1) — solved concurrently.
 	period := cfg.PeriodBase * float64(cfg.Eps+1)
-	var res instanceResult
+	reqs := make([]core.Request, 0, 3*len(cells))
+	for _, c := range cells {
+		reqs = append(reqs,
+			core.Request{Graph: c.g, Platform: c.p, Opts: []core.Option{
+				core.WithAlgorithm(core.FaultFree), core.WithPeriod(cfg.PeriodBase)}},
+			core.Request{Graph: c.g, Platform: c.p, Opts: []core.Option{
+				core.WithAlgorithm(core.LTF), core.WithEps(cfg.Eps), core.WithPeriod(period)}},
+			core.Request{Graph: c.g, Platform: c.p, Opts: []core.Option{
+				core.WithAlgorithm(core.RLTF), core.WithEps(cfg.Eps), core.WithPeriod(period)}},
+		)
+	}
+	batch := core.Batch{Workers: workers}
+	solved := batch.Solve(ctx, reqs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	ff, err := rltf.FaultFree(g, p, cfg.PeriodBase, rltf.Options{})
-	if err != nil {
-		res.ffF = true
+	// Phase 3: simulate the cells where all three schedulers succeeded,
+	// fanned across the same worker budget.
+	results := make([]instanceResult, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range cells {
+		ff, ls, rs := solved[3*i], solved[3*i+1], solved[3*i+2]
+		// Only classified infeasibility counts as "the algorithm failed";
+		// anything else (cancellation, bad config) aborts the campaign.
+		for _, r := range []core.Result{ff, ls, rs} {
+			if r.Err != nil && !errors.Is(r.Err, core.ErrInfeasible) {
+				return nil, r.Err
+			}
+		}
+		results[i].ffF = ff.Err != nil
+		results[i].ltfFail = ls.Err != nil
+		results[i].rltfFail = rs.Err != nil
+		if results[i].ffF || results[i].ltfFail || results[i].rltfFail {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, ff, ls, rs *schedule.Schedule) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = measure(ctx, &results[i], cells[i], ff, ls, rs)
+		}(i, ff.Schedule, ls.Schedule, rs.Schedule)
 	}
-	ls, err := ltf.Schedule(g, p, cfg.Eps, period, ltf.Options{})
-	if err != nil {
-		res.ltfFail = true
-	}
-	rs, err := rltf.Schedule(g, p, cfg.Eps, period, rltf.Options{})
-	if err != nil {
-		res.rltfFail = true
-	}
-	if res.ffF || res.ltfFail || res.rltfFail {
-		return res
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 
+	// Phase 4: aggregate per granularity point.
+	points := make([]Point, len(cfg.Granularities))
+	for gi, gran := range cfg.Granularities {
+		byPoint := make([]instanceResult, 0, cfg.GraphsPerPoint)
+		for i, c := range cells {
+			if c.gi == gi {
+				byPoint = append(byPoint, results[i])
+			}
+		}
+		points[gi] = aggregate(gran, byPoint)
+	}
+	return points, nil
+}
+
+// measure fills one cell's measurements from the simulator.
+func measure(ctx context.Context, res *instanceResult, c cell, ff, ls, rs *schedule.Schedule) error {
 	res.ltfBound = ls.LatencyBound()
 	res.rltfBound = rs.LatencyBound()
 	res.ffBound = ff.LatencyBound()
@@ -172,31 +248,41 @@ func runInstance(cfg Config, gi, rep int, gran float64) instanceResult {
 	res.ltfComms = float64(ls.CrossComms())
 	res.rltfComms = float64(rs.CrossComms())
 
-	res.ffSim0 = mustSim(ff, nil, false)
-	res.ltfSim0 = mustSim(ls, nil, false)
-	res.rltfSim0 = mustSim(rs, nil, false)
-	res.ffSync0 = mustSim(ff, nil, true)
-	res.ltfSync0 = mustSim(ls, nil, true)
-	res.rltfSync0 = mustSim(rs, nil, true)
-
-	if cfg.Crashes > 0 {
-		// "Processors that fail ... are chosen uniformly" — same crash set
-		// for both algorithms, for a paired comparison.
-		crashed := make([]platform.ProcID, 0, cfg.Crashes)
-		for _, u := range r.Sample(cfg.Procs, cfg.Crashes) {
-			crashed = append(crashed, platform.ProcID(u))
+	type simRun struct {
+		out     *float64
+		s       *schedule.Schedule
+		crashed []platform.ProcID
+		sync    bool
+	}
+	runs := []simRun{
+		{&res.ffSim0, ff, nil, false},
+		{&res.ltfSim0, ls, nil, false},
+		{&res.rltfSim0, rs, nil, false},
+		{&res.ffSync0, ff, nil, true},
+		{&res.ltfSync0, ls, nil, true},
+		{&res.rltfSync0, rs, nil, true},
+	}
+	if len(c.crashed) > 0 {
+		runs = append(runs,
+			simRun{&res.ltfSimC, ls, c.crashed, false},
+			simRun{&res.rltfSimC, rs, c.crashed, false},
+			simRun{&res.ltfSyncC, ls, c.crashed, true},
+			simRun{&res.rltfSyncC, rs, c.crashed, true},
+		)
+	}
+	for _, r := range runs {
+		lat, err := meanLatency(ctx, r.s, r.crashed, r.sync)
+		if err != nil {
+			return err
 		}
-		res.ltfSimC = mustSim(ls, crashed, false)
-		res.rltfSimC = mustSim(rs, crashed, false)
-		res.ltfSyncC = mustSim(ls, crashed, true)
-		res.rltfSyncC = mustSim(rs, crashed, true)
+		*r.out = lat
 	}
 	res.ok = true
-	return res
+	return nil
 }
 
-// mustSim runs the simulator and returns the mean measured latency.
-func mustSim(s *schedule.Schedule, crashed []platform.ProcID, synchronous bool) float64 {
+// meanLatency runs the simulator and returns the mean measured latency.
+func meanLatency(ctx context.Context, s *schedule.Schedule, crashed []platform.ProcID, synchronous bool) (float64, error) {
 	cfg := sim.DefaultConfig(s)
 	cfg.Synchronous = synchronous
 	if synchronous {
@@ -209,11 +295,11 @@ func mustSim(s *schedule.Schedule, crashed []platform.ProcID, synchronous bool) 
 	if len(crashed) > 0 {
 		cfg.Failures = sim.FailureSpec{Procs: crashed}
 	}
-	res, err := sim.Run(s, cfg)
+	res, err := sim.Run(ctx, s, cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: simulation failed: %v", err))
+		return 0, err
 	}
-	return res.MeanLatency
+	return res.MeanLatency, nil
 }
 
 func aggregate(gran float64, results []instanceResult) Point {

@@ -1,10 +1,21 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 )
+
+// mustRun runs a sweep, failing the test on campaign errors.
+func mustRun(t *testing.T, cfg Config) []Point {
+	t.Helper()
+	pts, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
 
 // miniConfig keeps test sweeps fast.
 func miniConfig(eps, crashes int) Config {
@@ -15,7 +26,10 @@ func miniConfig(eps, crashes int) Config {
 }
 
 func TestRunProducesPoints(t *testing.T) {
-	pts := Run(miniConfig(1, 1))
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	pts := mustRun(t, miniConfig(1, 1))
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -31,7 +45,10 @@ func TestRunProducesPoints(t *testing.T) {
 }
 
 func TestPaperShapeInvariants(t *testing.T) {
-	pts := Run(miniConfig(1, 1))
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	pts := mustRun(t, miniConfig(1, 1))
 	for _, p := range pts {
 		// The figures' central claims, per point:
 		if p.RLTFBound > p.LTFBound+1e-9 {
@@ -53,8 +70,11 @@ func TestPaperShapeInvariants(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
-	a := Run(miniConfig(1, 1))
-	b := Run(miniConfig(1, 1))
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	a := mustRun(t, miniConfig(1, 1))
+	b := mustRun(t, miniConfig(1, 1))
 	for i := range a {
 		if a[i].LTFBound != b[i].LTFBound || a[i].RLTFSync0 != b[i].RLTFSync0 ||
 			a[i].LTFSimC != b[i].LTFSimC || a[i].N != b[i].N {
@@ -64,7 +84,10 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestSeriesColumns(t *testing.T) {
-	pts := Run(miniConfig(1, 1))
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	pts := mustRun(t, miniConfig(1, 1))
 	for _, fig := range []Figure{FigBounds, FigCrash, FigOverhead} {
 		header, rows := Series(pts, fig)
 		if len(header) != 5 {
@@ -112,7 +135,7 @@ func TestSummaryRendering(t *testing.T) {
 }
 
 func TestFig1ReproducesPaperValues(t *testing.T) {
-	r, err := Fig1()
+	r, err := Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +158,7 @@ func TestFig1ReproducesPaperValues(t *testing.T) {
 }
 
 func TestFig2QualitativeClaim(t *testing.T) {
-	r, err := Fig2()
+	r, err := Fig2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +184,7 @@ func TestEps3Sweep(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	pts := Run(miniConfig(3, 2))
+	pts := mustRun(t, miniConfig(3, 2))
 	for _, p := range pts {
 		if p.N == 0 {
 			t.Fatalf("no ε=3 instance succeeded at g=%v", p.Granularity)

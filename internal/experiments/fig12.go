@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
 	"streamsched/internal/baselines"
-	"streamsched/internal/ltf"
+	"streamsched/internal/core"
 	"streamsched/internal/randgraph"
-	"streamsched/internal/rltf"
 	"streamsched/internal/schedule"
 )
 
@@ -25,12 +26,15 @@ type Fig1Result struct {
 }
 
 // Fig1 runs the three scenarios.
-func Fig1() (*Fig1Result, error) {
+func Fig1(ctx context.Context) (*Fig1Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := randgraph.Fig1Graph()
 	p := randgraph.Fig1Platform()
 	out := &Fig1Result{}
 
-	tp, err := baselines.TaskParallel(g, p, 1)
+	tp, err := baselines.TaskParallel(ctx, g, p, 1)
 	if err != nil {
 		return nil, fmt.Errorf("task parallelism: %w", err)
 	}
@@ -45,7 +49,11 @@ func Fig1() (*Fig1Result, error) {
 	out.DataParThroughput = dp.Throughput
 
 	// Pipelined execution at the paper's period Δ = 30.
-	ps, err := rltf.Schedule(g, p, 1, 30, rltf.Options{})
+	solver, err := core.NewSolver(core.WithAlgorithm(core.RLTF), core.WithEps(1), core.WithPeriod(30))
+	if err != nil {
+		return nil, err
+	}
+	ps, err := solver.Solve(ctx, g, p)
 	if err != nil {
 		return nil, fmt.Errorf("pipelined execution: %w", err)
 	}
@@ -92,28 +100,40 @@ type Fig2Result struct {
 	Cells []Fig2Cell
 }
 
-// Fig2 runs LTF and R-LTF on m ∈ {8, 9, 10} at Δ = 20, ε = 1.
-func Fig2() (*Fig2Result, error) {
+// Fig2 runs LTF and R-LTF on m ∈ {8, 9, 10} at Δ = 20, ε = 1 — one batch
+// of six independent solves.
+func Fig2(ctx context.Context) (*Fig2Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := randgraph.Fig2Graph()
 	out := &Fig2Result{}
-	for _, m := range []int{8, 9, 10} {
+	ms := []int{8, 9, 10}
+	algos := []core.Algorithm{core.LTF, core.RLTF}
+	var reqs []core.Request
+	for _, m := range ms {
 		p := randgraph.Fig2Platform(m)
-		if s, err := ltf.Schedule(g, p, 1, 20, ltf.Options{}); err != nil {
-			out.Cells = append(out.Cells, Fig2Cell{Algorithm: "LTF", Procs: m})
-		} else {
-			out.Cells = append(out.Cells, Fig2Cell{
-				Algorithm: "LTF", Procs: m, Feasible: true,
-				Stages: s.Stages(), Latency: s.LatencyBound(), Schedule: s,
-			})
+		for _, algo := range algos {
+			reqs = append(reqs, core.Request{Graph: g, Platform: p,
+				Opts: []core.Option{core.WithAlgorithm(algo)}})
 		}
-		if s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{}); err != nil {
-			out.Cells = append(out.Cells, Fig2Cell{Algorithm: "R-LTF", Procs: m})
-		} else {
-			out.Cells = append(out.Cells, Fig2Cell{
-				Algorithm: "R-LTF", Procs: m, Feasible: true,
-				Stages: s.Stages(), Latency: s.LatencyBound(), Schedule: s,
-			})
+	}
+	results := core.SolveMany(ctx, reqs, core.WithEps(1), core.WithPeriod(20))
+	for i, r := range results {
+		m := ms[i/len(algos)]
+		name := algos[i%len(algos)].String()
+		if r.Err != nil {
+			if !errors.Is(r.Err, core.ErrInfeasible) {
+				return nil, r.Err
+			}
+			out.Cells = append(out.Cells, Fig2Cell{Algorithm: name, Procs: m})
+			continue
 		}
+		s := r.Schedule
+		out.Cells = append(out.Cells, Fig2Cell{
+			Algorithm: name, Procs: m, Feasible: true,
+			Stages: s.Stages(), Latency: s.LatencyBound(), Schedule: s,
+		})
 	}
 	return out, nil
 }

@@ -6,10 +6,15 @@ package experiments
 // trade-off curve of the paper's introduction.
 
 import (
+	"context"
+	"errors"
 	"math"
+	"runtime"
+	"sync"
 
 	"streamsched/internal/baselines"
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
 	"streamsched/internal/rltf"
@@ -32,46 +37,92 @@ type RelatedPoint struct {
 }
 
 // RelatedWork sweeps granularity and compares the four heuristics at ε=0
-// under the same period Δ_base.
-func RelatedWork(cfg Config) []RelatedPoint {
+// under the same period Δ_base. The (granularity, replicate) cells are
+// evaluated concurrently under cfg.Workers. Only classified infeasibility
+// drops a cell; any other error — including ctx cancellation — aborts the
+// sweep.
+func RelatedWork(ctx context.Context, cfg Config) ([]RelatedPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.GraphsPerPoint <= 0 {
 		cfg.GraphsPerPoint = 60
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	type cellOut struct {
+		ok             bool
+		err            error
+		rs, es, hs, cs *schedule.Schedule
+	}
 	var out []RelatedPoint
 	for gi, gran := range cfg.Granularities {
+		cells := make([]cellOut, cfg.GraphsPerPoint)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for rep := 0; rep < cfg.GraphsPerPoint; rep++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(gi, rep int, gran float64) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := ctx.Err(); err != nil {
+					cells[rep].err = err
+					return
+				}
+				seed := cfg.Seed ^ uint64(gi)<<40 ^ uint64(rep)<<12 ^ 0xBEEF
+				r := rng.New(seed)
+				p := platform.RandomHeterogeneous(r, cfg.Procs, 0.5, 1.0, 0.5, 1.0, 100)
+				gcfg := randgraph.DefaultStreamConfig()
+				gcfg.Granularity = gran
+				gcfg.PeriodBase = cfg.PeriodBase
+				if cfg.ComputeFraction > 0 {
+					gcfg.ComputeFraction = cfg.ComputeFraction
+				}
+				g := randgraph.Stream(r, gcfg, p)
+
+				rs, err1 := rltf.FaultFree(ctx, g, p, cfg.PeriodBase, rltf.Options{})
+				es, err2 := baselines.ETF(g, p, cfg.PeriodBase)
+				hs, err3 := baselines.HEFT(g, p, cfg.PeriodBase)
+				cs, err4 := baselines.Clustered(g, p, cfg.PeriodBase)
+				for _, err := range []error{err1, err2, err3, err4} {
+					if err != nil {
+						if !errors.Is(err, infeas.ErrInfeasible) {
+							cells[rep].err = err
+						}
+						return
+					}
+				}
+				cells[rep] = cellOut{ok: true, rs: rs, es: es, hs: hs, cs: cs}
+			}(gi, rep, gran)
+		}
+		wg.Wait()
+		for _, c := range cells {
+			if c.err != nil {
+				return nil, c.err
+			}
+		}
+
 		var stR, stE, stH, stC []float64
 		var lbR, lbE, lbH, lbC []float64
 		var cmR, cmE, cmH, cmC []float64
 		n := 0
-		for rep := 0; rep < cfg.GraphsPerPoint; rep++ {
-			seed := cfg.Seed ^ uint64(gi)<<40 ^ uint64(rep)<<12 ^ 0xBEEF
-			r := rng.New(seed)
-			p := platform.RandomHeterogeneous(r, cfg.Procs, 0.5, 1.0, 0.5, 1.0, 100)
-			gcfg := randgraph.DefaultStreamConfig()
-			gcfg.Granularity = gran
-			gcfg.PeriodBase = cfg.PeriodBase
-			if cfg.ComputeFraction > 0 {
-				gcfg.ComputeFraction = cfg.ComputeFraction
-			}
-			g := randgraph.Stream(r, gcfg, p)
-
-			rs, err1 := rltf.FaultFree(g, p, cfg.PeriodBase, rltf.Options{})
-			es, err2 := baselines.ETF(g, p, cfg.PeriodBase)
-			hs, err3 := baselines.HEFT(g, p, cfg.PeriodBase)
-			cs, err4 := baselines.Clustered(g, p, cfg.PeriodBase)
-			if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		collect := func(s *schedule.Schedule, st, lb, cm *[]float64) {
+			*st = append(*st, float64(s.Stages()))
+			*lb = append(*lb, s.LatencyBound())
+			*cm = append(*cm, float64(s.CrossComms()))
+		}
+		for _, c := range cells {
+			if !c.ok {
 				continue
 			}
 			n++
-			collect := func(s *schedule.Schedule, st, lb, cm *[]float64) {
-				*st = append(*st, float64(s.Stages()))
-				*lb = append(*lb, s.LatencyBound())
-				*cm = append(*cm, float64(s.CrossComms()))
-			}
-			collect(rs, &stR, &lbR, &cmR)
-			collect(es, &stE, &lbE, &cmE)
-			collect(hs, &stH, &lbH, &cmH)
-			collect(cs, &stC, &lbC, &cmC)
+			collect(c.rs, &stR, &lbR, &cmR)
+			collect(c.es, &stE, &lbE, &cmE)
+			collect(c.hs, &stH, &lbH, &cmH)
+			collect(c.cs, &stC, &lbC, &cmC)
 		}
 		out = append(out, RelatedPoint{
 			Granularity: gran, N: n,
@@ -83,7 +134,7 @@ func RelatedWork(cfg Config) []RelatedPoint {
 			HEFTComms: stats.Mean(cmH), ClustComms: stats.Mean(cmC),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // RelatedSeries renders the latency-bound comparison as a table/CSV/plot
@@ -109,11 +160,14 @@ type TradeoffPoint struct {
 // Tradeoff sweeps the required period geometrically from the minimal
 // feasible period (found by binary search) up to relax× that value and
 // records the resulting stage counts and latency bounds for R-LTF.
-func Tradeoff(g *dag.Graph, p *platform.Platform, eps int, points int, relax float64) ([]TradeoffPoint, error) {
-	sched := func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-		return rltf.Schedule(g, p, eps, period, rltf.Options{})
+func Tradeoff(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, points int, relax float64) ([]TradeoffPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	minP, _, err := baselines.MinPeriod(g, p, eps, sched, 1e-3)
+	sched := func(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
+		return rltf.Schedule(ctx, g, p, eps, period, rltf.Options{})
+	}
+	minP, _, err := baselines.MinPeriod(ctx, g, p, eps, sched, 1e-3)
 	if err != nil {
 		return nil, err
 	}
@@ -125,9 +179,15 @@ func Tradeoff(g *dag.Graph, p *platform.Platform, eps int, points int, relax flo
 	}
 	out := make([]TradeoffPoint, 0, points)
 	for i := 0; i < points; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		frac := float64(i) / float64(points-1)
 		period := minP * math.Pow(relax, 1-frac)
-		s, err := sched(g, p, eps, period)
+		s, err := sched(ctx, g, p, eps, period)
+		if err != nil && !errors.Is(err, infeas.ErrInfeasible) {
+			return nil, err
+		}
 		tp := TradeoffPoint{Period: period}
 		if err == nil {
 			tp.Feasible = true

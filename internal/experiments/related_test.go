@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"streamsched/internal/platform"
@@ -8,10 +9,16 @@ import (
 )
 
 func TestRelatedWorkComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
 	cfg := DefaultConfig(0, 0)
 	cfg.GraphsPerPoint = 5
 	cfg.Granularities = []float64{0.8, 1.6}
-	pts := RelatedWork(cfg)
+	pts, err := RelatedWork(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pts) != 2 {
 		t.Fatalf("points = %d", len(pts))
 	}
@@ -42,7 +49,7 @@ func TestRelatedSeriesShape(t *testing.T) {
 func TestTradeoffCurve(t *testing.T) {
 	g := randgraph.Butterfly(3, 3, 1)
 	p := platform.Homogeneous(12, 1, 2)
-	pts, err := Tradeoff(g, p, 1, 6, 4)
+	pts, err := Tradeoff(context.Background(), g, p, 1, 6, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +83,7 @@ func TestTradeoffCurve(t *testing.T) {
 func TestTradeoffInfeasibleInstance(t *testing.T) {
 	g := randgraph.Chain(3, 10, 1)
 	p := platform.Homogeneous(2, 1, 1)
-	if _, err := Tradeoff(g, p, 3, 4, 2); err == nil {
+	if _, err := Tradeoff(context.Background(), g, p, 3, 4, 2); err == nil {
 		t.Fatal("ε+1 > m must fail")
 	}
 }

@@ -1,0 +1,136 @@
+// Package infeas defines the typed infeasibility error family shared by
+// every scheduling algorithm in the module. "The algorithm fails" (§4.1) is
+// an expected outcome of the paper's decision problem — is there a schedule
+// at period Δ with ε replicas? — and the tri-criteria searches probe it
+// hundreds of times per instance, so callers must be able to distinguish
+// "no schedule exists" from "the solver broke" without string matching:
+//
+//	s, err := solver.Solve(ctx, g, p)
+//	if errors.Is(err, infeas.ErrInfeasible) { ... widen the search ... }
+//
+// The package sits below mapper/ltf/rltf/baselines (which construct the
+// errors) and below core (which re-exports the family on the public
+// façade as core.ErrInfeasible / *core.InfeasibleError).
+package infeas
+
+import (
+	"errors"
+	"fmt"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+)
+
+// ErrInfeasible is the sentinel every infeasibility error wraps: it means
+// the instance admits no schedule under the requested constraints, not that
+// the solver malfunctioned. Match with errors.Is.
+var ErrInfeasible = errors.New("no feasible schedule")
+
+// Reason classifies why an instance is infeasible.
+type Reason int
+
+const (
+	// ReasonUnknown is the zero value; avoid constructing errors with it.
+	ReasonUnknown Reason = iota
+	// ReasonPeriodExceeded: some replica's compute load cannot fit within
+	// the period Δ on any admissible processor (condition (1), T·Σ_u ≤ 1).
+	ReasonPeriodExceeded
+	// ReasonPortOverload: the compute loads fit, but some send or receive
+	// port budget is exhausted on every admissible placement (condition (1),
+	// T·C_u^I ≤ 1 / T·C_h^O ≤ 1).
+	ReasonPortOverload
+	// ReasonNoProcessor: the platform has no admissible processor at all —
+	// fewer than ε+1 processors, or every processor excluded by the
+	// replica-disjointness discipline.
+	ReasonNoProcessor
+	// ReasonLatencyExceeded: a schedule exists but its latency bound
+	// (2S−1)·Δ exceeds the requested cap.
+	ReasonLatencyExceeded
+	// ReasonSearchExhausted: a tri-criteria search probed its whole window
+	// without finding any feasible point.
+	ReasonSearchExhausted
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case ReasonPeriodExceeded:
+		return "period exceeded"
+	case ReasonPortOverload:
+		return "port overload"
+	case ReasonNoProcessor:
+		return "no processor"
+	case ReasonLatencyExceeded:
+		return "latency exceeded"
+	case ReasonSearchExhausted:
+		return "search exhausted"
+	default:
+		return fmt.Sprintf("Reason(%d)", int(r))
+	}
+}
+
+// NoTask and NoProc mark the Task/Proc fields of errors that are not tied
+// to a specific task or processor.
+const (
+	NoTask = dag.TaskID(-1)
+	NoProc = platform.ProcID(-1)
+)
+
+// Error is a classified infeasibility. It wraps ErrInfeasible, so
+// errors.Is(err, ErrInfeasible) is true for every *Error.
+type Error struct {
+	// Reason classifies the failure.
+	Reason Reason
+	// Task is the task whose replica could not be placed (NoTask when the
+	// failure is not task-specific).
+	Task dag.TaskID
+	// Copy is the replica copy index (-1 when not applicable).
+	Copy int
+	// Proc is the processor involved, when one is (NoProc otherwise).
+	Proc platform.ProcID
+	// Period is the period Δ under which the instance was infeasible
+	// (0 when no period applies).
+	Period float64
+	// Detail optionally carries extra human-readable context.
+	Detail string
+}
+
+// New builds a task-independent infeasibility.
+func New(reason Reason, period float64, detail string) *Error {
+	return &Error{Reason: reason, Task: NoTask, Copy: -1, Proc: NoProc, Period: period, Detail: detail}
+}
+
+// Newf is New with a formatted detail string.
+func Newf(reason Reason, period float64, format string, args ...any) *Error {
+	return New(reason, period, fmt.Sprintf(format, args...))
+}
+
+// AtTask builds an infeasibility pinned to one replica placement.
+func AtTask(reason Reason, t dag.TaskID, copy int, period float64) *Error {
+	return &Error{Reason: reason, Task: t, Copy: copy, Proc: NoProc, Period: period}
+}
+
+// Error renders the classification and whatever location is known.
+func (e *Error) Error() string {
+	msg := "infeasible (" + e.Reason.String() + ")"
+	if e.Task != NoTask {
+		msg += fmt.Sprintf(": task %d", e.Task)
+		if e.Copy >= 0 {
+			msg += fmt.Sprintf(" copy %d", e.Copy)
+		}
+		msg += " cannot be placed"
+	}
+	if e.Proc != NoProc {
+		msg += fmt.Sprintf(" on P%d", int(e.Proc)+1)
+	}
+	if e.Period > 0 {
+		msg += fmt.Sprintf(" within period %g", e.Period)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Unwrap ties every classified error to the ErrInfeasible sentinel.
+func (e *Error) Unwrap() error { return ErrInfeasible }

@@ -7,6 +7,7 @@ package ltf_test
 // in internal/mapper.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,16 +42,16 @@ type algo struct {
 
 var algos = []algo{
 	{"LTF", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-		return ltf.Schedule(g, p, eps, period, ltf.Options{})
+		return ltf.Schedule(context.Background(), g, p, eps, period, ltf.Options{})
 	}},
 	{"R-LTF", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-		return rltf.Schedule(g, p, eps, period, rltf.Options{})
+		return rltf.Schedule(context.Background(), g, p, eps, period, rltf.Options{})
 	}},
 	{"LTF/full", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-		return ltf.Schedule(g, p, eps, period, ltf.Options{DisableOneToOne: true})
+		return ltf.Schedule(context.Background(), g, p, eps, period, ltf.Options{DisableOneToOne: true})
 	}},
 	{"LTF/B=1", func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-		return ltf.Schedule(g, p, eps, period, ltf.Options{ChunkSize: 1})
+		return ltf.Schedule(context.Background(), g, p, eps, period, ltf.Options{ChunkSize: 1})
 	}},
 }
 
@@ -103,7 +104,7 @@ func TestStressSimulatedCrashes(t *testing.T) {
 		g := randomDAG(r, 10+r.IntN(12))
 		m := 6 + r.IntN(4)
 		p := platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 1.5*g.TotalWork()/p.MeanSpeed()/float64(m)*2, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 1.5*g.TotalWork()/p.MeanSpeed()/float64(m)*2, rltf.Options{})
 		if err != nil {
 			continue
 		}
@@ -113,7 +114,7 @@ func TestStressSimulatedCrashes(t *testing.T) {
 			if !analytic {
 				t.Fatalf("trial %d: ε=1 schedule does not survive crash of P%d", trial, u+1)
 			}
-			res, err := sim.Run(s, sim.Config{Items: 15, Warmup: 3,
+			res, err := sim.Run(context.Background(), s, sim.Config{Items: 15, Warmup: 3,
 				Failures: sim.FailureSpec{Procs: []platform.ProcID{crash}}})
 			if err != nil {
 				t.Fatal(err)
@@ -178,8 +179,8 @@ func TestLatencyOrderingAcrossAlgorithms(t *testing.T) {
 		g := randomDAG(r, 15+r.IntN(20))
 		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
 		period := 2.0 * 2 * g.TotalWork() / (p.MeanSpeed() * 10)
-		ls, err1 := ltf.Schedule(g, p, 1, period, ltf.Options{})
-		rs, err2 := rltf.Schedule(g, p, 1, period, rltf.Options{})
+		ls, err1 := ltf.Schedule(context.Background(), g, p, 1, period, ltf.Options{})
+		rs, err2 := rltf.Schedule(context.Background(), g, p, 1, period, rltf.Options{})
 		if err1 != nil || err2 != nil {
 			continue
 		}

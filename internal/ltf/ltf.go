@@ -11,6 +11,7 @@
 package ltf
 
 import (
+	"context"
 	"fmt"
 
 	"streamsched/internal/dag"
@@ -33,8 +34,10 @@ type Options struct {
 
 // Schedule maps g onto p tolerating eps failures at the given period, and
 // returns the resulting schedule. The error is non-nil when the instance is
-// infeasible for LTF (a *mapper.InfeasibleError wraps the failing task).
-func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts Options) (*schedule.Schedule, error) {
+// infeasible for LTF (a *mapper.InfeasibleError classifying the failure,
+// matchable with errors.Is against infeas.ErrInfeasible) or when ctx is
+// cancelled mid-placement (ctx.Err()).
+func Schedule(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64, opts Options) (*schedule.Schedule, error) {
 	st, err := mapper.New(g, p, eps, period, "LTF")
 	if err != nil {
 		return nil, err
@@ -44,7 +47,7 @@ func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts 
 	if b <= 0 {
 		b = p.NumProcs()
 	}
-	if err := run(st, b, mapper.MinFinish); err != nil {
+	if err := run(ctx, st, b, mapper.MinFinish); err != nil {
 		return nil, err
 	}
 	return st.Sched, nil
@@ -52,8 +55,8 @@ func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts 
 
 // run executes the chunked replica-placement loop shared with R-LTF (which
 // calls it on the reversed graph with a different comparator factory).
-func run(st *mapper.State, chunkSize int, better mapper.Better) error {
-	return runWith(st, chunkSize, func(dag.TaskID) mapper.Better { return better })
+func run(ctx context.Context, st *mapper.State, chunkSize int, better mapper.Better) error {
+	return runWith(ctx, st, chunkSize, func(dag.TaskID) mapper.Better { return better })
 }
 
 // runWith is run with a per-task comparator (R-LTF's Rule 1 bound depends on
@@ -66,8 +69,17 @@ func run(st *mapper.State, chunkSize int, better mapper.Better) error {
 // mixture would leave the consumers that are no chain's head fed only by
 // the fallback copies, an untracked vulnerability (see mapper's discipline
 // note). A mid-way one-to-one failure rolls the task back via snapshot.
-func runWith(st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
+func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for !st.Done() {
+		// Cancellation is checked once per chunk: a chunk is the placement
+		// loop's unit of work, so an abandoned search (tricrit, Batch) stops
+		// within one chunk's worth of placements.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		chunk := st.PopChunk(chunkSize)
 		if len(chunk) == 0 {
 			return fmt.Errorf("ltf: no ready task but %s", "unscheduled tasks remain (graph not acyclic?)")
@@ -139,6 +151,6 @@ func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better)
 
 // Run is the shared driver exposed for R-LTF. It is not part of the public
 // façade API.
-func Run(st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
-	return runWith(st, chunkSize, betterFor)
+func Run(ctx context.Context, st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
+	return runWith(ctx, st, chunkSize, betterFor)
 }

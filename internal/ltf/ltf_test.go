@@ -1,6 +1,7 @@
 package ltf
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -54,7 +55,7 @@ func randomDAG(r *rng.Source, n int) *dag.Graph {
 func TestChainNoReplication(t *testing.T) {
 	g := chain(5, 1, 1)
 	p := platform.Homogeneous(4, 1, 1)
-	s, err := Schedule(g, p, 0, 100, Options{})
+	s, err := Schedule(context.Background(), g, p, 0, 100, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestChainNoReplication(t *testing.T) {
 func TestChainReplicated(t *testing.T) {
 	g := chain(4, 1, 1)
 	p := platform.Homogeneous(6, 1, 1)
-	s, err := Schedule(g, p, 1, 100, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 100, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestChainReplicated(t *testing.T) {
 
 func TestDiamondEps2(t *testing.T) {
 	p := platform.Homogeneous(8, 1, 1)
-	s, err := Schedule(diamond(), p, 2, 50, Options{})
+	s, err := Schedule(context.Background(), diamond(), p, 2, 50, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestThroughputRespected(t *testing.T) {
 	// Period 2 with unit tasks: at most 2 replicas per processor.
 	g := chain(6, 1, 0.1)
 	p := platform.Homogeneous(8, 1, 1)
-	s, err := Schedule(g, p, 1, 2, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestInfeasibleReturnsError(t *testing.T) {
 	// with ε=1 there are 12 units of work and 2·2=4 units of capacity.
 	g := chain(6, 1, 0.1)
 	p := platform.Homogeneous(2, 1, 1)
-	_, err := Schedule(g, p, 1, 2, Options{})
+	_, err := Schedule(context.Background(), g, p, 1, 2, Options{})
 	if err == nil {
 		t.Fatal("expected infeasibility error")
 	}
@@ -141,7 +142,7 @@ func TestInfeasibleReturnsError(t *testing.T) {
 func TestTooFewProcessorsForReplicas(t *testing.T) {
 	g := chain(2, 1, 1)
 	p := platform.Homogeneous(2, 1, 1)
-	if _, err := Schedule(g, p, 3, 100, Options{}); err == nil {
+	if _, err := Schedule(context.Background(), g, p, 3, 100, Options{}); err == nil {
 		t.Fatal("ε+1 > m must fail")
 	}
 }
@@ -149,7 +150,7 @@ func TestTooFewProcessorsForReplicas(t *testing.T) {
 func TestReplicasOnDistinctProcs(t *testing.T) {
 	g := diamond()
 	p := platform.Homogeneous(6, 1, 1)
-	s, err := Schedule(g, p, 1, 100, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 100, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,8 +166,8 @@ func TestDeterminism(t *testing.T) {
 	r := rng.New(5)
 	g := randomDAG(r, 30)
 	p := platform.RandomHeterogeneous(rng.New(6), 8, 0.5, 1, 0.5, 1, 10)
-	s1, err1 := Schedule(g, p, 1, 50, Options{})
-	s2, err2 := Schedule(g, p, 1, 50, Options{})
+	s1, err1 := Schedule(context.Background(), g, p, 1, 50, Options{})
+	s2, err2 := Schedule(context.Background(), g, p, 1, 50, Options{})
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -187,7 +188,7 @@ func TestRandomGraphsValidate(t *testing.T) {
 		g := randomDAG(r, 10+r.IntN(30))
 		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
 		eps := r.IntN(3)
-		s, err := Schedule(g, p, eps, 100, Options{})
+		s, err := Schedule(context.Background(), g, p, eps, 100, Options{})
 		if err != nil {
 			continue // infeasible instances are fine; validity is the point
 		}
@@ -200,7 +201,7 @@ func TestRandomGraphsValidate(t *testing.T) {
 func TestChunkSizeOne(t *testing.T) {
 	g := diamond()
 	p := platform.Homogeneous(6, 1, 1)
-	s, err := Schedule(g, p, 1, 100, Options{ChunkSize: 1})
+	s, err := Schedule(context.Background(), g, p, 1, 100, Options{ChunkSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestEntryReplicasSpread(t *testing.T) {
 	g := dag.New("entry")
 	g.AddTask("only", 1)
 	p := platform.Homogeneous(5, 1, 1)
-	s, err := Schedule(g, p, 2, 10, Options{})
+	s, err := Schedule(context.Background(), g, p, 2, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestHeterogeneousPrefersFastProc(t *testing.T) {
 	g := dag.New("one")
 	g.AddTask("t", 10)
 	p := platform.New([]float64{5, 1}, [][]float64{{0, 1}, {1, 0}})
-	s, err := Schedule(g, p, 0, 100, Options{})
+	s, err := Schedule(context.Background(), g, p, 0, 100, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestOneToOneLimitsComms(t *testing.T) {
 		g.MustAddEdge(m, x, 1)
 	}
 	p := platform.Homogeneous(16, 1, 1)
-	s, err := Schedule(g, p, 1, 100, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 100, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/oneport"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
@@ -474,12 +475,19 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 	sibV := st.siblingVuln(t, copy)
 	var best Candidate
 	found := false
+	var sawCompute, sawPort bool
 	for u := 0; u < st.P.NumProcs(); u++ {
 		pu := platform.ProcID(u)
 		if sibV[pu] {
 			continue
 		}
-		if !st.Feasible(t, pu, sources) {
+		if ok, why := st.feasibleWhy(t, pu, sources); !ok {
+			switch why {
+			case infeas.ReasonPeriodExceeded:
+				sawCompute = true
+			case infeas.ReasonPortOverload:
+				sawPort = true
+			}
 			continue
 		}
 		cand := Candidate{
@@ -494,7 +502,19 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 		}
 	}
 	if !found {
-		return &InfeasibleError{Task: t, Copy: copy}
+		// Classify the dominant obstruction: a compute load that cannot fit
+		// is the fundamental "period exceeded" failure; if every admissible
+		// processor had compute headroom, the ports were the bottleneck; and
+		// if no processor was admissible at all, the platform is too small
+		// for the replica-disjointness discipline.
+		reason := infeas.ReasonNoProcessor
+		switch {
+		case sawCompute:
+			reason = infeas.ReasonPeriodExceeded
+		case sawPort:
+			reason = infeas.ReasonPortOverload
+		}
+		return infeas.AtTask(reason, t, copy, st.Period)
 	}
 	st.CommitPlace(t, copy, best.Proc, best.Sources)
 	if st.ReverseMode {

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/oneport"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
@@ -25,17 +26,11 @@ import (
 // tol absorbs floating-point jitter in feasibility comparisons.
 const tol = 1e-9
 
-// InfeasibleError reports that no processor can accommodate a replica under
-// the throughput constraint — the condition under which "the algorithm
-// fails" (§4.1).
-type InfeasibleError struct {
-	Task dag.TaskID
-	Copy int
-}
-
-func (e *InfeasibleError) Error() string {
-	return fmt.Sprintf("mapper: no processor can host task %d copy %d within the period", e.Task, e.Copy)
-}
+// InfeasibleError reports that the instance admits no schedule — the
+// condition under which "the algorithm fails" (§4.1). It is the shared
+// classified error of package infeas (Reason, Task, Copy, Proc, Period) and
+// wraps infeas.ErrInfeasible, so callers match it with errors.Is.
+type InfeasibleError = infeas.Error
 
 // State carries one in-progress schedule construction.
 type State struct {
@@ -95,7 +90,8 @@ type State struct {
 // schedule.
 func New(g *dag.Graph, p *platform.Platform, eps int, period float64, algorithm string) (*State, error) {
 	if eps+1 > p.NumProcs() {
-		return nil, fmt.Errorf("mapper: ε+1 = %d replicas need at least that many processors, have %d", eps+1, p.NumProcs())
+		return nil, infeas.Newf(infeas.ReasonNoProcessor, period,
+			"ε+1 = %d replicas need at least that many processors, have %d", eps+1, p.NumProcs())
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -224,11 +220,20 @@ func (st *State) volume(p, t dag.TaskID) float64 {
 // T·Σ_u ≤ 1, T·C_u^I ≤ 1 and T·C_h^O ≤ 1 for every sending processor h.
 // The caller handles the locking part of the condition.
 func (st *State) Feasible(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) bool {
+	ok, _ := st.feasibleWhy(t, u, sources)
+	return ok
+}
+
+// feasibleWhy is Feasible with the violated clause of condition (1)
+// classified: the copy-disjointness exclusion maps to ReasonNoProcessor,
+// the compute-load clause to ReasonPeriodExceeded, and the port-budget
+// clauses to ReasonPortOverload.
+func (st *State) feasibleWhy(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) (bool, infeas.Reason) {
 	if st.copyProcs[t][u] {
-		return false // hard: two copies of one task on one processor
+		return false, infeas.ReasonNoProcessor // hard: two copies of one task on one processor
 	}
 	if st.Sigma[u]+st.execTime(t, u) > st.Period+tol {
-		return false
+		return false, infeas.ReasonPeriodExceeded
 	}
 	addIn := 0.0
 	addOut := make(map[platform.ProcID]float64)
@@ -245,14 +250,14 @@ func (st *State) Feasible(t dag.TaskID, u platform.ProcID, sources []schedule.Re
 		addOut[r.Proc] += d
 	}
 	if st.CIn[u]+addIn > st.Period+tol {
-		return false
+		return false, infeas.ReasonPortOverload
 	}
 	for h, a := range addOut {
 		if st.COut[h]+a > st.Period+tol {
-			return false
+			return false, infeas.ReasonPortOverload
 		}
 	}
-	return true
+	return true, infeas.ReasonUnknown
 }
 
 // stageOf computes the pipeline stage a replica of t would get on u with the

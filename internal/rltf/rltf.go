@@ -23,6 +23,8 @@
 package rltf
 
 import (
+	"context"
+
 	"streamsched/internal/dag"
 	"streamsched/internal/ltf"
 	"streamsched/internal/mapper"
@@ -39,8 +41,10 @@ type Options struct {
 }
 
 // Schedule maps g onto p tolerating eps failures at the given period using
-// R-LTF and returns the (forward) schedule.
-func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts Options) (*schedule.Schedule, error) {
+// R-LTF and returns the (forward) schedule. Infeasibility is reported as a
+// *mapper.InfeasibleError (errors.Is infeas.ErrInfeasible); a cancelled ctx
+// aborts the placement loop with ctx.Err().
+func Schedule(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64, opts Options) (*schedule.Schedule, error) {
 	gr := g.Reverse()
 	st, err := mapper.New(gr, p, eps, period, "R-LTF")
 	if err != nil {
@@ -58,7 +62,7 @@ func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts 
 	betterFor := func(t dag.TaskID) mapper.Better {
 		return mapper.StagePreserving(st.MaxPredStage(t))
 	}
-	if err := ltf.Run(st, b, betterFor); err != nil {
+	if err := ltf.Run(ctx, st, b, betterFor); err != nil {
 		return nil, err
 	}
 	return mirror(g, st), nil
@@ -66,8 +70,8 @@ func Schedule(g *dag.Graph, p *platform.Platform, eps int, period float64, opts 
 
 // FaultFree returns the paper's reference schedule: R-LTF without
 // replication (ε = 0), "assuming that the system is completely safe".
-func FaultFree(g *dag.Graph, p *platform.Platform, period float64, opts Options) (*schedule.Schedule, error) {
-	s, err := Schedule(g, p, 0, period, opts)
+func FaultFree(ctx context.Context, g *dag.Graph, p *platform.Platform, period float64, opts Options) (*schedule.Schedule, error) {
+	s, err := Schedule(ctx, g, p, 0, period, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package rltf
 
 import (
+	"context"
 	"testing"
 
 	"streamsched/internal/dag"
@@ -58,7 +59,7 @@ func randomDAG(r *rng.Source, n int) *dag.Graph {
 func TestChainMergesToOneStage(t *testing.T) {
 	g := chain(5, 1, 1)
 	p := platform.Homogeneous(6, 1, 1)
-	s, err := Schedule(g, p, 1, 100, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 100, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestChainTightPeriodSplitsStages(t *testing.T) {
 	// pipeline needs ≥3 processor changes per copy → ≥3 stages.
 	g := chain(5, 1, 0.1)
 	p := platform.Homogeneous(8, 1, 1)
-	s, err := Schedule(g, p, 1, 2, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 2, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestMirrorProducesValidForwardSchedule(t *testing.T) {
 		g := randomDAG(r, 10+r.IntN(25))
 		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
 		eps := r.IntN(3)
-		s, err := Schedule(g, p, eps, 100, Options{})
+		s, err := Schedule(context.Background(), g, p, eps, 100, Options{})
 		if err != nil {
 			continue
 		}
@@ -113,7 +114,7 @@ func TestFaultTolerantUnderTightPeriod(t *testing.T) {
 		g := randomDAG(r, 12+r.IntN(16))
 		p := platform.RandomHeterogeneous(r, 12, 0.5, 1, 0.5, 1, 10)
 		// Tight-ish period: forces a mix of one-to-one and fallback.
-		s, err := Schedule(g, p, 2, 8, Options{})
+		s, err := Schedule(context.Background(), g, p, 2, 8, Options{})
 		if err != nil {
 			continue
 		}
@@ -127,11 +128,11 @@ func TestRLTFNotWorseThanLTFOnChains(t *testing.T) {
 	for _, n := range []int{3, 6, 10} {
 		g := chain(n, 1, 1)
 		p := platform.Homogeneous(8, 1, 1)
-		sr, err := Schedule(g, p, 1, 3, Options{})
+		sr, err := Schedule(context.Background(), g, p, 1, 3, Options{})
 		if err != nil {
 			t.Fatalf("R-LTF failed on chain %d: %v", n, err)
 		}
-		sl, err := ltf.Schedule(g, p, 1, 3, ltf.Options{})
+		sl, err := ltf.Schedule(context.Background(), g, p, 1, 3, ltf.Options{})
 		if err != nil {
 			t.Fatalf("LTF failed on chain %d: %v", n, err)
 		}
@@ -144,7 +145,7 @@ func TestRLTFNotWorseThanLTFOnChains(t *testing.T) {
 func TestFaultFree(t *testing.T) {
 	g := chain(4, 1, 1)
 	p := platform.Homogeneous(4, 1, 1)
-	s, err := FaultFree(g, p, 10, Options{})
+	s, err := FaultFree(context.Background(), g, p, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestInTreeOneToOneCommCount(t *testing.T) {
 	g := intree(3)
 	p := platform.Homogeneous(16, 1, 1)
 	for eps := 0; eps <= 1; eps++ {
-		s, err := Schedule(g, p, eps, 1000, Options{})
+		s, err := Schedule(context.Background(), g, p, eps, 1000, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func TestSeriesParallelCommBound(t *testing.T) {
 		g := randgraph.SeriesParallel(r, 10+r.IntN(25), 0.5, 1.5, 0.1, 1)
 		p := platform.Homogeneous(4*(g.NumTasks()/2+2), 1, 10)
 		for eps := 0; eps <= 2; eps++ {
-			s, err := Schedule(g, p, eps, 1e6, Options{})
+			s, err := Schedule(context.Background(), g, p, eps, 1e6, Options{})
 			if err != nil {
 				t.Fatalf("trial %d eps=%d: %v", trial, eps, err)
 			}
@@ -207,11 +208,11 @@ func TestSeriesParallelCommBound(t *testing.T) {
 func TestDisableOneToOneBlowsUpComms(t *testing.T) {
 	g := intree(3)
 	p := platform.Homogeneous(16, 1, 1)
-	one, err := Schedule(g, p, 1, 1000, Options{})
+	one, err := Schedule(context.Background(), g, p, 1, 1000, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Schedule(g, p, 1, 1000, Options{DisableOneToOne: true})
+	full, err := Schedule(context.Background(), g, p, 1, 1000, Options{DisableOneToOne: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestStagesMatchMirroredStructure(t *testing.T) {
 	r := rng.New(5)
 	g := randomDAG(r, 20)
 	p := platform.Homogeneous(8, 1, 1)
-	s, err := Schedule(g, p, 1, 50, Options{})
+	s, err := Schedule(context.Background(), g, p, 1, 50, Options{})
 	if err != nil {
 		t.Skip("instance infeasible")
 	}
@@ -257,8 +258,8 @@ func TestDeterminism(t *testing.T) {
 	r := rng.New(15)
 	g := randomDAG(r, 25)
 	p := platform.RandomHeterogeneous(rng.New(16), 8, 0.5, 1, 0.5, 1, 10)
-	s1, err1 := Schedule(g, p, 1, 50, Options{})
-	s2, err2 := Schedule(g, p, 1, 50, Options{})
+	s1, err1 := Schedule(context.Background(), g, p, 1, 50, Options{})
+	s2, err2 := Schedule(context.Background(), g, p, 1, 50, Options{})
 	if err1 != nil || err2 != nil {
 		t.Skip("instance infeasible")
 	}
@@ -276,7 +277,7 @@ func TestDeterminism(t *testing.T) {
 func TestInfeasibleError(t *testing.T) {
 	g := chain(6, 1, 0.1)
 	p := platform.Homogeneous(2, 1, 1)
-	if _, err := Schedule(g, p, 1, 2, Options{}); err == nil {
+	if _, err := Schedule(context.Background(), g, p, 1, 2, Options{}); err == nil {
 		t.Fatal("expected infeasibility error")
 	}
 }
@@ -285,7 +286,7 @@ func TestSingleTask(t *testing.T) {
 	g := dag.New("one")
 	g.AddTask("only", 5)
 	p := platform.Homogeneous(3, 1, 1)
-	s, err := Schedule(g, p, 2, 10, Options{})
+	s, err := Schedule(context.Background(), g, p, 2, 10, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

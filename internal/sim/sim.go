@@ -26,6 +26,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -235,8 +236,12 @@ type outLink struct {
 	volume float64
 }
 
-// Run simulates the schedule under cfg and returns the measurements.
-func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
+// Run simulates the schedule under cfg and returns the measurements. A
+// cancelled ctx aborts the event loop with ctx.Err().
+func Run(ctx context.Context, s *schedule.Schedule, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !s.Complete() {
 		return nil, fmt.Errorf("sim: schedule incomplete")
 	}
@@ -294,7 +299,9 @@ func Run(s *schedule.Schedule, cfg Config) (*Result, error) {
 	if len(cfg.Failures.Procs) > 0 {
 		e.push(cfg.Failures.At, evFailure, instKey{}, nil, 0)
 	}
-	e.loop()
+	if err := e.loop(ctx); err != nil {
+		return nil, err
+	}
 	return e.result(), nil
 }
 
@@ -322,8 +329,16 @@ func (e *engine) instFor(key instKey) *instance {
 	return in
 }
 
-func (e *engine) loop() {
-	for e.events.Len() > 0 {
+func (e *engine) loop(ctx context.Context) error {
+	// Poll cancellation every 1024 events: cheap enough to keep the hot
+	// loop unaffected, frequent enough to abort long runs promptly.
+	const pollMask = 1024 - 1
+	for n := 0; e.events.Len() > 0; n++ {
+		if n&pollMask == pollMask {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.time
 		switch ev.kind {
@@ -340,6 +355,7 @@ func (e *engine) loop() {
 		}
 		e.dispatch()
 	}
+	return nil
 }
 
 func (e *engine) inject(item int) {

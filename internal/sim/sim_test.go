@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -56,7 +57,7 @@ func manualChain(t *testing.T) *schedule.Schedule {
 
 func TestManualChainSteadyState(t *testing.T) {
 	s := manualChain(t)
-	res, err := Run(s, Config{Items: 50, Warmup: 10})
+	res, err := Run(context.Background(), s, Config{Items: 50, Warmup: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestLatencyBelowBound(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := randomDAG(r, 10+r.IntN(20))
 		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 20, rltf.Options{})
 		if err != nil {
 			continue
 		}
-		res, err := Run(s, DefaultConfig(s))
+		res, err := Run(context.Background(), s, DefaultConfig(s))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,12 +105,12 @@ func TestCrashWithinToleranceStillDelivers(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := randomDAG(r, 15)
 		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-		s, err := ltf.Schedule(g, p, 1, 25, ltf.Options{})
+		s, err := ltf.Schedule(context.Background(), g, p, 1, 25, ltf.Options{})
 		if err != nil {
 			continue
 		}
 		crash := platform.ProcID(r.IntN(8))
-		res, err := Run(s, Config{Items: 30, Warmup: 5,
+		res, err := Run(context.Background(), s, Config{Items: 30, Warmup: 5,
 			Failures: FailureSpec{Procs: []platform.ProcID{crash}}})
 		if err != nil {
 			t.Fatal(err)
@@ -129,7 +130,7 @@ func TestCrashBeyondToleranceMayLoseItems(t *testing.T) {
 	// ε=0 schedule with its only processor for a task crashed: nothing is
 	// delivered.
 	s := manualChain(t)
-	res, err := Run(s, Config{Items: 20, Warmup: 0,
+	res, err := Run(context.Background(), s, Config{Items: 20, Warmup: 0,
 		Failures: FailureSpec{Procs: []platform.ProcID{1}}})
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +147,7 @@ func TestMidStreamCrash(t *testing.T) {
 	// Crash at t=25 (after ~12 items of the manual chain): items completed
 	// before the crash are delivered, later ones are lost.
 	s := manualChain(t)
-	res, err := Run(s, Config{Items: 40, Warmup: 0,
+	res, err := Run(context.Background(), s, Config{Items: 40, Warmup: 0,
 		Failures: FailureSpec{Procs: []platform.ProcID{1}, At: 25}})
 	if err != nil {
 		t.Fatal(err)
@@ -164,18 +165,18 @@ func TestCrashIncreasesLatency(t *testing.T) {
 	for trial := 0; trial < 20 && checked < 5; trial++ {
 		g := randomDAG(r, 20)
 		p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 20, rltf.Options{})
 		if err != nil {
 			continue
 		}
-		base, err := Run(s, DefaultConfig(s))
+		base, err := Run(context.Background(), s, DefaultConfig(s))
 		if err != nil {
 			t.Fatal(err)
 		}
 		crash := platform.ProcID(r.IntN(10))
 		cfg := DefaultConfig(s)
 		cfg.Failures = FailureSpec{Procs: []platform.ProcID{crash}}
-		crashed, err := Run(s, cfg)
+		crashed, err := Run(context.Background(), s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,15 +198,15 @@ func TestDeterministicResults(t *testing.T) {
 	r := rng.New(9)
 	g := randomDAG(r, 20)
 	p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-	s, err := rltf.Schedule(g, p, 1, 20, rltf.Options{})
+	s, err := rltf.Schedule(context.Background(), g, p, 1, 20, rltf.Options{})
 	if err != nil {
 		t.Skip("infeasible")
 	}
-	a, err := Run(s, DefaultConfig(s))
+	a, err := Run(context.Background(), s, DefaultConfig(s))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(s, DefaultConfig(s))
+	b, err := Run(context.Background(), s, DefaultConfig(s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,14 +224,14 @@ func TestIncompleteScheduleRejected(t *testing.T) {
 	g := chain(2, 1, 1)
 	p := platform.Homogeneous(2, 1, 1)
 	s := schedule.New(g, p, 0, 10, "partial")
-	if _, err := Run(s, Config{Items: 5}); err == nil {
+	if _, err := Run(context.Background(), s, Config{Items: 5}); err == nil {
 		t.Fatal("expected error for incomplete schedule")
 	}
 }
 
 func TestDefaultConfigApplied(t *testing.T) {
 	s := manualChain(t)
-	res, err := Run(s, Config{})
+	res, err := Run(context.Background(), s, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,13 +247,13 @@ func TestThroughputSustained(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		g := randomDAG(r, 15)
 		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 15, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 15, rltf.Options{})
 		if err != nil {
 			continue
 		}
 		cfg := DefaultConfig(s)
 		cfg.Items *= 2
-		res, err := Run(s, cfg)
+		res, err := Run(context.Background(), s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,11 +269,11 @@ func TestReplicatedChainZeroCrashMatchesReplicaless(t *testing.T) {
 	// count and every item arrives.
 	g := chain(4, 1, 1)
 	p := platform.Homogeneous(8, 1, 1)
-	s, err := rltf.Schedule(g, p, 2, 50, rltf.Options{})
+	s, err := rltf.Schedule(context.Background(), g, p, 2, 50, rltf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(s, Config{Items: 25, Warmup: 5})
+	res, err := Run(context.Background(), s, Config{Items: 25, Warmup: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestTwoCrashesEps3(t *testing.T) {
 	for trial := 0; trial < 20 && !ran; trial++ {
 		g := randomDAG(r, 12)
 		p := platform.RandomHeterogeneous(r, 12, 0.5, 1, 0.5, 1, 10)
-		s, err := ltf.Schedule(g, p, 3, 30, ltf.Options{})
+		s, err := ltf.Schedule(context.Background(), g, p, 3, 30, ltf.Options{})
 		if err != nil {
 			continue
 		}
@@ -295,7 +296,7 @@ func TestTwoCrashesEps3(t *testing.T) {
 		if crashes[0] == crashes[1] {
 			crashes[1] = (crashes[1] + 1) % 12
 		}
-		res, err := Run(s, Config{Items: 25, Warmup: 5,
+		res, err := Run(context.Background(), s, Config{Items: 25, Warmup: 5,
 			Failures: FailureSpec{Procs: crashes}})
 		if err != nil {
 			t.Fatal(err)

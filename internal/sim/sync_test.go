@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ func TestSynchronousManualChain(t *testing.T) {
 	// cycle k+1, b computes in cycle k+2 → completes at 2k+5.
 	// Latency = 5 = (2S−2)Δ + exec = 4 + 1, just under the bound 6.
 	s := manualChain(t)
-	res, err := Run(s, Config{Items: 30, Warmup: 8, Synchronous: true})
+	res, err := Run(context.Background(), s, Config{Items: 30, Warmup: 8, Synchronous: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,17 +39,17 @@ func TestSynchronousAtLeastDataflow(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		g := randomDAG(r, 12+r.IntN(15))
 		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 15, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 15, rltf.Options{})
 		if err != nil {
 			continue
 		}
-		df, err := Run(s, DefaultConfig(s))
+		df, err := Run(context.Background(), s, DefaultConfig(s))
 		if err != nil {
 			t.Fatal(err)
 		}
 		cfg := DefaultConfig(s)
 		cfg.Synchronous = true
-		sy, err := Run(s, cfg)
+		sy, err := Run(context.Background(), s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestSynchronousNearBound(t *testing.T) {
 	for trial := 0; trial < 6; trial++ {
 		g := randomDAG(r, 15)
 		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 12, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 12, rltf.Options{})
 		if err != nil {
 			continue
 		}
@@ -91,7 +92,7 @@ func TestSynchronousNearBound(t *testing.T) {
 		lower := float64(2*floorStage-2) * s.Period
 		cfg := DefaultConfig(s)
 		cfg.Synchronous = true
-		res, err := Run(s, cfg)
+		res, err := Run(context.Background(), s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,14 +113,14 @@ func TestSynchronousCrashDelivers(t *testing.T) {
 	for trial := 0; trial < 12 && checked < 4; trial++ {
 		g := randomDAG(r, 15)
 		p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-		s, err := rltf.Schedule(g, p, 1, 15, rltf.Options{})
+		s, err := rltf.Schedule(context.Background(), g, p, 1, 15, rltf.Options{})
 		if err != nil {
 			continue
 		}
 		cfg := DefaultConfig(s)
 		cfg.Synchronous = true
 		cfg.Failures = FailureSpec{Procs: []platform.ProcID{platform.ProcID(r.IntN(8))}}
-		res, err := Run(s, cfg)
+		res, err := Run(context.Background(), s, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,14 +138,14 @@ func TestSynchronousDeterministic(t *testing.T) {
 	r := rng.New(83)
 	g := randomDAG(r, 18)
 	p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
-	s, err := rltf.Schedule(g, p, 1, 15, rltf.Options{})
+	s, err := rltf.Schedule(context.Background(), g, p, 1, 15, rltf.Options{})
 	if err != nil {
 		t.Skip("infeasible")
 	}
 	cfg := DefaultConfig(s)
 	cfg.Synchronous = true
-	a, _ := Run(s, cfg)
-	b, _ := Run(s, cfg)
+	a, _ := Run(context.Background(), s, cfg)
+	b, _ := Run(context.Background(), s, cfg)
 	if a.MeanLatency != b.MeanLatency {
 		t.Fatal("synchronous mode not deterministic")
 	}

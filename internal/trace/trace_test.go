@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -22,7 +23,7 @@ func testSchedule(t *testing.T) *schedule.Schedule {
 	// must cross processors and the trace gains transfer spans.
 	g.MustAddEdge(a, b, 0.5)
 	p := platform.Homogeneous(4, 1, 1)
-	s, err := ltf.Schedule(g, p, 1, 1.5, ltf.Options{})
+	s, err := ltf.Schedule(context.Background(), g, p, 1, 1.5, ltf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestChromeJSONRejectsInvertedSpan(t *testing.T) {
 
 func TestSimTraceExport(t *testing.T) {
 	s := testSchedule(t)
-	res, err := sim.Run(s, sim.Config{Items: 6, Warmup: 1, TraceItems: 3})
+	res, err := sim.Run(context.Background(), s, sim.Config{Items: 6, Warmup: 1, TraceItems: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestSimTraceExport(t *testing.T) {
 
 func TestSimTraceDisabledByDefault(t *testing.T) {
 	s := testSchedule(t)
-	res, err := sim.Run(s, sim.Config{Items: 5, Warmup: 1})
+	res, err := sim.Run(context.Background(), s, sim.Config{Items: 5, Warmup: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,34 +14,73 @@
 //
 // All four are solved by search over the scheduling primitive: the
 // underlying decision problem ("is there a schedule at period Δ with ε
-// replicas within latency L?") is answered by running the scheduler and
-// checking the latency bound. The stage count S is not monotone in Δ, so
-// MaxThroughput scans a geometric grid before refining by bisection — a
-// heuristic search around a heuristic scheduler, documented as such.
+// replicas within latency L?") is answered by a core.Solver probe with a
+// latency cap. The stage count S is not monotone in Δ, so MaxThroughput
+// scans a geometric grid before refining by bisection — a heuristic search
+// around a heuristic scheduler, documented as such.
+//
+// The searches are built on core.SolveMany: the independent probes of a
+// grid (MaxThroughput), of the ε ladder (MaxFailures) and of the platform
+// prefixes (MinProcessors) run concurrently on a bounded worker pool, and
+// selection over the batch results reproduces the serial search's answer
+// exactly. Only probes whose error matches errors.Is(err, core.ErrInfeasible)
+// count as "no schedule exists"; any other error — a cancelled context, a
+// solver fault — aborts the search and is returned to the caller.
 package tricrit
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"math"
+	"runtime"
 
+	"streamsched/internal/core"
 	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
 
-// Scheduler abstracts the algorithm driven by the searches (LTF or R-LTF).
-type Scheduler func(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error)
+// waveSize is how many ladder probes MaxFailures/MinProcessors submit per
+// concurrent wave: one batch fills the worker pool, and the wave boundary
+// preserves the serial searches' early exit — probes past the answer are
+// never enqueued, so a 64-processor ladder whose answer is ε=1 costs one
+// wave, not 64 solves.
+func waveSize() int { return runtime.GOMAXPROCS(0) }
 
-// feasibleAt runs the scheduler and checks the latency constraint.
-func feasibleAt(g *dag.Graph, p *platform.Platform, eps int, period, maxLatency float64, sched Scheduler) *schedule.Schedule {
-	s, err := sched(g, p, eps, period)
+// probe answers one decision instance: a non-nil schedule means "yes", a
+// (nil, nil) return means "no schedule exists", and a non-nil error is a
+// real fault (including ctx cancellation) that must abort the search.
+func probe(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period, maxLatency float64, algo core.Algorithm) (*schedule.Schedule, error) {
+	solver, err := core.NewSolver(
+		core.WithAlgorithm(algo),
+		core.WithEps(eps),
+		core.WithPeriod(period),
+		core.WithLatencyCap(maxLatency),
+	)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	if maxLatency > 0 && s.LatencyBound() > maxLatency+1e-9 {
-		return nil
+	s, err := solver.Solve(ctx, g, p)
+	if err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			return nil, nil
+		}
+		return nil, err
 	}
-	return s
+	return s, nil
+}
+
+// classify splits a batch result into (feasible schedule, fatal error):
+// infeasibility yields (nil, nil).
+func classify(r core.Result) (*schedule.Schedule, error) {
+	if r.Err != nil {
+		if errors.Is(r.Err, core.ErrInfeasible) {
+			return nil, nil
+		}
+		return nil, r.Err
+	}
+	return r.Schedule, nil
 }
 
 // periodBounds returns the search window for the period: the heaviest
@@ -64,28 +103,56 @@ func periodBounds(g *dag.Graph, p *platform.Platform, eps int) (lo, hi float64) 
 // tolerating eps failures exists with latency bound ≤ maxLatency
 // (maxLatency ≤ 0 disables the latency constraint). It returns the period
 // and the schedule.
-func MaxThroughput(g *dag.Graph, p *platform.Platform, eps int, maxLatency float64, sched Scheduler) (float64, *schedule.Schedule, error) {
+func MaxThroughput(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, maxLatency float64, algo core.Algorithm) (float64, *schedule.Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	lo, hi := periodBounds(g, p, eps)
 
 	// Geometric scan from the relaxed end: S (and hence the latency
-	// feasibility) is not monotone in Δ, so probe broadly first.
-	var bestS *schedule.Schedule
-	bestPeriod := math.Inf(1)
+	// feasibility) is not monotone in Δ, so probe broadly first. The grid
+	// points are independent decision problems — one batch, solved
+	// concurrently.
 	const steps = 24
 	ratio := math.Pow(lo/hi, 1.0/steps)
+	var periods []float64
 	for period := hi; period >= lo*0.999; period *= ratio {
-		if s := feasibleAt(g, p, eps, period, maxLatency, sched); s != nil && period < bestPeriod {
-			bestS, bestPeriod = s, period
+		periods = append(periods, period)
+	}
+	reqs := make([]core.Request, len(periods))
+	for i, period := range periods {
+		reqs[i] = core.Request{Graph: g, Platform: p, Opts: []core.Option{core.WithPeriod(period)}}
+	}
+	results := core.SolveMany(ctx, reqs,
+		core.WithAlgorithm(algo), core.WithEps(eps), core.WithLatencyCap(maxLatency))
+
+	var bestS *schedule.Schedule
+	bestPeriod := math.Inf(1)
+	for i, r := range results {
+		s, err := classify(r)
+		if err != nil {
+			return 0, nil, err
+		}
+		if s != nil && periods[i] < bestPeriod {
+			bestS, bestPeriod = s, periods[i]
 		}
 	}
 	if bestS == nil {
-		return 0, nil, fmt.Errorf("tricrit: no feasible schedule within latency %g", maxLatency)
+		return 0, nil, infeas.Newf(infeas.ReasonSearchExhausted, 0,
+			"no feasible schedule within latency %g", maxLatency)
 	}
 	// Refine just below the best grid point.
 	loB, hiB := math.Max(lo, bestPeriod*ratio/1.0), bestPeriod
 	for i := 0; i < 30 && hiB-loB > 1e-4*hiB; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		mid := (loB + hiB) / 2
-		if s := feasibleAt(g, p, eps, mid, maxLatency, sched); s != nil {
+		s, err := probe(ctx, g, p, eps, mid, maxLatency, algo)
+		if err != nil {
+			return 0, nil, err
+		}
+		if s != nil {
 			bestS, bestPeriod = s, mid
 			hiB = mid
 		} else {
@@ -98,23 +165,43 @@ func MaxThroughput(g *dag.Graph, p *platform.Platform, eps int, maxLatency float
 // MaxFailures finds the largest ε for which a schedule exists at the given
 // period with latency bound ≤ maxLatency (maxLatency ≤ 0 disables the
 // latency check). ε is bounded by m−1 (replicas need distinct processors).
-func MaxFailures(g *dag.Graph, p *platform.Platform, period, maxLatency float64, sched Scheduler) (int, *schedule.Schedule, error) {
+// The ε ladder is probed in concurrent waves sized to the worker pool; the
+// selection walks it bottom-up with the serial search's gap rule, so no
+// probe past the answer's wave is ever submitted.
+func MaxFailures(ctx context.Context, g *dag.Graph, p *platform.Platform, period, maxLatency float64, algo core.Algorithm) (int, *schedule.Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	bestEps := -1
 	var bestS *schedule.Schedule
-	for eps := 0; eps < p.NumProcs(); eps++ {
-		s := feasibleAt(g, p, eps, period, maxLatency, sched)
-		if s == nil {
-			// Feasibility is monotone in ε in spirit but not guaranteed for
-			// a greedy scheduler; tolerate one gap before giving up.
-			if eps > bestEps+1 {
-				break
-			}
-			continue
+	opts := []core.Option{core.WithAlgorithm(algo), core.WithPeriod(period), core.WithLatencyCap(maxLatency)}
+wave:
+	for lo := 0; lo < p.NumProcs(); lo += waveSize() {
+		hi := min(lo+waveSize(), p.NumProcs())
+		reqs := make([]core.Request, 0, hi-lo)
+		for eps := lo; eps < hi; eps++ {
+			reqs = append(reqs, core.Request{Graph: g, Platform: p, Opts: []core.Option{core.WithEps(eps)}})
 		}
-		bestEps, bestS = eps, s
+		for i, r := range core.SolveMany(ctx, reqs, opts...) {
+			eps := lo + i
+			s, err := classify(r)
+			if err != nil {
+				return 0, nil, err
+			}
+			if s == nil {
+				// Feasibility is monotone in ε in spirit but not guaranteed
+				// for a greedy scheduler; tolerate one gap before giving up.
+				if eps > bestEps+1 {
+					break wave
+				}
+				continue
+			}
+			bestEps, bestS = eps, s
+		}
 	}
 	if bestEps < 0 {
-		return 0, nil, fmt.Errorf("tricrit: no ε admits a schedule at period %g within latency %g (try raising the latency cap)", period, maxLatency)
+		return 0, nil, infeas.Newf(infeas.ReasonSearchExhausted, period,
+			"no ε admits a schedule within latency %g (try raising the latency cap)", maxLatency)
 	}
 	return bestEps, bestS, nil
 }
@@ -122,17 +209,33 @@ func MaxFailures(g *dag.Graph, p *platform.Platform, period, maxLatency float64,
 // MinProcessors finds the smallest prefix of the platform's processors on
 // which a schedule tolerating eps failures exists at the given period
 // (latency unconstrained): the paper's Fig. 2 question — "how many
-// processors does the algorithm need?". Returns the processor count and the
-// schedule.
-func MinProcessors(g *dag.Graph, p *platform.Platform, eps int, period float64, sched Scheduler) (int, *schedule.Schedule, error) {
+// processors does the algorithm need?". The prefixes are probed in
+// concurrent waves and the smallest feasible one wins. Returns the
+// processor count and the schedule.
+func MinProcessors(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, period float64, algo core.Algorithm) (int, *schedule.Schedule, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	speeds := p.Speeds()
-	for m := eps + 1; m <= p.NumProcs(); m++ {
-		sub := prefixPlatform(p, speeds, m)
-		if s := feasibleAt(g, sub, eps, period, 0, sched); s != nil {
-			return m, s, nil
+	opts := []core.Option{core.WithAlgorithm(algo), core.WithEps(eps), core.WithPeriod(period)}
+	for lo := eps + 1; lo <= p.NumProcs(); lo += waveSize() {
+		hi := min(lo+waveSize()-1, p.NumProcs())
+		reqs := make([]core.Request, 0, hi-lo+1)
+		for m := lo; m <= hi; m++ {
+			reqs = append(reqs, core.Request{Graph: g, Platform: prefixPlatform(p, speeds, m)})
+		}
+		for i, r := range core.SolveMany(ctx, reqs, opts...) {
+			s, err := classify(r)
+			if err != nil {
+				return 0, nil, err
+			}
+			if s != nil {
+				return lo + i, s, nil
+			}
 		}
 	}
-	return 0, nil, fmt.Errorf("tricrit: infeasible even with all %d processors", p.NumProcs())
+	return 0, nil, infeas.Newf(infeas.ReasonSearchExhausted, period,
+		"infeasible even with all %d processors", p.NumProcs())
 }
 
 // prefixPlatform builds the sub-platform of the first m processors.
@@ -166,7 +269,7 @@ func MinEnergy(model schedule.EnergyModel, candidates ...*schedule.Schedule) (*s
 		}
 	}
 	if best == nil {
-		return nil, 0, fmt.Errorf("tricrit: no candidate schedules")
+		return nil, 0, infeas.New(infeas.ReasonSearchExhausted, 0, "no candidate schedules")
 	}
 	return best, bestE, nil
 }

@@ -1,30 +1,24 @@
 package tricrit
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"streamsched/internal/core"
 	"streamsched/internal/dag"
-	"streamsched/internal/ltf"
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
 	"streamsched/internal/rltf"
 	"streamsched/internal/schedule"
 )
 
-func rltfSched(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-	return rltf.Schedule(g, p, eps, period, rltf.Options{})
-}
-
-func ltfSched(g *dag.Graph, p *platform.Platform, eps int, period float64) (*schedule.Schedule, error) {
-	return ltf.Schedule(g, p, eps, period, ltf.Options{})
-}
-
 func TestMaxThroughputUnconstrained(t *testing.T) {
 	// 4 unit tasks on 2 processors, ε=0: best period ≈ 2.
 	g := randgraph.Chain(4, 1, 0.001)
 	p := platform.Homogeneous(2, 1, 1000)
-	period, s, err := MaxThroughput(g, p, 0, 0, rltfSched)
+	period, s, err := MaxThroughput(context.Background(), g, p, 0, 0, core.RLTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,13 +31,13 @@ func TestMaxThroughputLatencyConstraint(t *testing.T) {
 	g := randgraph.Chain(4, 1, 0.001)
 	p := platform.Homogeneous(4, 1, 1000)
 	// Unconstrained: the chain can split into 4 stages at period ≈1.
-	pu, su, err := MaxThroughput(g, p, 0, 0, rltfSched)
+	pu, su, err := MaxThroughput(context.Background(), g, p, 0, 0, core.RLTF)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Latency cap 9: a 4-stage, period-1 schedule has L = 7 ≤ 9; a tight
 	// cap of 4.5 forbids it (7 > 4.5) and forces a coarser pipeline.
-	pc, sc, err := MaxThroughput(g, p, 0, 4.5, rltfSched)
+	pc, sc, err := MaxThroughput(context.Background(), g, p, 0, 4.5, core.RLTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +56,7 @@ func TestMaxThroughputInfeasible(t *testing.T) {
 	g := randgraph.Chain(3, 1, 1)
 	p := platform.Homogeneous(4, 1, 1)
 	// Latency cap below one task's execution time: impossible.
-	if _, _, err := MaxThroughput(g, p, 0, 0.5, rltfSched); err == nil {
+	if _, _, err := MaxThroughput(context.Background(), g, p, 0, 0.5, core.RLTF); err == nil {
 		t.Fatal("expected infeasibility")
 	}
 }
@@ -72,7 +66,7 @@ func TestMaxFailures(t *testing.T) {
 	p := platform.Homogeneous(6, 1, 10)
 	// Period 3: one full chain fits per processor; with 6 processors up to
 	// 5 replicas could fit load-wise, bounded by ε ≤ m−1 = 5.
-	eps, s, err := MaxFailures(g, p, 3.001, 0, ltfSched)
+	eps, s, err := MaxFailures(context.Background(), g, p, 3.001, 0, core.LTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +86,7 @@ func TestMaxFailuresTightPeriod(t *testing.T) {
 	p := platform.Homogeneous(4, 1, 10)
 	// Period 1.05: each processor fits one unit task; exactly one copy of
 	// each task → ε = 0.
-	eps, _, err := MaxFailures(g, p, 1.05, 0, ltfSched)
+	eps, _, err := MaxFailures(context.Background(), g, p, 1.05, 0, core.LTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +98,7 @@ func TestMaxFailuresTightPeriod(t *testing.T) {
 func TestMaxFailuresInfeasible(t *testing.T) {
 	g := randgraph.Chain(2, 1, 0.1)
 	p := platform.Homogeneous(2, 1, 10)
-	if _, _, err := MaxFailures(g, p, 0.5, 0, ltfSched); err == nil {
+	if _, _, err := MaxFailures(context.Background(), g, p, 0.5, 0, core.LTF); err == nil {
 		t.Fatal("expected infeasibility below the exec-time floor")
 	}
 }
@@ -114,11 +108,11 @@ func TestMinProcessorsFig2(t *testing.T) {
 	// algorithm need for the worked example at Δ=20, ε=1?
 	g := randgraph.Fig2Graph()
 	p := randgraph.Fig2Platform(16)
-	mL, sL, err := MinProcessors(g, p, 1, 20, ltfSched)
+	mL, sL, err := MinProcessors(context.Background(), g, p, 1, 20, core.LTF)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mR, sR, err := MinProcessors(g, p, 1, 20, rltfSched)
+	mR, sR, err := MinProcessors(context.Background(), g, p, 1, 20, core.RLTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +128,7 @@ func TestMinProcessorsFig2(t *testing.T) {
 func TestMinProcessorsLowerBound(t *testing.T) {
 	g := randgraph.Chain(2, 1, 0.1)
 	p := platform.Homogeneous(8, 1, 10)
-	m, _, err := MinProcessors(g, p, 2, 100, ltfSched)
+	m, _, err := MinProcessors(context.Background(), g, p, 2, 100, core.LTF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +141,7 @@ func TestMinProcessorsInfeasible(t *testing.T) {
 	g := dag.New("heavy")
 	g.AddTask("a", 100)
 	p := platform.Homogeneous(4, 1, 1)
-	if _, _, err := MinProcessors(g, p, 0, 10, ltfSched); err == nil {
+	if _, _, err := MinProcessors(context.Background(), g, p, 0, 10, core.LTF); err == nil {
 		t.Fatal("expected infeasibility")
 	}
 }
@@ -155,11 +149,11 @@ func TestMinProcessorsInfeasible(t *testing.T) {
 func TestMinEnergyPrefersFewerResources(t *testing.T) {
 	g := randgraph.Chain(4, 1, 1)
 	p := platform.Homogeneous(8, 1, 1)
-	ff, err := rltf.FaultFree(g, p, 100, rltf.Options{})
+	ff, err := rltf.FaultFree(context.Background(), g, p, 100, rltf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := rltf.Schedule(g, p, 1, 100, rltf.Options{})
+	rep, err := rltf.Schedule(context.Background(), g, p, 1, 100, rltf.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,11 +178,57 @@ func TestMinEnergyEmpty(t *testing.T) {
 func TestMaxThroughputMatchesValidation(t *testing.T) {
 	g := randgraph.ForkJoin(3, 1, 1, 0.5)
 	p := platform.Homogeneous(6, 1, 2)
-	_, s, err := MaxThroughput(g, p, 1, 0, rltfSched)
+	_, s, err := MaxThroughput(context.Background(), g, p, 1, 0, core.RLTF)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestMaxThroughputCancelledContext(t *testing.T) {
+	g := randgraph.Chain(4, 1, 0.001)
+	p := platform.Homogeneous(4, 1, 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := MaxThroughput(ctx, g, p, 0, 0, core.RLTF)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSearchErrorsWrapInfeasible(t *testing.T) {
+	// Every "search exhausted" outcome must still satisfy
+	// errors.Is(err, core.ErrInfeasible) so callers need one check only.
+	g := dag.New("heavy")
+	g.AddTask("a", 100)
+	p := platform.Homogeneous(4, 1, 1)
+	if _, _, err := MinProcessors(context.Background(), g, p, 0, 10, core.LTF); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("MinProcessors err = %v, want ErrInfeasible", err)
+	}
+	if _, _, err := MaxThroughput(context.Background(), g, p, 0, 0.5, core.RLTF); !errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("MaxThroughput err = %v, want ErrInfeasible", err)
+	}
+}
+
+// failingAlgo is an Algorithm value the solver rejects — NewSolver returns
+// a plain (non-infeasibility) error, which the searches must propagate
+// instead of treating as "no schedule exists".
+func TestSearchPropagatesSolverFaults(t *testing.T) {
+	g := randgraph.Chain(3, 1, 0.1)
+	p := platform.Homogeneous(4, 1, 10)
+	bad := core.Algorithm(99)
+	_, _, err := MaxThroughput(context.Background(), g, p, 0, 0, bad)
+	if err == nil || errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("solver fault swallowed: %v", err)
+	}
+	_, _, err = MaxFailures(context.Background(), g, p, 3, 0, bad)
+	if err == nil || errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("solver fault swallowed: %v", err)
+	}
+	_, _, err = MinProcessors(context.Background(), g, p, 0, 10, bad)
+	if err == nil || errors.Is(err, core.ErrInfeasible) {
+		t.Fatalf("solver fault swallowed: %v", err)
 	}
 }

@@ -1,0 +1,195 @@
+package streamsched_test
+
+// Acceptance tests for the context-aware solver façade: typed
+// infeasibility via errors.Is/errors.As, context cancellation of the
+// tri-criteria searches, and worker-count-independent batch results.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"streamsched"
+)
+
+func TestFacadeTypedInfeasibility(t *testing.T) {
+	cases := []struct {
+		name   string
+		opts   []streamsched.SolverOption
+		graph  *streamsched.Graph
+		procs  int
+		reason streamsched.Reason
+	}{
+		{
+			name: "period exceeded",
+			opts: []streamsched.SolverOption{streamsched.WithPeriod(5)},
+			graph: func() *streamsched.Graph {
+				g := streamsched.NewGraph("heavy")
+				g.AddTask("a", 10)
+				return g
+			}(),
+			procs:  2,
+			reason: streamsched.ReasonPeriodExceeded,
+		},
+		{
+			name: "port overload",
+			opts: []streamsched.SolverOption{
+				streamsched.WithAlgorithm(streamsched.LTF),
+				streamsched.WithEps(1),
+				streamsched.WithPeriod(10),
+				streamsched.WithOneToOne(false),
+			},
+			graph: func() *streamsched.Graph {
+				g := streamsched.NewGraph("wide")
+				a := g.AddTask("a", 0.1)
+				b := g.AddTask("b", 0.1)
+				g.MustAddEdge(a, b, 1000)
+				return g
+			}(),
+			procs:  2,
+			reason: streamsched.ReasonPortOverload,
+		},
+		{
+			name: "no processor",
+			opts: []streamsched.SolverOption{
+				streamsched.WithEps(3),
+				streamsched.WithPeriod(100),
+			},
+			graph:  streamsched.Chain(2, 1, 1),
+			procs:  2,
+			reason: streamsched.ReasonNoProcessor,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			solver, err := streamsched.NewSolver(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := streamsched.Homogeneous(tc.procs, 1, 1)
+			_, err = solver.Solve(context.Background(), tc.graph, p)
+			if !errors.Is(err, streamsched.ErrInfeasible) {
+				t.Fatalf("err = %v, want errors.Is(err, ErrInfeasible)", err)
+			}
+			var inf *streamsched.InfeasibleError
+			if !errors.As(err, &inf) {
+				t.Fatalf("error type %T, want *InfeasibleError", err)
+			}
+			if inf.Reason != tc.reason {
+				t.Fatalf("reason = %v, want %v", inf.Reason, tc.reason)
+			}
+		})
+	}
+}
+
+func TestFacadeMaxThroughputCancellation(t *testing.T) {
+	g := streamsched.Chain(12, 1, 0.1)
+	p := streamsched.Homogeneous(8, 1, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := streamsched.MaxThroughput(ctx, g, p, 1, 0, streamsched.RLTF); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFacadeSolveManyMatchesSerial(t *testing.T) {
+	// A 50-instance random campaign solved with 8 workers must produce
+	// byte-identical schedules to the serial path.
+	const n = 50
+	reqs := make([]streamsched.SolveRequest, n)
+	for i := range reqs {
+		p := streamsched.RandomPlatform(uint64(i+1), 10, 0.5, 1, 0.5, 1)
+		g := streamsched.RandomStream(uint64(100+i), 0.5+0.15*float64(i%8), p)
+		reqs[i] = streamsched.SolveRequest{Graph: g, Platform: p}
+	}
+	opts := []streamsched.SolverOption{
+		streamsched.WithAlgorithm(streamsched.RLTF),
+		streamsched.WithEps(1),
+		streamsched.WithPeriod(20),
+	}
+	serial := (&streamsched.Batch{Workers: 1, Opts: opts}).Solve(context.Background(), reqs)
+	concurrent := (&streamsched.Batch{Workers: 8, Opts: opts}).Solve(context.Background(), reqs)
+	feasible := 0
+	for i := range reqs {
+		if (serial[i].Err == nil) != (concurrent[i].Err == nil) {
+			t.Fatalf("instance %d: feasibility differs (%v vs %v)", i, serial[i].Err, concurrent[i].Err)
+		}
+		if serial[i].Err != nil {
+			if !errors.Is(serial[i].Err, streamsched.ErrInfeasible) {
+				t.Fatalf("instance %d: solver fault %v", i, serial[i].Err)
+			}
+			continue
+		}
+		feasible++
+		sj, err := serial[i].Schedule.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cj, err := concurrent[i].Schedule.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, cj) {
+			t.Fatalf("instance %d: schedules differ between worker counts", i)
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("campaign produced no feasible instance; test is vacuous")
+	}
+}
+
+func TestFacadeDeprecatedProblemShim(t *testing.T) {
+	// The deprecated Problem.Solve path must produce the same schedule as
+	// the Solver it wraps.
+	g := streamsched.Chain(4, 1, 0.1)
+	p := streamsched.Homogeneous(4, 1, 10)
+	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 10}
+	old, err := prob.Solve(streamsched.RLTF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := streamsched.NewSolver(
+		streamsched.WithAlgorithm(streamsched.RLTF),
+		streamsched.WithEps(1),
+		streamsched.WithPeriod(10),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := solver.Solve(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oj, _ := old.MarshalJSON()
+	nj, _ := neu.MarshalJSON()
+	if !bytes.Equal(oj, nj) {
+		t.Fatal("Problem.Solve shim diverges from Solver.Solve")
+	}
+}
+
+func TestFacadePortfolio(t *testing.T) {
+	p := streamsched.RandomPlatform(5, 12, 0.5, 1, 0.5, 1)
+	g := streamsched.RandomStream(9, 1.0, p)
+	solver, err := streamsched.NewSolver(
+		streamsched.WithAlgorithm(streamsched.Portfolio),
+		streamsched.WithEps(1),
+		streamsched.WithPeriod(20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := solver.Solve(context.Background(), g, p)
+	if err != nil {
+		if errors.Is(err, streamsched.ErrInfeasible) {
+			t.Skip("instance infeasible for both algorithms")
+		}
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Algorithm != "LTF" && s.Algorithm != "R-LTF" {
+		t.Fatalf("portfolio produced %q", s.Algorithm)
+	}
+}

@@ -18,9 +18,23 @@
 //	b := g.AddTask("filter", 6)
 //	g.MustAddEdge(a, b, 2)
 //	p := streamsched.Homogeneous(4, 1.0, 10.0)
-//	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 12}
-//	s, err := prob.Solve(streamsched.RLTF)
-//	// s.Stages(), s.LatencyBound(), s.Gantt(80), streamsched.Simulate(s, ...)
+//	solver, err := streamsched.NewSolver(
+//		streamsched.WithAlgorithm(streamsched.RLTF),
+//		streamsched.WithEps(1),
+//		streamsched.WithPeriod(12),
+//	)
+//	s, err := solver.Solve(ctx, g, p)
+//	if errors.Is(err, streamsched.ErrInfeasible) { /* no schedule exists */ }
+//	// s.Stages(), s.LatencyBound(), s.Gantt(80), streamsched.Simulate(ctx, s, ...)
+//
+// Infeasibility is a first-class, typed outcome: every "no schedule
+// exists" error matches errors.Is(err, ErrInfeasible), and errors.As
+// recovers a *InfeasibleError carrying the classified Reason (period
+// exceeded, port overload, no processor, latency exceeded) and the
+// offending task/processor/period. Batches of instances fan out across a
+// bounded worker pool with SolveMany, and the Portfolio algorithm races
+// LTF against R-LTF per instance, keeping the lower-latency feasible
+// schedule.
 //
 // The package is a façade: the implementation lives under internal/ (one
 // package per subsystem, see DESIGN.md), and every type exposed here is an
@@ -28,6 +42,8 @@
 package streamsched
 
 import (
+	"context"
+
 	"streamsched/internal/baselines"
 	"streamsched/internal/core"
 	"streamsched/internal/dag"
@@ -63,9 +79,17 @@ type (
 
 // Scheduling.
 type (
+	// Solver is the configured, context-aware entry point to the
+	// algorithms; build one with NewSolver.
+	Solver = core.Solver
+	// SolverOption configures a Solver (see the With... constructors).
+	SolverOption = core.Option
 	// Problem is a tri-criteria scheduling instance.
+	//
+	// Deprecated: build a Solver with NewSolver; Problem.Solve remains as
+	// a thin shim.
 	Problem = core.Problem
-	// Algorithm selects LTF, RLTF or FaultFree.
+	// Algorithm selects LTF, RLTF, FaultFree or Portfolio.
 	Algorithm = core.Algorithm
 	// Schedule is a replicated pipelined mapping with derived metrics.
 	Schedule = schedule.Schedule
@@ -83,7 +107,83 @@ const (
 	RLTF = core.RLTF
 	// FaultFree is the ε=0 reference schedule.
 	FaultFree = core.FaultFree
+	// Portfolio races LTF and R-LTF per instance and keeps the
+	// lower-latency feasible schedule.
+	Portfolio = core.Portfolio
 )
+
+// Typed infeasibility. Every "no schedule exists" outcome — from Solve,
+// SolveMany, MinPeriod and the tri-criteria searches — matches
+// errors.Is(err, ErrInfeasible); errors.As against *InfeasibleError
+// recovers the classification.
+var ErrInfeasible = core.ErrInfeasible
+
+type (
+	// InfeasibleError carries the classified Reason plus the offending
+	// Task/Copy/Proc and the probed Period.
+	InfeasibleError = core.InfeasibleError
+	// Reason classifies an infeasibility.
+	Reason = core.Reason
+)
+
+// Infeasibility reasons.
+const (
+	// ReasonPeriodExceeded: a compute load cannot fit within the period Δ.
+	ReasonPeriodExceeded = core.ReasonPeriodExceeded
+	// ReasonPortOverload: a one-port send/receive budget is exhausted.
+	ReasonPortOverload = core.ReasonPortOverload
+	// ReasonNoProcessor: no admissible processor exists (e.g. ε+1 > m).
+	ReasonNoProcessor = core.ReasonNoProcessor
+	// ReasonLatencyExceeded: feasible, but above the WithLatencyCap bound.
+	ReasonLatencyExceeded = core.ReasonLatencyExceeded
+	// ReasonSearchExhausted: a tri-criteria search found no feasible point.
+	ReasonSearchExhausted = core.ReasonSearchExhausted
+)
+
+// NewSolver builds a Solver from functional options. WithPeriod is
+// mandatory; the defaults are R-LTF, ε = 0, chunk B = m, one-to-one
+// mapping on, no latency cap.
+func NewSolver(opts ...SolverOption) (*Solver, error) { return core.NewSolver(opts...) }
+
+// WithAlgorithm selects LTF, RLTF, FaultFree or Portfolio (default RLTF).
+func WithAlgorithm(a Algorithm) SolverOption { return core.WithAlgorithm(a) }
+
+// WithEps sets ε, the number of tolerated processor failures (default 0).
+func WithEps(eps int) SolverOption { return core.WithEps(eps) }
+
+// WithPeriod sets the required period Δ = 1/T (mandatory, > 0).
+func WithPeriod(period float64) SolverOption { return core.WithPeriod(period) }
+
+// WithChunkSize overrides the iso-level chunk bound B (default 0 → m).
+func WithChunkSize(b int) SolverOption { return core.WithChunkSize(b) }
+
+// WithOneToOne toggles the one-to-one communication-mapping procedure
+// (default on).
+func WithOneToOne(on bool) SolverOption { return core.WithOneToOne(on) }
+
+// WithLatencyCap rejects schedules whose latency bound (2S−1)·Δ exceeds
+// cap (≤ 0 disables, the default).
+func WithLatencyCap(cap float64) SolverOption { return core.WithLatencyCap(cap) }
+
+// Batch solving.
+type (
+	// SolveRequest is one instance of a batch: graph, platform and
+	// per-request option overrides.
+	SolveRequest = core.Request
+	// SolveResult is one batch outcome: a schedule or a typed error.
+	SolveResult = core.Result
+	// Batch fans requests across a bounded worker pool with default
+	// options.
+	Batch = core.Batch
+)
+
+// SolveMany solves the requests concurrently on a GOMAXPROCS-bounded
+// worker pool, returning results in request order with per-request error
+// capture. Identical inputs produce identical results for any worker
+// count.
+func SolveMany(ctx context.Context, reqs []SolveRequest, opts ...SolverOption) []SolveResult {
+	return core.SolveMany(ctx, reqs, opts...)
+}
 
 // Simulation.
 type (
@@ -126,16 +226,19 @@ func RandomPlatform(seed uint64, m int, speedLo, speedHi, delayLo, delayHi float
 // Granularity returns g(G,P), the computation-to-communication ratio of §2.
 func Granularity(g *Graph, p *Platform) float64 { return platform.Granularity(g, p) }
 
-// Simulate executes a schedule on the discrete-event engine.
-func Simulate(s *Schedule, cfg SimConfig) (*SimResult, error) { return sim.Run(s, cfg) }
+// Simulate executes a schedule on the discrete-event engine; a cancelled
+// ctx aborts the event loop.
+func Simulate(ctx context.Context, s *Schedule, cfg SimConfig) (*SimResult, error) {
+	return sim.Run(ctx, s, cfg)
+}
 
 // DefaultSimConfig sizes a simulation for the schedule.
 func DefaultSimConfig(s *Schedule) SimConfig { return sim.DefaultConfig(s) }
 
 // TaskParallel evaluates the Figure 1(b) scenario (makespan scheduling,
 // one item at a time).
-func TaskParallel(g *Graph, p *Platform, eps int) (*TaskParallelResult, error) {
-	return baselines.TaskParallel(g, p, eps)
+func TaskParallel(ctx context.Context, g *Graph, p *Platform, eps int) (*TaskParallelResult, error) {
+	return baselines.TaskParallel(ctx, g, p, eps)
 }
 
 // DataParallel evaluates the Figure 1(c) scenario (whole-graph replication,
@@ -176,36 +279,42 @@ func RandomSP(seed uint64, n int, workLo, workHi, volLo, volHi float64) *Graph {
 }
 
 // MinPeriod binary-searches the smallest feasible period for the algorithm
-// (the Hoang–Rabaey related-work utility).
-func MinPeriod(g *Graph, p *Platform, eps int, algo Algorithm, tol float64) (float64, *Schedule, error) {
-	return baselines.MinPeriod(g, p, eps, solver(algo), tol)
+// (the Hoang–Rabaey related-work utility). Only infeasibility narrows the
+// bracket; any other error aborts the search.
+func MinPeriod(ctx context.Context, g *Graph, p *Platform, eps int, algo Algorithm, tol float64) (float64, *Schedule, error) {
+	return baselines.MinPeriod(ctx, g, p, eps, scheduler(algo), tol)
 }
 
-func solver(algo Algorithm) func(*Graph, *Platform, int, float64) (*Schedule, error) {
-	return func(g *Graph, p *Platform, eps int, period float64) (*Schedule, error) {
-		pr := &Problem{Graph: g, Platform: p, Eps: eps, Period: period}
-		return pr.Solve(algo)
+func scheduler(algo Algorithm) baselines.Scheduler {
+	return func(ctx context.Context, g *Graph, p *Platform, eps int, period float64) (*Schedule, error) {
+		s, err := core.NewSolver(WithAlgorithm(algo), WithEps(eps), WithPeriod(period))
+		if err != nil {
+			return nil, err
+		}
+		return s.Solve(ctx, g, p)
 	}
 }
 
-// Symmetric tri-criteria problems (the paper's §6 extensions).
+// Symmetric tri-criteria problems (the paper's §6 extensions). The
+// searches probe the solver as concurrent batches and abort early — with
+// ctx.Err() — when the context is cancelled.
 
 // MaxThroughput finds the largest throughput under a latency cap
 // (maxLatency ≤ 0 disables the cap) at the given ε.
-func MaxThroughput(g *Graph, p *Platform, eps int, maxLatency float64, algo Algorithm) (period float64, s *Schedule, err error) {
-	return tricrit.MaxThroughput(g, p, eps, maxLatency, solver(algo))
+func MaxThroughput(ctx context.Context, g *Graph, p *Platform, eps int, maxLatency float64, algo Algorithm) (period float64, s *Schedule, err error) {
+	return tricrit.MaxThroughput(ctx, g, p, eps, maxLatency, algo)
 }
 
 // MaxFailures finds the largest tolerated ε at the given period and
 // latency cap (maxLatency ≤ 0 disables the cap).
-func MaxFailures(g *Graph, p *Platform, period, maxLatency float64, algo Algorithm) (eps int, s *Schedule, err error) {
-	return tricrit.MaxFailures(g, p, period, maxLatency, solver(algo))
+func MaxFailures(ctx context.Context, g *Graph, p *Platform, period, maxLatency float64, algo Algorithm) (eps int, s *Schedule, err error) {
+	return tricrit.MaxFailures(ctx, g, p, period, maxLatency, algo)
 }
 
 // MinProcessors finds the smallest platform prefix on which the instance is
 // schedulable (the Figure 2 question).
-func MinProcessors(g *Graph, p *Platform, eps int, period float64, algo Algorithm) (m int, s *Schedule, err error) {
-	return tricrit.MinProcessors(g, p, eps, period, solver(algo))
+func MinProcessors(ctx context.Context, g *Graph, p *Platform, eps int, period float64, algo Algorithm) (m int, s *Schedule, err error) {
+	return tricrit.MinProcessors(ctx, g, p, eps, period, algo)
 }
 
 // Energy accounting (the paper's §6 energy extension).

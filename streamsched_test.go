@@ -1,6 +1,7 @@
 package streamsched_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestQuickstartFlow(t *testing.T) {
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := streamsched.Simulate(s, streamsched.DefaultSimConfig(s))
+	res, err := streamsched.Simulate(context.Background(), s, streamsched.DefaultSimConfig(s))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFacadeBaselines(t *testing.T) {
 		[]float64{1.5, 1, 1.5, 1},
 		[][]float64{{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0}},
 	)
-	tp, err := streamsched.TaskParallel(g, p, 1)
+	tp, err := streamsched.TaskParallel(context.Background(), g, p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFacadeBaselines(t *testing.T) {
 func TestFacadeMinPeriod(t *testing.T) {
 	g := streamsched.Chain(4, 1, 0.01)
 	p := streamsched.Homogeneous(4, 1, 100)
-	period, s, err := streamsched.MinPeriod(g, p, 0, streamsched.RLTF, 1e-3)
+	period, s, err := streamsched.MinPeriod(context.Background(), g, p, 0, streamsched.RLTF, 1e-3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestFacadeCrashSimulation(t *testing.T) {
 	}
 	cfg := streamsched.DefaultSimConfig(s)
 	cfg.Failures = streamsched.FailureSpec{Procs: []streamsched.ProcID{0}}
-	res, err := streamsched.Simulate(s, cfg)
+	res, err := streamsched.Simulate(context.Background(), s, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
