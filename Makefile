@@ -1,0 +1,57 @@
+# Local developer entry points, kept in lockstep with .github/workflows/ci.yml
+# so a green `make ci` predicts a green CI run.
+
+GO ?= go
+BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF
+BENCHTIME ?= 5x
+COUNT ?= 3
+
+.PHONY: all build fmt vet test test-full cover bench bench-record bench-compare baseline ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# test mirrors the CI test job (race + short). test-full runs the slow
+# experiment sweeps too.
+test:
+	$(GO) test -race -short ./...
+
+test-full:
+	$(GO) test ./...
+
+cover:
+	$(GO) test -short -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -20
+
+# bench streams the raw suite without recording.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -benchtime $(BENCHTIME) .
+
+# bench-record runs the pinned configuration and writes BENCH_<rev>.json.
+bench-record:
+	$(GO) run ./cmd/bench -bench '$(BENCH_RE)' -benchtime $(BENCHTIME) -count $(COUNT)
+
+# bench-compare is exactly the CI bench gate: red on >25% ns/op or >10%
+# allocs/op regression vs the committed baseline.
+bench-compare:
+	$(GO) run ./cmd/bench -bench '$(BENCH_RE)' -benchtime $(BENCHTIME) -count $(COUNT) \
+		-baseline BENCH_baseline.json -alloc-tolerance 0.10 -out BENCH_ci.json
+
+# baseline refreshes the committed baseline — run on CI-class hardware and
+# commit the result deliberately (see DESIGN.md §Performance).
+baseline:
+	$(GO) run ./cmd/bench -bench '$(BENCH_RE)' -benchtime $(BENCHTIME) -count $(COUNT) \
+		-out BENCH_baseline.json
+
+ci: build fmt vet test bench-compare

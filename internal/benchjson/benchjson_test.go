@@ -1,0 +1,155 @@
+package benchjson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: streamsched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkLTF/eps=1-8         	     100	   3075040 ns/op	  547072 B/op	    3149 allocs/op
+BenchmarkLTF/eps=3-8         	      50	   8556014 ns/op	 2814128 B/op	    6347 allocs/op
+BenchmarkAblationOneToOne/one-to-one-8 	 200	  52341 ns/op	       7.000 comms
+BenchmarkSimulator/dataflow-8          	 300	  11111 ns/op
+PASS
+ok  	streamsched	1.234s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("cpu = %q", f.CPU)
+	}
+	if len(f.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(f.Results))
+	}
+	for i := 1; i < len(f.Results); i++ {
+		if f.Results[i-1].Name >= f.Results[i].Name {
+			t.Errorf("results not sorted: %q before %q", f.Results[i-1].Name, f.Results[i].Name)
+		}
+	}
+	byName := map[string]Result{}
+	for _, r := range f.Results {
+		byName[r.Name] = r
+	}
+	ltf1, ok := byName["BenchmarkLTF/eps=1"]
+	if !ok {
+		t.Fatalf("missing BenchmarkLTF/eps=1 in %v", f.Results)
+	}
+	if ltf1.Runs != 100 || ltf1.NsOp != 3075040 || ltf1.BytesOp != 547072 || ltf1.AllocsOp != 3149 {
+		t.Errorf("LTF/eps=1 = %+v", ltf1)
+	}
+	abl := byName["BenchmarkAblationOneToOne/one-to-one"]
+	if abl.Metrics["comms"] != 7 {
+		t.Errorf("custom metric comms = %v", abl.Metrics)
+	}
+	sim := byName["BenchmarkSimulator/dataflow"]
+	if sim.AllocsOp != 0 || sim.NsOp != 11111 {
+		t.Errorf("simulator = %+v", sim)
+	}
+}
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	out := `BenchmarkX-4 	 100	 1000 ns/op	 10 allocs/op
+BenchmarkX-4 	 100	 3000 ns/op	 30 allocs/op
+`
+	f, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 1 {
+		t.Fatalf("got %d results", len(f.Results))
+	}
+	r := f.Results[0]
+	if r.NsOp != 2000 || r.AllocsOp != 20 || r.Runs != 200 {
+		t.Errorf("averaged = %+v", r)
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkLTF/eps=1-8":                 "BenchmarkLTF/eps=1",
+		"BenchmarkAblationChunk/B=1-16":        "BenchmarkAblationChunk/B=1",
+		"BenchmarkAblationOneToOne/one-to-one": "BenchmarkAblationOneToOne/one-to-one",
+		"BenchmarkX":                           "BenchmarkX",
+	} {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Rev = "abc1234"
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Rev != "abc1234" || len(g.Results) != len(f.Results) {
+		t.Errorf("round trip lost data: %+v", g)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	if _, err := Decode(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	base := &File{Results: []Result{
+		{Name: "A", NsOp: 1000, AllocsOp: 100},
+		{Name: "B", NsOp: 1000, AllocsOp: 100},
+		{Name: "Gone", NsOp: 500},
+	}}
+	cur := &File{Results: []Result{
+		{Name: "A", NsOp: 1200, AllocsOp: 100}, // +20% ns: inside a 25% gate
+		{Name: "B", NsOp: 1300, AllocsOp: 100}, // +30% ns: regression
+		{Name: "New", NsOp: 1},                 // no baseline: ignored
+	}}
+	deltas := Compare(base, cur)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	bad := Regressions(deltas, 0.25, -1)
+	if len(bad) != 2 {
+		t.Fatalf("regressions = %v", bad)
+	}
+	names := map[string]bool{}
+	for _, d := range bad {
+		names[d.Name] = true
+	}
+	if !names["B"] || !names["Gone"] {
+		t.Errorf("wrong regressions: %v", bad)
+	}
+	// Alloc gate catches alloc-only regressions.
+	cur.Results[0].AllocsOp = 200
+	bad = Regressions(Compare(base, cur), 0.25, 0.10)
+	names = map[string]bool{}
+	for _, d := range bad {
+		names[d.Name] = true
+	}
+	if !names["A"] {
+		t.Errorf("alloc regression missed: %v", bad)
+	}
+}
+
+func TestParseRejectsMalformedValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-4 100 notanumber ns/op\n")); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}

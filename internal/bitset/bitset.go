@@ -1,0 +1,125 @@
+// Package bitset provides fixed-capacity word-packed bit sets for the
+// scheduling hot path. The mapper tracks vulnerability sets and copy
+// exclusions over the m processors of the platform; with m in the tens, a
+// set is one or two machine words, so membership tests, unions and
+// intersection checks compile to a handful of bitwise instructions and the
+// sets can live inside flat backing arrays that snapshot with a single copy.
+//
+// A Set is a []uint64 with bit i of word i/64 holding element i. All
+// operations on two sets require equal length; Span carves many same-sized
+// sets out of one allocation.
+package bitset
+
+import "math/bits"
+
+const wordBits = 64
+
+// Words returns the number of 64-bit words needed for a set over n elements.
+func Words(n int) int { return (n + wordBits - 1) / wordBits }
+
+// Set is a fixed-capacity bit set. The zero-length Set is an empty set over
+// zero elements.
+type Set []uint64
+
+// New returns an empty set with capacity for elements [0, n).
+func New(n int) Set { return make(Set, Words(n)) }
+
+// Add inserts element i.
+func (s Set) Add(i int) { s[i/wordBits] |= 1 << (i % wordBits) }
+
+// Remove deletes element i.
+func (s Set) Remove(i int) { s[i/wordBits] &^= 1 << (i % wordBits) }
+
+// Contains reports whether element i is in the set.
+func (s Set) Contains(i int) bool { return s[i/wordBits]&(1<<(i%wordBits)) != 0 }
+
+// Union adds every element of o to s in place.
+func (s Set) Union(o Set) {
+	for w := range s {
+		s[w] |= o[w]
+	}
+}
+
+// Intersects reports whether s and o share an element.
+func (s Set) Intersects(o Set) bool {
+	for w := range s {
+		if s[w]&o[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of elements.
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes every element, keeping the capacity.
+func (s Set) Clear() {
+	for w := range s {
+		s[w] = 0
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of o (equal lengths required).
+func (s Set) CopyFrom(o Set) { copy(s, o) }
+
+// CountAfterAdd returns the element count s would have with element i added,
+// without mutating s — the mapper sizes prospective vulnerability sets this
+// way before committing a placement.
+func (s Set) CountAfterAdd(i int) int {
+	n := s.Count()
+	if !s.Contains(i) {
+		n++
+	}
+	return n
+}
+
+// Span is a flat backing array carved into k same-capacity sets, so related
+// sets (every vulnerability set of a schedule construction) snapshot and
+// restore with one bulk copy.
+type Span struct {
+	words Set
+	w     int // words per set
+}
+
+// NewSpan allocates k sets, each over n elements, in one backing array.
+func NewSpan(k, n int) *Span {
+	w := Words(n)
+	return &Span{words: make(Set, k*w), w: w}
+}
+
+// At returns set number i. The returned Set aliases the backing array.
+func (sp *Span) At(i int) Set { return sp.words[i*sp.w : (i+1)*sp.w] }
+
+// Snapshot appends a copy of the whole backing array to dst and returns it,
+// reusing dst's capacity when possible.
+func (sp *Span) Snapshot(dst Set) Set {
+	dst = append(dst[:0], sp.words...)
+	return dst
+}
+
+// Restore overwrites the backing array from a snapshot taken with Snapshot.
+func (sp *Span) Restore(snap Set) { copy(sp.words, snap) }

@@ -1,0 +1,145 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130) // three words, exercises cross-word indexing
+	if len(s) != 3 {
+		t.Fatalf("Words(130) sets len=%d, want 3", len(s))
+	}
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("new set not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) false after Add", i)
+		}
+	}
+	if s.Count() != 5 {
+		t.Fatalf("Count=%d, want 5", s.Count())
+	}
+	if s.Contains(1) || s.Contains(65) {
+		t.Fatal("spurious membership")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 4 {
+		t.Fatal("Remove failed")
+	}
+	s.Add(64) // re-add, then double-add is idempotent
+	s.Add(64)
+	if s.Count() != 5 {
+		t.Fatalf("Count=%d after double Add, want 5", s.Count())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left elements")
+	}
+}
+
+func TestUnionIntersects(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(3)
+	a.Add(77)
+	b.Add(64)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets intersect")
+	}
+	b.Add(77)
+	if !a.Intersects(b) {
+		t.Fatal("sharing sets do not intersect")
+	}
+	a.Union(b)
+	for _, i := range []int{3, 64, 77} {
+		if !a.Contains(i) {
+			t.Fatalf("union missing %d", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Fatalf("union Count=%d, want 3", a.Count())
+	}
+}
+
+func TestCloneCopyFrom(t *testing.T) {
+	a := New(70)
+	a.Add(5)
+	a.Add(69)
+	c := a.Clone()
+	a.Remove(5)
+	if !c.Contains(5) || !c.Contains(69) {
+		t.Fatal("clone not independent")
+	}
+	d := New(70)
+	d.Add(1)
+	d.CopyFrom(c)
+	if d.Contains(1) || !d.Contains(5) {
+		t.Fatal("CopyFrom did not overwrite")
+	}
+}
+
+func TestCountAfterAdd(t *testing.T) {
+	s := New(10)
+	s.Add(2)
+	if got := s.CountAfterAdd(2); got != 1 {
+		t.Fatalf("CountAfterAdd(existing)=%d, want 1", got)
+	}
+	if got := s.CountAfterAdd(7); got != 2 {
+		t.Fatalf("CountAfterAdd(new)=%d, want 2", got)
+	}
+	if s.Contains(7) {
+		t.Fatal("CountAfterAdd mutated the set")
+	}
+}
+
+func TestSpanSnapshotRestore(t *testing.T) {
+	sp := NewSpan(4, 70)
+	sp.At(0).Add(1)
+	sp.At(3).Add(69)
+	if sp.At(1).Contains(1) || sp.At(2).Contains(69) {
+		t.Fatal("span sets alias each other")
+	}
+	var snap Set
+	snap = sp.Snapshot(snap)
+	sp.At(0).Add(2)
+	sp.At(2).Add(10)
+	sp.Restore(snap)
+	if sp.At(0).Contains(2) || sp.At(2).Contains(10) {
+		t.Fatal("restore did not rewind")
+	}
+	if !sp.At(0).Contains(1) || !sp.At(3).Contains(69) {
+		t.Fatal("restore lost pre-snapshot state")
+	}
+	// Snapshot reuse keeps capacity.
+	snap2 := sp.Snapshot(snap)
+	if &snap2[0] != &snap[0] {
+		t.Fatal("snapshot did not reuse buffer")
+	}
+}
+
+func TestAgainstMapModel(t *testing.T) {
+	const n = 200
+	r := rand.New(rand.NewSource(42))
+	s := New(n)
+	model := map[int]bool{}
+	for op := 0; op < 5000; op++ {
+		i := r.Intn(n)
+		switch r.Intn(3) {
+		case 0:
+			s.Add(i)
+			model[i] = true
+		case 1:
+			s.Remove(i)
+			delete(model, i)
+		case 2:
+			if s.Contains(i) != model[i] {
+				t.Fatalf("op %d: Contains(%d)=%v, model says %v", op, i, s.Contains(i), model[i])
+			}
+		}
+	}
+	if s.Count() != len(model) {
+		t.Fatalf("Count=%d, model has %d", s.Count(), len(model))
+	}
+}

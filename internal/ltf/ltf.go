@@ -125,7 +125,11 @@ func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor fun
 // communications. Each failed rung rolls back through a snapshot.
 func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better) error {
 	if !st.OneToOneOff && st.Theta(st.Pools(t)) >= st.Eps+1 {
-		for _, b := range []mapper.Better{better, mapper.MinFinish} {
+		for rung := 0; rung < 2; rung++ {
+			b := better
+			if rung == 1 {
+				b = mapper.MinFinish
+			}
 			pools := st.Pools(t)
 			snap := st.Snapshot(t)
 			ok := true
@@ -136,6 +140,7 @@ func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better)
 				}
 			}
 			if ok {
+				st.Release(snap)
 				return nil
 			}
 			st.Restore(snap)

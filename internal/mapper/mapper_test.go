@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"sort"
 	"testing"
 
 	"streamsched/internal/dag"
@@ -149,8 +150,8 @@ func TestCommitPlaceUpdatesLoads(t *testing.T) {
 		t.Fatalf("ports: in=%v out=%v", st.CIn, st.COut)
 	}
 	// Stage bookkeeping: b crossed a processor boundary.
-	if st.Stage[schedule.Ref{Task: 1, Copy: 0}] != 2 {
-		t.Fatalf("stage = %d", st.Stage[schedule.Ref{Task: 1, Copy: 0}])
+	if st.ReplicaStage(schedule.Ref{Task: 1, Copy: 0}) != 2 {
+		t.Fatalf("stage = %d", st.ReplicaStage(schedule.Ref{Task: 1, Copy: 0}))
 	}
 }
 
@@ -219,10 +220,8 @@ func TestOneToOneDisjointChains(t *testing.T) {
 		t.Fatal("one-to-one failed for b")
 	}
 	// Claims of the two copies must be disjoint.
-	for u := range st.Claim[1][0] {
-		if st.Claim[1][1][u] {
-			t.Fatalf("claims overlap on P%d", u)
-		}
+	if st.ClaimSet(1, 0).Intersects(st.ClaimSet(1, 1)) {
+		t.Fatal("claims of the two copies overlap")
 	}
 	// Each b copy has exactly one input.
 	for c := 0; c <= 1; c++ {
@@ -284,7 +283,7 @@ func TestSnapshotRestore(t *testing.T) {
 	if st.Sigma[0] != 0 || st.Sys.Comp(0).Len() != 0 {
 		t.Fatal("loads/timelines survived rollback")
 	}
-	if len(st.Claim[0][0]) != 0 {
+	if !st.ClaimSet(0, 0).Empty() {
 		t.Fatal("claims survived rollback")
 	}
 	// Placement works again after rollback.
@@ -382,13 +381,109 @@ func TestClaimDisjointnessProperty(t *testing.T) {
 		for task := 0; task < n; task++ {
 			for c1 := 0; c1 <= eps; c1++ {
 				for c2 := c1 + 1; c2 <= eps; c2++ {
-					for u := range st.Claim[task][c1] {
-						if st.Claim[task][c2][u] {
-							t.Fatalf("trial %d: task %d claims overlap on P%d", trial, task, u)
-						}
+					if st.ClaimSet(dag.TaskID(task), c1).Intersects(st.ClaimSet(dag.TaskID(task), c2)) {
+						t.Fatalf("trial %d: task %d claims of copies %d/%d overlap", trial, task, c1, c2)
 					}
 				}
 			}
+		}
+	}
+}
+
+func TestDoneCounterEmptyGraph(t *testing.T) {
+	// Regression: Done used to scan every task; the counter must agree on
+	// the degenerate ends. dag.Validate rejects truly empty graphs before
+	// New, so the zero-task case is the zero-value state: nothing left to
+	// schedule, Done from the start.
+	if _, err := New(dag.New("empty"), platform.Homogeneous(2, 1, 1), 0, 10, "x"); err == nil {
+		t.Fatal("empty graph accepted by New (update this test: Done must hold immediately)")
+	}
+	st := &State{}
+	if !st.Done() {
+		t.Fatal("zero tasks must report Done immediately")
+	}
+	if st.ReadyCount() != 0 {
+		t.Fatalf("zero-task state has %d ready tasks", st.ReadyCount())
+	}
+}
+
+func TestDoneCounterFullyScheduled(t *testing.T) {
+	g := chainAB()
+	st := newState(t, g, 2, 0, 100)
+	if st.Done() {
+		t.Fatal("fresh state reports Done")
+	}
+	for !st.Done() {
+		chunk := st.PopChunk(1)
+		for _, task := range chunk {
+			st.CommitPlace(task, 0, 0, nil)
+		}
+		st.MarkScheduled(chunk)
+	}
+	if !st.Done() {
+		t.Fatal("fully scheduled graph must report Done")
+	}
+	if st.ReadyCount() != 0 {
+		t.Fatalf("done state has %d ready tasks", st.ReadyCount())
+	}
+}
+
+func TestPopChunkHeapDeterministicTieBreak(t *testing.T) {
+	// Equal-priority entry tasks must pop in ascending task-ID order no
+	// matter the heap's internal layout — the tie-break the former full
+	// re-sort guaranteed and golden schedules depend on.
+	g := dag.New("ties")
+	for i := 0; i < 12; i++ {
+		g.AddTask("t", 1) // identical works → identical priorities
+	}
+	st := newState(t, g, 4, 0, 100)
+	var got []dag.TaskID
+	for st.ReadyCount() > 0 {
+		got = append(got, append([]dag.TaskID(nil), st.PopChunk(5)...)...)
+	}
+	if len(got) != 12 {
+		t.Fatalf("popped %d tasks, want 12", len(got))
+	}
+	for i, task := range got {
+		if task != dag.TaskID(i) {
+			t.Fatalf("pop order %v: position %d is task %d, want %d", got, i, task, i)
+		}
+	}
+}
+
+func TestPopChunkMatchesSortedOrder(t *testing.T) {
+	// Property check of the heap against the specification ("highest
+	// priority first, ties to smaller ID"): random priorities via random
+	// works, chunks of varying size, compared to an explicit sort.
+	r := rng.New(99)
+	g := dag.New("rand")
+	const n = 40
+	for i := 0; i < n; i++ {
+		g.AddTask("t", float64(1+r.IntN(5))) // few distinct works → many ties
+	}
+	st := newState(t, g, 4, 0, 1000)
+	want := make([]dag.TaskID, n)
+	for i := range want {
+		want[i] = dag.TaskID(i)
+	}
+	sort.SliceStable(want, func(i, j int) bool {
+		a, b := want[i], want[j]
+		if st.Priority(a) != st.Priority(b) {
+			return st.Priority(a) > st.Priority(b)
+		}
+		return a < b
+	})
+	var got []dag.TaskID
+	sizes := []int{1, 7, 3, 40, 2}
+	for i := 0; st.ReadyCount() > 0; i++ {
+		got = append(got, append([]dag.TaskID(nil), st.PopChunk(sizes[i%len(sizes)])...)...)
+	}
+	if len(got) != n {
+		t.Fatalf("popped %d tasks, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got task %d, want %d", i, got[i], want[i])
 		}
 	}
 }

@@ -1,8 +1,9 @@
 package mapper
 
 import (
-	"sort"
+	"slices"
 
+	"streamsched/internal/bitset"
 	"streamsched/internal/dag"
 	"streamsched/internal/infeas"
 	"streamsched/internal/oneport"
@@ -34,31 +35,7 @@ import (
 // particular of every exit task — stays valid. Forward construction (LTF)
 // freezes V(r) at placement time; reverse construction (R-LTF) grows the
 // V-sets of already-placed downstream replicas as their chain ancestors
-// appear, which is what the support maps below account for.
-
-// procSet is a small set of processors.
-type procSet map[platform.ProcID]bool
-
-func (s procSet) add(u platform.ProcID) { s[u] = true }
-
-func (s procSet) addAll(o procSet) {
-	for u := range o {
-		s[u] = true
-	}
-}
-
-func (s procSet) intersects(o procSet) bool {
-	a, b := s, o
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	for u := range a {
-		if b[u] {
-			return true
-		}
-	}
-	return false
-}
+// appear, which is what the support lists below account for.
 
 // Candidate describes one evaluated placement of a replica: the target
 // processor, the finish time the placement would achieve, the pipeline stage
@@ -105,30 +82,35 @@ func StagePreserving(bound int) Better {
 	}
 }
 
-// orderedSources returns the sources sorted by availability time (then ref,
-// for determinism) — the order in which their transfers are scheduled.
-func (st *State) orderedSources(sources []schedule.Ref) []schedule.Ref {
-	out := append([]schedule.Ref(nil), sources...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := st.Sched.Replica(out[i]), st.Sched.Replica(out[j])
-		if a.Finish != b.Finish {
-			return a.Finish < b.Finish
+// orderSources fills the srcBuf scratch with the sources sorted by
+// availability time (then ref, for determinism) — the order in which their
+// transfers are scheduled. The result is valid until the next orderSources
+// call.
+func (st *State) orderSources(sources []schedule.Ref) []schedule.Ref {
+	st.srcBuf = append(st.srcBuf[:0], sources...)
+	slices.SortFunc(st.srcBuf, func(a, b schedule.Ref) int {
+		ra, rb := st.Sched.Replica(a), st.Sched.Replica(b)
+		switch {
+		case ra.Finish < rb.Finish:
+			return -1
+		case ra.Finish > rb.Finish:
+			return 1
+		case a.Task != b.Task:
+			return int(a.Task) - int(b.Task)
+		default:
+			return a.Copy - b.Copy
 		}
-		if out[i].Task != out[j].Task {
-			return out[i].Task < out[j].Task
-		}
-		return out[i].Copy < out[j].Copy
 	})
-	return out
+	return st.srcBuf
 }
 
 // TrialFinish simulates placing a replica of t on u with the given sources
 // and returns the finish time, without mutating anything.
 func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) float64 {
-	txn := st.Sys.Begin()
+	txn := st.Sys.Pooled()
 	defer txn.Discard()
 	ready := 0.0
-	for _, src := range st.orderedSources(sources) {
+	for _, src := range st.orderSources(sources) {
 		r := st.Sched.Replica(src)
 		_, fin := txn.Transfer(r.Proc, u, st.volume(src.Task, t), r.Finish, "")
 		if fin > ready {
@@ -146,14 +128,18 @@ func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule
 // caller's job (commitChain/commitFallback).
 func (st *State) CommitPlace(t dag.TaskID, copy int, u platform.ProcID, sources []schedule.Ref) *schedule.Replica {
 	ref := schedule.Ref{Task: t, Copy: copy}
-	txn := st.Sys.Begin()
+	txn := st.Sys.Pooled()
 	ready := 0.0
-	in := make([]schedule.Comm, 0, len(sources))
-	for _, src := range st.orderedSources(sources) {
+	st.commBuf = st.commBuf[:0]
+	for _, src := range st.orderSources(sources) {
 		r := st.Sched.Replica(src)
 		vol := st.volume(src.Task, t)
-		cs, cf := txn.Transfer(r.Proc, u, vol, r.Finish, src.String()+"→"+ref.String())
-		in = append(in, schedule.Comm{From: src, Volume: vol, Start: cs, Finish: cf})
+		tag := ""
+		if st.DebugTags {
+			tag = st.commTag(src, ref)
+		}
+		cs, cf := txn.Transfer(r.Proc, u, vol, r.Finish, tag)
+		st.commBuf = append(st.commBuf, schedule.Comm{From: src, Volume: vol, Start: cs, Finish: cf})
 		if cf > ready {
 			ready = cf
 		}
@@ -163,13 +149,18 @@ func (st *State) CommitPlace(t dag.TaskID, copy int, u platform.ProcID, sources 
 			st.COut[r.Proc] += d
 		}
 	}
-	start, finish := txn.Compute(u, st.G.Task(t).Work, ready, ref.String())
+	tag := ""
+	if st.DebugTags {
+		tag = string(appendRef(st.tagBuf[:0], ref))
+	}
+	start, finish := txn.Compute(u, st.G.Task(t).Work, ready, tag)
 	txn.Commit()
 	st.Sigma[u] += finish - start
+	in := append([]schedule.Comm(nil), st.commBuf...)
 	rep := &schedule.Replica{Ref: ref, Proc: u, Start: start, Finish: finish, In: in}
 	st.Sched.AddReplica(rep)
-	st.Stage[ref] = st.stageOf(u, sources)
-	st.copyProcs[t][u] = true
+	st.stage[st.refIdx(t, copy)] = st.stageOf(u, sources)
+	st.copyProcs.At(int(t)).Add(int(u))
 	return rep
 }
 
@@ -180,7 +171,7 @@ func (st *State) CommitPlace(t dag.TaskID, copy int, u platform.ProcID, sources 
 // (processors hosting exactly one replica of ⋃_i B(t_i), §4's X set) — its
 // mechanism for keeping replication chains processor-disjoint. Our
 // vulnerability discipline enforces that disjointness exactly (claims and
-// support maps), which subsumes the singleton rule; keeping the restriction
+// support lists), which subsumes the singleton rule; keeping the restriction
 // would force unnecessary fallbacks after Rule-1 merging, because
 // co-located consumer replicas are never singleton. We therefore admit
 // every placed replica and let the claims filter the unsafe combinations
@@ -231,27 +222,30 @@ func (st *State) singleCommFinish(src schedule.Ref, t dag.TaskID, u platform.Pro
 
 // siblingVuln returns the union of the vulnerability sets of the other
 // copies of t — the processors a new placement of copy `copy` must avoid.
-func (st *State) siblingVuln(t dag.TaskID, copy int) procSet {
-	out := make(procSet)
+// The result is the sibV scratch set, valid until the next siblingVuln call.
+func (st *State) siblingVuln(t dag.TaskID, copy int) bitset.Set {
+	v := st.sibV
+	v.Clear()
 	for m := 0; m <= st.Eps; m++ {
 		if m != copy {
-			out.addAll(st.Claim[t][m])
+			v.Union(st.claim(t, m))
 		}
 	}
-	return out
+	return v
 }
 
 // headsForward selects, for each pool, the admissible head with the earliest
 // single-communication finish onto u. A head is admissible when its (frozen)
-// vulnerability set avoids the sibling vulnerabilities. Returns nil if some
-// pool has no admissible head.
-func (st *State) headsForward(t dag.TaskID, u platform.ProcID, pools [][]schedule.Ref, sibV procSet) []schedule.Ref {
-	heads := make([]schedule.Ref, len(pools))
+// vulnerability set avoids the sibling vulnerabilities. The chosen heads
+// land in the candHeads scratch (promote with swapCandHeads); it reports
+// false if some pool has no admissible head.
+func (st *State) headsForward(t dag.TaskID, u platform.ProcID, pools [][]schedule.Ref, sibV bitset.Set) bool {
+	heads := st.headsScratch(len(pools))
 	for i, pool := range pools {
 		found := false
 		bestFin := 0.0
 		for _, ref := range pool {
-			if st.Claim[ref.Task][ref.Copy].intersects(sibV) {
+			if st.claim(ref.Task, ref.Copy).Intersects(sibV) {
 				continue
 			}
 			fin := st.singleCommFinish(ref, t, u)
@@ -262,44 +256,86 @@ func (st *State) headsForward(t dag.TaskID, u platform.ProcID, pools [][]schedul
 			}
 		}
 		if !found {
-			return nil
+			return false
 		}
 	}
-	return heads
+	return true
+}
+
+// headsScratch sizes the candidate-heads scratch for n pools. The scratch is
+// never nil, so an entry task (no pools) still yields a valid empty head
+// list.
+func (st *State) headsScratch(n int) []schedule.Ref {
+	if cap(st.candHeads) < n || st.candHeads == nil {
+		st.candHeads = make([]schedule.Ref, n, n+4)
+	}
+	st.candHeads = st.candHeads[:n]
+	return st.candHeads
+}
+
+// swapCandHeads promotes the current candidate heads to best, recycling the
+// previous best buffer for the next candidate.
+func (st *State) swapCandHeads() []schedule.Ref {
+	st.candHeads, st.bestHeads = st.bestHeads, st.candHeads
+	return st.bestHeads
+}
+
+// mergedReset clears the reverse-mode merged-support scratch.
+func (st *State) mergedReset() {
+	if st.mergedCopy == nil {
+		st.mergedCopy = make([]int16, st.G.NumTasks())
+		for i := range st.mergedCopy {
+			st.mergedCopy[i] = -1
+		}
+	}
+	for _, t := range st.mergedTouch {
+		st.mergedCopy[t] = -1
+	}
+	st.mergedTouch = st.mergedTouch[:0]
+}
+
+// mergedSet records copy cp of task t in the merged support.
+func (st *State) mergedSet(t dag.TaskID, cp int16) {
+	if st.mergedCopy[t] < 0 {
+		st.mergedTouch = append(st.mergedTouch, t)
+	}
+	st.mergedCopy[t] = cp
 }
 
 // headsReverse selects heads for reverse-mode construction: consumer
-// replicas whose support maps merge without assigning two different copies
-// of any task, and whose merged claims admit u. It returns the heads and the
-// merged support map, or nil if no consistent choice exists.
-func (st *State) headsReverse(t dag.TaskID, copy int, u platform.ProcID, pools [][]schedule.Ref) ([]schedule.Ref, map[dag.TaskID]int) {
-	merged := map[dag.TaskID]int{t: copy}
-	heads := make([]schedule.Ref, len(pools))
+// replicas whose support lists merge without assigning two different copies
+// of any task, and whose merged claims admit u. The chosen heads land in the
+// candHeads scratch and the merged support in the mergedCopy/mergedTouch
+// scratch; it reports false if no consistent choice exists.
+func (st *State) headsReverse(t dag.TaskID, copy int, u platform.ProcID, pools [][]schedule.Ref) bool {
+	st.mergedReset()
+	st.mergedSet(t, int16(copy))
+	heads := st.headsScratch(len(pools))
 	for i, pool := range pools {
 		// Sort candidates by communication finish, then take the first
 		// consistent one.
-		type cand struct {
-			ref schedule.Ref
-			fin float64
-		}
-		cands := make([]cand, 0, len(pool))
+		cands := st.revCands[:0]
 		for _, ref := range pool {
-			cands = append(cands, cand{ref, st.singleCommFinish(ref, t, u)})
+			cands = append(cands, revCand{ref, st.singleCommFinish(ref, t, u)})
 		}
-		sort.Slice(cands, func(a, b int) bool {
-			if cands[a].fin != cands[b].fin {
-				return cands[a].fin < cands[b].fin
+		st.revCands = cands
+		slices.SortFunc(cands, func(a, b revCand) int {
+			switch {
+			case a.fin < b.fin:
+				return -1
+			case a.fin > b.fin:
+				return 1
+			case a.ref.Task != b.ref.Task:
+				return int(a.ref.Task) - int(b.ref.Task)
+			default:
+				return a.ref.Copy - b.ref.Copy
 			}
-			if cands[a].ref.Task != cands[b].ref.Task {
-				return cands[a].ref.Task < cands[b].ref.Task
-			}
-			return cands[a].ref.Copy < cands[b].ref.Copy
 		})
 		chosen := false
 		for _, c := range cands {
-			if st.consistentSupport(merged, c.ref, u) {
-				for task, cp := range st.Supp[c.ref] {
-					merged[task] = cp
+			if st.consistentSupport(c.ref) {
+				for _, pr := range st.supp[st.refIdx(c.ref.Task, c.ref.Copy)] {
+					st.mergedSet(pr.Task, pr.Copy)
 				}
 				heads[i] = c.ref
 				chosen = true
@@ -307,26 +343,26 @@ func (st *State) headsReverse(t dag.TaskID, copy int, u platform.ProcID, pools [
 			}
 		}
 		if !chosen {
-			return nil, nil
+			return false
 		}
 	}
 	// Final claim check for u over the merged support.
-	for task, cp := range merged {
+	for _, task := range st.mergedTouch {
+		cp := int(st.mergedCopy[task])
 		for m := 0; m <= st.Eps; m++ {
-			if m != cp && st.Claim[task][m][u] {
-				return nil, nil
+			if m != cp && st.claim(task, m).Contains(int(u)) {
+				return false
 			}
 		}
 	}
-	return heads, merged
+	return true
 }
 
-// consistentSupport reports whether head's support map can merge into merged
-// without conflicts and without claiming u for two different copies.
-func (st *State) consistentSupport(merged map[dag.TaskID]int, head schedule.Ref, u platform.ProcID) bool {
-	supp := st.Supp[head]
-	for task, cp := range supp {
-		if prev, ok := merged[task]; ok && prev != cp {
+// consistentSupport reports whether head's support list can merge into the
+// merged scratch without assigning two different copies of any task.
+func (st *State) consistentSupport(head schedule.Ref) bool {
+	for _, pr := range st.supp[st.refIdx(head.Task, head.Copy)] {
+		if prev := st.mergedCopy[pr.Task]; prev >= 0 && prev != pr.Copy {
 			return false
 		}
 	}
@@ -348,29 +384,21 @@ func (st *State) OneToOne(t dag.TaskID, copy int, pools [][]schedule.Ref, better
 	sibV := st.siblingVuln(t, copy)
 
 	var best Candidate
-	var bestSupp map[dag.TaskID]int
 	found := false
 	for u := 0; u < st.P.NumProcs(); u++ {
 		pu := platform.ProcID(u)
-		if sibV[pu] {
+		if sibV.Contains(u) {
 			continue
 		}
-		var heads []schedule.Ref
-		var supp map[dag.TaskID]int
 		if st.ReverseMode {
-			heads, supp = st.headsReverse(t, copy, pu, pools)
-			if supp == nil {
+			if !st.headsReverse(t, copy, pu, pools) {
 				continue
 			}
 			// The widest claim this commit would produce is the reverse
 			// analogue of the forward vulnerability size.
 			wide := 0
-			for task, cp := range supp {
-				n := len(st.Claim[task][cp])
-				if !st.Claim[task][cp][pu] {
-					n++
-				}
-				if n > wide {
+			for _, task := range st.mergedTouch {
+				if n := st.claim(task, int(st.mergedCopy[task])).CountAfterAdd(u); n > wide {
 					wide = n
 				}
 			}
@@ -378,31 +406,32 @@ func (st *State) OneToOne(t dag.TaskID, copy int, pools [][]schedule.Ref, better
 				continue // vulnerability too wide; force a fallback reset
 			}
 		} else {
-			heads = st.headsForward(t, pu, pools, sibV)
-			if heads == nil {
+			if !st.headsForward(t, pu, pools, sibV) {
 				continue
 			}
-			v := make(procSet)
-			v.add(pu)
-			for _, h := range heads {
-				v.addAll(st.Claim[h.Task][h.Copy])
+			v := st.vScratch
+			v.Clear()
+			v.Add(u)
+			for _, h := range st.candHeads {
+				v.Union(st.claim(h.Task, h.Copy))
 			}
-			if len(v) > st.VulnCap {
+			if v.Count() > st.VulnCap {
 				continue // vulnerability too wide; force a fallback reset
 			}
 		}
-		if !st.Feasible(t, pu, heads) {
+		cand, ok, _ := st.evalCandidate(t, pu, st.candHeads, true)
+		if !ok {
 			continue
-		}
-		cand := Candidate{
-			Proc:    pu,
-			Finish:  st.TrialFinish(t, pu, heads),
-			Stage:   st.stageOf(pu, heads),
-			Sources: heads,
 		}
 		if !found || better(cand, best) {
 			best = cand
-			bestSupp = supp
+			best.Sources = st.swapCandHeads()
+			if st.ReverseMode {
+				st.bestSupp = st.bestSupp[:0]
+				for _, task := range st.mergedTouch {
+					st.bestSupp = append(st.bestSupp, suppPair{Task: task, Copy: st.mergedCopy[task]})
+				}
+			}
 			found = true
 		}
 	}
@@ -411,7 +440,7 @@ func (st *State) OneToOne(t dag.TaskID, copy int, pools [][]schedule.Ref, better
 	}
 	st.CommitPlace(t, copy, best.Proc, best.Sources)
 	if st.ReverseMode {
-		st.commitReverse(t, copy, best.Proc, bestSupp)
+		st.commitReverse(t, copy, best.Proc, st.bestSupp)
 	} else {
 		st.commitForward(t, copy, best.Proc, best.Sources)
 	}
@@ -429,39 +458,42 @@ func (st *State) OneToOne(t dag.TaskID, copy int, pools [][]schedule.Ref, better
 // commitForward freezes the vulnerability set of a forward chain replica:
 // its processor plus the vulnerabilities of its heads.
 func (st *State) commitForward(t dag.TaskID, copy int, u platform.ProcID, heads []schedule.Ref) {
-	v := st.Claim[t][copy]
-	v.add(u)
+	v := st.claim(t, copy)
+	v.Add(int(u))
 	for _, h := range heads {
-		v.addAll(st.Claim[h.Task][h.Copy])
+		v.Union(st.claim(h.Task, h.Copy))
 	}
 }
 
 // commitReverse records the new replica's support and adds its processor to
-// the claims of every (task, copy) it transitively supports.
-func (st *State) commitReverse(t dag.TaskID, copy int, u platform.ProcID, supp map[dag.TaskID]int) {
-	if supp == nil {
-		supp = map[dag.TaskID]int{t: copy}
+// the claims of every (task, copy) it transitively supports. An empty supp
+// (the fallback path) reduces to the replica itself.
+func (st *State) commitReverse(t dag.TaskID, cp int, u platform.ProcID, supp []suppPair) {
+	if len(supp) == 0 {
+		supp = []suppPair{{Task: t, Copy: int16(cp)}}
 	}
-	st.Supp[schedule.Ref{Task: t, Copy: copy}] = supp
-	for task, cp := range supp {
-		st.Claim[task][cp].add(u)
+	own := append([]suppPair(nil), supp...)
+	st.supp[st.refIdx(t, cp)] = own
+	for _, pr := range own {
+		st.claim(pr.Task, int(pr.Copy)).Add(int(u))
 	}
 }
 
 // AllSources returns every placed replica of every predecessor of t — the
 // fallback's full communication replication (each replica of t then receives
 // from all ε+1 copies of each predecessor, so validity never depends on
-// chain disjointness).
+// chain disjointness). The result is a scratch buffer valid until the next
+// AllSources call.
 func (st *State) AllSources(t dag.TaskID) []schedule.Ref {
-	var out []schedule.Ref
+	st.allSrc = st.allSrc[:0]
 	for _, pe := range st.G.Pred(t) {
 		for _, ref := range schedule.ReplicaRefs(pe.From, st.Eps) {
 			if st.Sched.Replica(ref) != nil {
-				out = append(out, ref)
+				st.allSrc = append(st.allSrc, ref)
 			}
 		}
 	}
-	return out
+	return st.allSrc
 }
 
 // Fallback places copy `copy` of t with full communication replication.
@@ -478,10 +510,11 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 	var sawCompute, sawPort bool
 	for u := 0; u < st.P.NumProcs(); u++ {
 		pu := platform.ProcID(u)
-		if sibV[pu] {
+		if sibV.Contains(u) {
 			continue
 		}
-		if ok, why := st.feasibleWhy(t, pu, sources); !ok {
+		cand, ok, why := st.evalCandidate(t, pu, sources, true)
+		if !ok {
 			switch why {
 			case infeas.ReasonPeriodExceeded:
 				sawCompute = true
@@ -489,12 +522,6 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 				sawPort = true
 			}
 			continue
-		}
-		cand := Candidate{
-			Proc:    pu,
-			Finish:  st.TrialFinish(t, pu, sources),
-			Stage:   st.stageOf(pu, sources),
-			Sources: sources,
 		}
 		if !found || better(cand, best) {
 			best = cand
@@ -520,7 +547,7 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 	if st.ReverseMode {
 		st.commitReverse(t, copy, best.Proc, nil)
 	} else {
-		st.Claim[t][copy].add(best.Proc)
+		st.claim(t, copy).Add(int(best.Proc))
 	}
 	return nil
 }
@@ -530,59 +557,62 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 // (reverse construction must never mix chain and fallback copies of one
 // task: consumers that are no chain's head would then receive inputs only
 // from the fallback copies, an untracked vulnerability — see the discipline
-// note above).
+// note above). Snapshots come from a free list on State and return to it
+// through Restore or Release, so the reverse-mode retry ladder reuses one
+// set of buffers for the whole construction.
 type TaskSnapshot struct {
-	task               dag.TaskID
-	sys                *oneport.Snapshot
-	sigma, cin, cout   []float64
-	claim              [][]procSet
-	copyProcsSnapshots map[platform.ProcID]bool
+	task             dag.TaskID
+	sys              *oneport.Snapshot
+	sigma, cin, cout []float64
+	claims           bitset.Set
+	copyProcs        bitset.Set
 }
 
 // Snapshot captures the rollback state before placing task t's replicas.
 func (st *State) Snapshot(t dag.TaskID) *TaskSnapshot {
-	snap := &TaskSnapshot{
-		task:  t,
-		sys:   st.Sys.Snapshot(),
-		sigma: append([]float64(nil), st.Sigma...),
-		cin:   append([]float64(nil), st.CIn...),
-		cout:  append([]float64(nil), st.COut...),
-		claim: make([][]procSet, len(st.Claim)),
+	var snap *TaskSnapshot
+	if n := len(st.snapFree); n > 0 {
+		snap = st.snapFree[n-1]
+		st.snapFree = st.snapFree[:n-1]
+	} else {
+		snap = &TaskSnapshot{sys: &oneport.Snapshot{}}
 	}
-	for i := range st.Claim {
-		snap.claim[i] = make([]procSet, len(st.Claim[i]))
-		for c := range st.Claim[i] {
-			cp := make(procSet, len(st.Claim[i][c]))
-			cp.addAll(st.Claim[i][c])
-			snap.claim[i][c] = cp
-		}
-	}
-	snap.copyProcsSnapshots = make(map[platform.ProcID]bool, len(st.copyProcs[t]))
-	for u := range st.copyProcs[t] {
-		snap.copyProcsSnapshots[u] = true
-	}
+	snap.task = t
+	st.Sys.SnapshotInto(snap.sys)
+	snap.sigma = append(snap.sigma[:0], st.Sigma...)
+	snap.cin = append(snap.cin[:0], st.CIn...)
+	snap.cout = append(snap.cout[:0], st.COut...)
+	snap.claims = st.claims.Snapshot(snap.claims)
+	snap.copyProcs = append(snap.copyProcs[:0], st.copyProcs.At(int(t))...)
 	return snap
 }
 
 // Restore rolls the state back to the snapshot, withdrawing any replicas of
-// the snapshot's task placed since. A snapshot may be restored at most once.
+// the snapshot's task placed since, and recycles the snapshot. A snapshot
+// may be restored at most once.
 func (st *State) Restore(snap *TaskSnapshot) {
-	st.Sys.Restore(snap.sys)
-	st.Sigma = snap.sigma
-	st.CIn = snap.cin
-	st.COut = snap.cout
-	st.Claim = snap.claim
+	st.Sys.RestoreSwap(snap.sys)
+	copy(st.Sigma, snap.sigma)
+	copy(st.CIn, snap.cin)
+	copy(st.COut, snap.cout)
+	st.claims.Restore(snap.claims)
+	st.copyProcs.At(int(snap.task)).CopyFrom(snap.copyProcs)
 	for _, ref := range schedule.ReplicaRefs(snap.task, st.Eps) {
 		if st.Sched.Replica(ref) != nil {
 			st.Sched.RemoveReplica(ref)
 		}
-		delete(st.Stage, ref)
-		delete(st.Supp, ref)
+		i := st.refIdx(ref.Task, ref.Copy)
+		st.stage[i] = 0
+		st.supp[i] = nil
 	}
-	st.copyProcs[snap.task] = make(map[platform.ProcID]bool, st.Eps+1)
-	for u := range snap.copyProcsSnapshots {
-		st.copyProcs[snap.task][u] = true
-	}
+	st.Release(snap)
+}
+
+// Release returns an unrestored snapshot's buffers to the free list. Restore
+// recycles its snapshot itself; call Release on the snapshots of attempts
+// that succeeded and will never roll back.
+func (st *State) Release(snap *TaskSnapshot) {
+	st.snapFree = append(st.snapFree, snap)
 }
 
 // MaxPredStage returns the largest stage number among the placed replicas of
@@ -592,8 +622,8 @@ func (st *State) MaxPredStage(t dag.TaskID) int {
 	max := 0
 	for _, pe := range st.G.Pred(t) {
 		for _, ref := range schedule.ReplicaRefs(pe.From, st.Eps) {
-			if st.Sched.Replica(ref) != nil && st.Stage[ref] > max {
-				max = st.Stage[ref]
+			if st.Sched.Replica(ref) != nil && st.stage[st.refIdx(ref.Task, ref.Copy)] > max {
+				max = st.stage[st.refIdx(ref.Task, ref.Copy)]
 			}
 		}
 	}

@@ -24,10 +24,11 @@ import (
 // System tracks per-processor compute, send-port and receive-port timelines
 // over one schedule construction.
 type System struct {
-	plat *platform.Platform
-	comp []*timeline.Timeline
-	send []*timeline.Timeline
-	recv []*timeline.Timeline
+	plat   *platform.Platform
+	comp   []*timeline.Timeline
+	send   []*timeline.Timeline
+	recv   []*timeline.Timeline
+	pooled *Txn // reusable trial transaction, see Pooled
 }
 
 // NewSystem returns an empty System for the platform.
@@ -81,11 +82,19 @@ type Txn struct {
 	comp    []*timeline.Timeline // nil until touched
 	send    []*timeline.Timeline
 	recv    []*timeline.Timeline
+	cache   *txnCache // clone buffers for the pooled transaction, nil otherwise
 	touched bool
 	done    bool
 }
 
-// Begin opens a transaction.
+// txnCache retains the timeline clones a pooled transaction made, so the
+// next reuse refreshes them with CopyFrom instead of allocating. A buffer
+// leaves the cache when Commit hands it to the System.
+type txnCache struct {
+	comp, send, recv []*timeline.Timeline
+}
+
+// Begin opens a one-shot transaction.
 func (s *System) Begin() *Txn {
 	m := s.plat.NumProcs()
 	return &Txn{
@@ -96,25 +105,75 @@ func (s *System) Begin() *Txn {
 	}
 }
 
-func (t *Txn) compTL(u platform.ProcID) *timeline.Timeline {
-	if t.comp[u] == nil {
-		t.comp[u] = t.sys.comp[u].Clone()
+// Pooled returns the system's reusable transaction, reset and ready. The
+// schedulers trial every candidate placement through a transaction; the
+// pooled one recycles both the overlay slices and the timeline clone
+// buffers, making a discarded trial allocation-free in steady state. At most
+// one pooled transaction may be live at a time (Commit or Discard it before
+// the next Pooled call); use Begin for nested or concurrent trials.
+func (s *System) Pooled() *Txn {
+	if s.pooled == nil {
+		t := s.Begin()
+		m := s.plat.NumProcs()
+		t.cache = &txnCache{
+			comp: make([]*timeline.Timeline, m),
+			send: make([]*timeline.Timeline, m),
+			recv: make([]*timeline.Timeline, m),
+		}
+		s.pooled = t
+		return t
 	}
-	return t.comp[u]
+	t := s.pooled
+	if !t.done {
+		panic("oneport: Pooled called while the pooled transaction is live")
+	}
+	clear(t.comp)
+	clear(t.send)
+	clear(t.recv)
+	t.touched = false
+	t.done = false
+	return t
+}
+
+// overlay returns the transaction's private copy of committed[u], cloning it
+// on first touch (through the cache for pooled transactions).
+func overlay(t *Txn, over, cache []*timeline.Timeline, committed *timeline.Timeline, u platform.ProcID) *timeline.Timeline {
+	if over[u] == nil {
+		if cache != nil && cache[u] != nil {
+			cache[u].CopyFrom(committed)
+			over[u] = cache[u]
+		} else {
+			over[u] = committed.Clone()
+			if cache != nil {
+				cache[u] = over[u]
+			}
+		}
+	}
+	return over[u]
+}
+
+func (t *Txn) compTL(u platform.ProcID) *timeline.Timeline {
+	var cache []*timeline.Timeline
+	if t.cache != nil {
+		cache = t.cache.comp
+	}
+	return overlay(t, t.comp, cache, t.sys.comp[u], u)
 }
 
 func (t *Txn) sendTL(u platform.ProcID) *timeline.Timeline {
-	if t.send[u] == nil {
-		t.send[u] = t.sys.send[u].Clone()
+	var cache []*timeline.Timeline
+	if t.cache != nil {
+		cache = t.cache.send
 	}
-	return t.send[u]
+	return overlay(t, t.send, cache, t.sys.send[u], u)
 }
 
 func (t *Txn) recvTL(u platform.ProcID) *timeline.Timeline {
-	if t.recv[u] == nil {
-		t.recv[u] = t.sys.recv[u].Clone()
+	var cache []*timeline.Timeline
+	if t.cache != nil {
+		cache = t.cache.recv
 	}
-	return t.recv[u]
+	return overlay(t, t.recv, cache, t.sys.recv[u], u)
 }
 
 // Transfer reserves the earliest window for moving vol data units from
@@ -123,11 +182,22 @@ func (t *Txn) recvTL(u platform.ProcID) *timeline.Timeline {
 // (ready, ready) and reserve nothing. The tag labels the reservation for
 // Gantt rendering.
 func (t *Txn) Transfer(from, to platform.ProcID, vol, ready float64, tag string) (start, finish float64) {
-	t.checkOpen()
 	if from == to || vol == 0 {
+		t.checkOpen()
 		return ready, ready
 	}
-	dur := t.sys.plat.CommTime(vol, from, to)
+	return t.TransferDur(from, to, t.sys.plat.CommTime(vol, from, to), ready, tag)
+}
+
+// TransferDur is Transfer with the transfer duration already priced — the
+// schedulers compute each candidate's communication terms once for the
+// condition-(1) feasibility test and reuse them here instead of paying a
+// second CommTime per source. A zero dur reserves nothing.
+func (t *Txn) TransferDur(from, to platform.ProcID, dur, ready float64, tag string) (start, finish float64) {
+	t.checkOpen()
+	if dur == 0 {
+		return ready, ready
+	}
 	st := t.sendTL(from)
 	rt := t.recvTL(to)
 	start = timeline.EarliestCommonGap(ready, dur, st, rt)
@@ -151,18 +221,28 @@ func (t *Txn) Compute(u platform.ProcID, work, ready float64, tag string) (start
 }
 
 // Commit applies the transaction's reservations to the parent System.
-// The transaction cannot be used afterwards.
+// The transaction cannot be used afterwards. Committed overlays leave the
+// pooled transaction's cache — the System owns them now.
 func (t *Txn) Commit() {
 	t.checkOpen()
 	for u := range t.comp {
 		if t.comp[u] != nil {
 			t.sys.comp[u] = t.comp[u]
+			if t.cache != nil {
+				t.cache.comp[u] = nil
+			}
 		}
 		if t.send[u] != nil {
 			t.sys.send[u] = t.send[u]
+			if t.cache != nil {
+				t.cache.send[u] = nil
+			}
 		}
 		if t.recv[u] != nil {
 			t.sys.recv[u] = t.recv[u]
+			if t.cache != nil {
+				t.cache.recv[u] = nil
+			}
 		}
 	}
 	t.done = true
@@ -187,18 +267,35 @@ type Snapshot struct {
 
 // Snapshot returns a restorable copy of the current reservations.
 func (s *System) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	s.SnapshotInto(snap)
+	return snap
+}
+
+// SnapshotInto captures the current reservations into snap, reusing snap's
+// timeline buffers from an earlier capture or an earlier RestoreSwap. The
+// reverse-mode retry ladder snapshots every task; buffer reuse keeps that
+// off the allocator.
+func (s *System) SnapshotInto(snap *Snapshot) {
 	m := len(s.comp)
-	snap := &Snapshot{
-		comp: make([]*timeline.Timeline, m),
-		send: make([]*timeline.Timeline, m),
-		recv: make([]*timeline.Timeline, m),
+	if snap.comp == nil {
+		snap.comp = make([]*timeline.Timeline, m)
+		snap.send = make([]*timeline.Timeline, m)
+		snap.recv = make([]*timeline.Timeline, m)
 	}
 	for u := 0; u < m; u++ {
-		snap.comp[u] = s.comp[u].Clone()
-		snap.send[u] = s.send[u].Clone()
-		snap.recv[u] = s.recv[u].Clone()
+		snap.comp[u] = copyTL(snap.comp[u], s.comp[u])
+		snap.send[u] = copyTL(snap.send[u], s.send[u])
+		snap.recv[u] = copyTL(snap.recv[u], s.recv[u])
 	}
-	return snap
+}
+
+func copyTL(dst, src *timeline.Timeline) *timeline.Timeline {
+	if dst == nil {
+		return src.Clone()
+	}
+	dst.CopyFrom(src)
+	return dst
 }
 
 // Restore rewinds the system to a previously captured snapshot. The system
@@ -208,6 +305,18 @@ func (s *System) Restore(snap *Snapshot) {
 	copy(s.comp, snap.comp)
 	copy(s.send, snap.send)
 	copy(s.recv, snap.recv)
+}
+
+// RestoreSwap rewinds the system to the snapshot by exchanging timelines:
+// the snapshot ends up holding the abandoned post-snapshot state, which a
+// later SnapshotInto overwrites in place. Unlike Restore, the snapshot stays
+// usable as a buffer — but its contents are no longer the captured state.
+func (s *System) RestoreSwap(snap *Snapshot) {
+	for u := range s.comp {
+		s.comp[u], snap.comp[u] = snap.comp[u], s.comp[u]
+		s.send[u], snap.send[u] = snap.send[u], s.send[u]
+		s.recv[u], snap.recv[u] = snap.recv[u], s.recv[u]
+	}
 }
 
 // Validate re-checks every timeline invariant; tests call it after schedule

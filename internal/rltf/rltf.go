@@ -84,15 +84,31 @@ func mirror(g *dag.Graph, st *mapper.State) *schedule.Schedule {
 	rev := st.Sched
 	h := rev.Makespan()
 	fwd := schedule.New(g, st.P, st.Eps, st.Period, "R-LTF")
+	// A reverse comm into ref becomes a forward comm out of its source, so
+	// each forward replica receives exactly as many comms as its reverse
+	// counterpart sends; count them first and size the In lists exactly.
+	inCount := make([]int, g.NumTasks()*(st.Eps+1))
+	idx := func(r schedule.Ref) int { return int(r.Task)*(st.Eps+1) + r.Copy }
+	for t := 0; t < g.NumTasks(); t++ {
+		for _, ref := range schedule.ReplicaRefs(dag.TaskID(t), st.Eps) {
+			for _, c := range rev.Replica(ref).In {
+				inCount[idx(c.From)]++
+			}
+		}
+	}
 	for t := 0; t < g.NumTasks(); t++ {
 		for _, ref := range schedule.ReplicaRefs(dag.TaskID(t), st.Eps) {
 			rr := rev.Replica(ref)
-			fwd.AddReplica(&schedule.Replica{
+			rep := &schedule.Replica{
 				Ref:    ref,
 				Proc:   rr.Proc,
 				Start:  h - rr.Finish,
 				Finish: h - rr.Start,
-			})
+			}
+			if n := inCount[idx(ref)]; n > 0 {
+				rep.In = make([]schedule.Comm, 0, n)
+			}
+			fwd.AddReplica(rep)
 		}
 	}
 	// A reverse comm (s,M) → (x,N), with s a successor of x in g, becomes

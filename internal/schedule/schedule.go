@@ -110,8 +110,10 @@ func (s *Schedule) RemoveReplica(ref Ref) {
 func (s *Schedule) Replicas(t dag.TaskID) []*Replica { return s.replicas[t] }
 
 // All returns every placed replica, tasks in ID order, copies in order.
+// Metric queries (Makespan, Stages, CrossComms) run once per solver probe,
+// so the slice is sized up front.
 func (s *Schedule) All() []*Replica {
-	var out []*Replica
+	out := make([]*Replica, 0, len(s.replicas)*(s.Eps+1))
 	for _, copies := range s.replicas {
 		for _, r := range copies {
 			if r != nil {

@@ -69,6 +69,14 @@ func (tl *Timeline) Clone() *Timeline {
 	return c
 }
 
+// CopyFrom overwrites tl with the contents of o, reusing tl's interval
+// storage when it is large enough. The scheduling hot path clones timelines
+// thousands of times per construction (trial transactions, task snapshots);
+// CopyFrom lets those clones recycle one buffer instead of allocating.
+func (tl *Timeline) CopyFrom(o *Timeline) {
+	tl.busy = append(tl.busy[:0], o.busy...)
+}
+
 // Reset removes all reservations.
 func (tl *Timeline) Reset() { tl.busy = tl.busy[:0] }
 
