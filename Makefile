@@ -2,11 +2,11 @@
 # so a green `make ci` predicts a green CI run.
 
 GO ?= go
-BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF
+BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkSim|BenchmarkTimelineReserve
 BENCHTIME ?= 5x
 COUNT ?= 3
 
-.PHONY: all build fmt vet test test-full cover bench bench-record bench-compare baseline ci
+.PHONY: all build fmt vet test test-full cover bench bench-record bench-compare bench-trend baseline ci
 
 all: build
 
@@ -47,6 +47,12 @@ bench-record:
 bench-compare:
 	$(GO) run ./cmd/bench -bench '$(BENCH_RE)' -benchtime $(BENCHTIME) -count $(COUNT) \
 		-baseline BENCH_baseline.json -alloc-tolerance 0.10 -out BENCH_ci.json
+
+# bench-trend prints the per-benchmark ns/op and allocs/op trajectory over
+# the recorded artifacts (BENCH_*.json under BENCH_DIR) with per-step deltas.
+BENCH_DIR ?= .
+bench-trend:
+	$(GO) run ./cmd/bench trend -dir $(BENCH_DIR)
 
 # baseline refreshes the committed baseline — run on CI-class hardware and
 # commit the result deliberately (see DESIGN.md §Performance).

@@ -38,8 +38,7 @@ func TestFacadeRandomSP(t *testing.T) {
 	}
 	// The §4.2 bound end to end through the façade.
 	p := streamsched.Homogeneous(32, 1, 10)
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 1e6}
-	s, err := prob.Solve(streamsched.RLTF)
+	s, err := solveWith(t, streamsched.RLTF, g, p, 1, 1e6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,8 +50,7 @@ func TestFacadeRandomSP(t *testing.T) {
 func TestFacadeScheduleTraceExport(t *testing.T) {
 	g := streamsched.Chain(3, 1, 0.5)
 	p := streamsched.Homogeneous(4, 1, 1)
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 2.2}
-	s, err := prob.Solve(streamsched.LTF)
+	s, err := solveWith(t, streamsched.LTF, g, p, 1, 2.2)
 	if err != nil {
 		t.Fatal(err)
 	}

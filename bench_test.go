@@ -18,6 +18,7 @@ import (
 	"streamsched/internal/rltf"
 	"streamsched/internal/rng"
 	"streamsched/internal/sim"
+	"streamsched/internal/timeline"
 )
 
 // benchSweep runs a reduced paper sweep.
@@ -176,29 +177,74 @@ func BenchmarkRLTF(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulator measures the discrete-event engine in both execution
-// semantics.
-func BenchmarkSimulator(b *testing.B) {
+// BenchmarkSim measures the discrete-event engine across the axes the
+// experiment campaigns exercise: small structured vs paper-sized random
+// graphs, free-running dataflow vs stage-synchronized semantics, with and
+// without a tolerated crash. These cases are part of the recorded baseline
+// and the CI perf gate (see Makefile BENCH_RE).
+func BenchmarkSim(b *testing.B) {
+	small, err := ltf.Schedule(context.Background(), randgraph.Butterfly(3, 3, 1),
+		platform.Homogeneous(10, 1, 1), 1, 30, ltf.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
 	r := rng.New(13)
 	p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
-	cfg := randgraph.DefaultStreamConfig()
-	g := randgraph.Stream(r, cfg, p)
-	s, err := rltf.Schedule(context.Background(), g, p, 1, 20, rltf.Options{})
+	large, err := rltf.Schedule(context.Background(), randgraph.Stream(r, randgraph.DefaultStreamConfig(), p), p, 1, 20, rltf.Options{})
 	if err != nil {
-		b.Skip("infeasible instance")
+		b.Fatal(err)
 	}
-	for _, mode := range []struct {
+	for _, size := range []struct {
 		name string
-		sync bool
-	}{{"dataflow", false}, {"synchronous", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			c := sim.DefaultConfig(s)
-			c.Synchronous = mode.sync
+		s    *streamsched.Schedule
+	}{{"small", small}, {"large", large}} {
+		for _, mode := range []struct {
+			name string
+			sync bool
+		}{{"dataflow", false}, {"synchronous", true}} {
+			for _, crash := range []struct {
+				name  string
+				procs []platform.ProcID
+			}{{"nocrash", nil}, {"crash", []platform.ProcID{0}}} {
+				b.Run(size.name+"/"+mode.name+"/"+crash.name, func(b *testing.B) {
+					c := sim.DefaultConfig(size.s)
+					c.Synchronous = mode.sync
+					if crash.procs != nil {
+						c.Failures = sim.FailureSpec{Procs: crash.procs}
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := sim.Run(context.Background(), size.s, c); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkTimelineReserve measures sorted-interval insertion as one port's
+// timeline grows — the ROADMAP question of whether the memmove-based sorted
+// slice holds up beyond ~10³ reservations per port. One op builds a
+// timeline of n disjoint intervals reserved in permuted order, so
+// insertions land mid-slice rather than appending.
+func BenchmarkTimelineReserve(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ivs := make([]timeline.Interval, n)
+			for i, p := range rng.New(19).Perm(n) {
+				ivs[i] = timeline.Interval{Start: 2 * float64(p), End: 2*float64(p) + 1}
+			}
+			var tl timeline.Timeline
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sim.Run(context.Background(), s, c); err != nil {
-					b.Fatal(err)
+				tl.Reset()
+				for _, iv := range ivs {
+					tl.MustReserve(iv)
 				}
 			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/reserve")
 		})
 	}
 }

@@ -8,6 +8,7 @@
 //	go run ./cmd/bench -out BENCH_baseline.json         # refresh the committed baseline
 //	go run ./cmd/bench -baseline BENCH_baseline.json    # run and gate: exit 1 on regression
 //	go run ./cmd/bench -baseline BENCH_baseline.json -input results.txt
+//	go run ./cmd/bench trend -dir artifacts             # ns/op & allocs/op history
 //
 // The gate fails when any baseline benchmark regresses by more than
 // -ns-tolerance in ns/op (default 25%), disappears from the current run, or
@@ -31,8 +32,15 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trend" {
+		if err := trendMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "bench trend:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
-		benchRe   = flag.String("bench", "BenchmarkLTF|BenchmarkRLTF", "benchmark regex passed to go test -bench")
+		benchRe   = flag.String("bench", "BenchmarkLTF|BenchmarkRLTF|BenchmarkSim|BenchmarkTimelineReserve", "benchmark regex passed to go test -bench")
 		benchtime = flag.String("benchtime", "5x", "go test -benchtime value")
 		count     = flag.Int("count", 1, "go test -count value (runs are averaged)")
 		pkg       = flag.String("pkg", ".", "package to benchmark")

@@ -1,0 +1,146 @@
+package main
+
+// The trend subcommand renders the benchmark trajectory over a directory of
+// recorded BENCH_*.json artifacts (local bench-record runs or downloaded CI
+// bench-json artifacts):
+//
+//	go run ./cmd/bench trend            # artifacts in the current directory
+//	go run ./cmd/bench trend -dir ci-artifacts -bench 'BenchmarkSim'
+//
+// For every benchmark it prints one line per recorded run — date, revision,
+// ns/op and allocs/op — with the per-step delta against the previous run, so
+// a perf drift that stays under the gate's per-commit tolerance is still
+// visible over the artifact history.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+
+	"streamsched/internal/benchjson"
+)
+
+func trendMain(args []string) error {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	var (
+		dir     = fs.String("dir", ".", "directory scanned for BENCH_*.json artifacts")
+		benchRe = fs.String("bench", "", "only show benchmarks matching this regex")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bench trend [-dir DIR] [-bench REGEX]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if *benchRe != "" {
+		var err error
+		if re, err = regexp.Compile(*benchRe); err != nil {
+			return fmt.Errorf("bad -bench regex: %w", err)
+		}
+	}
+	files, err := loadArtifacts(*dir)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json artifacts under %s", *dir)
+	}
+	printTrend(os.Stdout, files, re)
+	return nil
+}
+
+// loadArtifacts reads every BENCH_*.json under dir, ordered by recording
+// date (the Date field; files without one sort first by name).
+func loadArtifacts(dir string) ([]*benchjson.File, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var files []*benchjson.File
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		bf, err := benchjson.Decode(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		// Decode validates the schema, not ordering; findResult
+		// binary-searches by name, so restore the sorted invariant for
+		// artifacts produced or edited by other tools.
+		sort.Slice(bf.Results, func(i, j int) bool { return bf.Results[i].Name < bf.Results[j].Name })
+		files = append(files, bf)
+	}
+	sort.SliceStable(files, func(i, j int) bool { return files[i].Date < files[j].Date })
+	return files, nil
+}
+
+func printTrend(w *os.File, files []*benchjson.File, re *regexp.Regexp) {
+	// Benchmarks in name order; every file already stores sorted results.
+	names := map[string]bool{}
+	for _, f := range files {
+		for _, r := range f.Results {
+			if re == nil || re.MatchString(r.Name) {
+				names[r.Name] = true
+			}
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	for _, name := range ordered {
+		fmt.Fprintln(w, name)
+		var prev *benchjson.Result
+		for _, f := range files {
+			r := findResult(f, name)
+			if r == nil {
+				continue
+			}
+			// allocs/op is always printed: 0 is a meaningful value for an
+			// allocation-free path, and drift away from it must stay visible.
+			fmt.Fprintf(w, "  %-20s %-16s %14.0f ns/op %8s %12.0f allocs/op %8s\n",
+				f.Date, f.Rev, r.NsOp, delta(prev, r, nsOf), r.AllocsOp, delta(prev, r, allocsOf))
+			prev = r
+		}
+	}
+}
+
+func findResult(f *benchjson.File, name string) *benchjson.Result {
+	i := sort.Search(len(f.Results), func(i int) bool { return f.Results[i].Name >= name })
+	if i < len(f.Results) && f.Results[i].Name == name {
+		return &f.Results[i]
+	}
+	return nil
+}
+
+func nsOf(r *benchjson.Result) float64     { return r.NsOp }
+func allocsOf(r *benchjson.Result) float64 { return r.AllocsOp }
+
+// delta formats the step change vs the previous recorded run ("-" for the
+// first point). A regression from 0 (no percentage exists) is shown as the
+// absolute change so allocations creeping back into an allocation-free path
+// stay visible.
+func delta(prev, cur *benchjson.Result, metric func(*benchjson.Result) float64) string {
+	if prev == nil {
+		return "-"
+	}
+	p, c := metric(prev), metric(cur)
+	if p == 0 {
+		if c == 0 {
+			return "+0.0%"
+		}
+		return fmt.Sprintf("%+.0f", c-p)
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(c-p)/p)
+}

@@ -57,8 +57,7 @@ func TestFacadeMinProcessors(t *testing.T) {
 	// Minimality: one fewer processor must fail.
 	if m > 2 {
 		sub := streamsched.Homogeneous(m-1, 1, 1)
-		prob := &streamsched.Problem{Graph: g, Platform: sub, Eps: 1, Period: 20}
-		if _, err := prob.Solve(streamsched.LTF); err == nil {
+		if _, err := solveWith(t, streamsched.LTF, g, sub, 1, 20); err == nil {
 			t.Fatalf("m-1 = %d also feasible; MinProcessors not minimal", m-1)
 		}
 	}
@@ -67,13 +66,11 @@ func TestFacadeMinProcessors(t *testing.T) {
 func TestFacadeEnergy(t *testing.T) {
 	g := streamsched.Chain(4, 1, 1)
 	p := streamsched.Homogeneous(8, 1, 1)
-	ffProb := &streamsched.Problem{Graph: g, Platform: p, Eps: 0, Period: 50}
-	ff, err := ffProb.Solve(streamsched.FaultFree)
+	ff, err := solveWith(t, streamsched.FaultFree, g, p, 0, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repProb := &streamsched.Problem{Graph: g, Platform: p, Eps: 2, Period: 50}
-	rep, err := repProb.Solve(streamsched.RLTF)
+	rep, err := solveWith(t, streamsched.RLTF, g, p, 2, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,8 +86,7 @@ func TestFacadeEnergy(t *testing.T) {
 func TestFacadeScheduleJSON(t *testing.T) {
 	g := streamsched.Chain(3, 1, 1)
 	p := streamsched.Homogeneous(4, 1, 1)
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 20}
-	s, err := prob.Solve(streamsched.RLTF)
+	s, err := solveWith(t, streamsched.RLTF, g, p, 1, 20)
 	if err != nil {
 		t.Fatal(err)
 	}

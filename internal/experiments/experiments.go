@@ -248,41 +248,51 @@ func measure(ctx context.Context, res *instanceResult, c cell, ff, ls, rs *sched
 	res.ltfComms = float64(ls.CrossComms())
 	res.rltfComms = float64(rs.CrossComms())
 
+	// One simulation engine per schedule: every scenario of a cell reuses
+	// the engine's derived schedule tables and state buffers, so a campaign
+	// pays the schedule-to-tables conversion once per schedule instead of
+	// once per sim.Run.
 	type simRun struct {
 		out     *float64
-		s       *schedule.Schedule
 		crashed []platform.ProcID
 		sync    bool
 	}
-	runs := []simRun{
-		{&res.ffSim0, ff, nil, false},
-		{&res.ltfSim0, ls, nil, false},
-		{&res.rltfSim0, rs, nil, false},
-		{&res.ffSync0, ff, nil, true},
-		{&res.ltfSync0, ls, nil, true},
-		{&res.rltfSync0, rs, nil, true},
+	mkRuns := func(sim0, sync0, simC, syncC *float64) []simRun {
+		runs := []simRun{{sim0, nil, false}, {sync0, nil, true}}
+		if len(c.crashed) > 0 && simC != nil {
+			runs = append(runs,
+				simRun{simC, c.crashed, false},
+				simRun{syncC, c.crashed, true})
+		}
+		return runs
 	}
-	if len(c.crashed) > 0 {
-		runs = append(runs,
-			simRun{&res.ltfSimC, ls, c.crashed, false},
-			simRun{&res.rltfSimC, rs, c.crashed, false},
-			simRun{&res.ltfSyncC, ls, c.crashed, true},
-			simRun{&res.rltfSyncC, rs, c.crashed, true},
-		)
-	}
-	for _, r := range runs {
-		lat, err := meanLatency(ctx, r.s, r.crashed, r.sync)
+	for _, sr := range []struct {
+		s    *schedule.Schedule
+		runs []simRun
+	}{
+		{ff, mkRuns(&res.ffSim0, &res.ffSync0, nil, nil)},
+		{ls, mkRuns(&res.ltfSim0, &res.ltfSync0, &res.ltfSimC, &res.ltfSyncC)},
+		{rs, mkRuns(&res.rltfSim0, &res.rltfSync0, &res.rltfSimC, &res.rltfSyncC)},
+	} {
+		eng, err := sim.NewEngine(sr.s)
 		if err != nil {
 			return err
 		}
-		*r.out = lat
+		for _, r := range sr.runs {
+			lat, err := meanLatency(ctx, eng, r.crashed, r.sync)
+			if err != nil {
+				return err
+			}
+			*r.out = lat
+		}
 	}
 	res.ok = true
 	return nil
 }
 
 // meanLatency runs the simulator and returns the mean measured latency.
-func meanLatency(ctx context.Context, s *schedule.Schedule, crashed []platform.ProcID, synchronous bool) (float64, error) {
+func meanLatency(ctx context.Context, eng *sim.Engine, crashed []platform.ProcID, synchronous bool) (float64, error) {
+	s := eng.Schedule()
 	cfg := sim.DefaultConfig(s)
 	cfg.Synchronous = synchronous
 	if synchronous {
@@ -295,7 +305,7 @@ func meanLatency(ctx context.Context, s *schedule.Schedule, crashed []platform.P
 	if len(crashed) > 0 {
 		cfg.Failures = sim.FailureSpec{Procs: crashed}
 	}
-	res, err := sim.Run(ctx, s, cfg)
+	res, err := eng.Run(ctx, cfg)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/rltf"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+// TestEngineReuseMatchesFreshRuns drives one Engine through every scenario
+// shape back to back (dataflow, synchronous, crash, trace) and checks each
+// result equals a fresh package-level Run: buffer recycling must not leak
+// state between runs.
+func TestEngineReuseMatchesFreshRuns(t *testing.T) {
+	r := rng.New(91)
+	g := randomDAG(r, 18)
+	p := platform.RandomHeterogeneous(r, 8, 0.5, 1, 0.5, 1, 10)
+	s, err := rltf.Schedule(context.Background(), g, p, 1, 18, rltf.Options{})
+	if err != nil {
+		t.Skip("infeasible instance")
+	}
+	eng, err := NewEngine(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{Items: 30, Warmup: 5},
+		{Items: 30, Warmup: 5, Synchronous: true},
+		{Items: 30, Warmup: 5, Failures: FailureSpec{Procs: []platform.ProcID{2}}},
+		{Items: 30, Warmup: 5, TraceItems: 2},
+		{Items: 30, Warmup: 5}, // repeat the first: trace state must not linger
+		{Items: 40, Warmup: 5, Synchronous: true, Failures: FailureSpec{Procs: []platform.ProcID{1}, At: 90}},
+	}
+	for i, cfg := range cfgs {
+		got, err := eng.Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("cfg %d: %v", i, err)
+		}
+		want, err := Run(context.Background(), s, cfg)
+		if err != nil {
+			t.Fatalf("cfg %d fresh: %v", i, err)
+		}
+		if !sameResult(got, want) {
+			t.Fatalf("cfg %d: reused engine diverges from fresh run:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func sameResult(a, b *Result) bool {
+	eq := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+	return a.Delivered == b.Delivered && a.Items == b.Items &&
+		eq(a.MeanLatency, b.MeanLatency) && eq(a.MaxLatency, b.MaxLatency) &&
+		eq(a.AchievedPeriod, b.AchievedPeriod) &&
+		reflect.DeepEqual(a.Latencies, b.Latencies) &&
+		reflect.DeepEqual(a.Trace, b.Trace)
+}
+
+// TestRingGrowth overloads one processor so the item backlog outgrows the
+// initial pipeline-depth window: the item ring must expand and still deliver
+// every item with the analytically known latencies.
+func TestRingGrowth(t *testing.T) {
+	// Two unit tasks, both on P0, co-located (zero volume), period 0.5: each
+	// item needs 2 time units of P0 but items arrive every 0.5, so the
+	// backlog — and the live-item window — grows linearly. Dispatch order is
+	// earliest item first, so item k completes at 2k+2.
+	g := chain(2, 1, 0)
+	p := platform.Homogeneous(1, 1, 1)
+	s := schedule.New(g, p, 0, 0.5, "manual")
+	s.AddReplica(&schedule.Replica{Ref: schedule.Ref{Task: 0, Copy: 0}, Proc: 0, Start: 0, Finish: 1})
+	s.AddReplica(&schedule.Replica{Ref: schedule.Ref{Task: 1, Copy: 0}, Proc: 0, Start: 1, Finish: 2,
+		In: []schedule.Comm{{From: schedule.Ref{Task: 0, Copy: 0}, Volume: 0, Start: 1, Finish: 1}}})
+
+	const items = 64
+	res, err := Run(context.Background(), s, Config{Items: items, Warmup: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != items {
+		t.Fatalf("delivered %d/%d", res.Delivered, items)
+	}
+	for k, lat := range res.Latencies {
+		want := float64(2*k+2) - 0.5*float64(k)
+		if math.Abs(lat-want) > 1e-9 {
+			t.Fatalf("item %d latency = %v, want %v", k, lat, want)
+		}
+	}
+}

@@ -22,16 +22,21 @@
 //     failure cascades;
 //   - transfers towards dead processors are skipped (detection reaches the
 //     sender before the send is scheduled).
+//
+// The implementation is flat and allocation-light: replica instances live in
+// dense slices indexed by a precomputed replica index × a recycled item ring
+// (only a pipeline-depth window of items is ever live), events are values in
+// a 4-ary heap, and dispatch is incremental — per-processor ready heaps, a
+// dirty-processor worklist and per-port pending queues mean an event only
+// touches the state it could have changed. The per-schedule static tables
+// (exec durations, out-link fan-out, transfer durations, arbitration ranks)
+// are built once by NewEngine and shared across runs, so experiment
+// campaigns reuse one Engine for every scenario of a schedule.
 package sim
 
 import (
-	"container/heap"
 	"context"
-	"fmt"
-	"math"
-	"sort"
 
-	"streamsched/internal/dag"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 	"streamsched/internal/trace"
@@ -95,636 +100,17 @@ type Result struct {
 	Trace []trace.Span
 }
 
-// instKey identifies one replica instance: replica ref × item index.
-type instKey struct {
-	ref  schedule.Ref
-	item int
-}
-
-type instState int
-
-const (
-	instPending instState = iota
-	instQueued
-	instRunning
-	instDone
-	instFailed
-)
-
-// instance is the runtime state of one replica execution for one item.
-type instance struct {
-	key   instKey
-	rep   *schedule.Replica
-	state instState
-	// outstanding[p] counts inputs from predecessor task p that may still
-	// arrive; arrived[p] counts valid inputs already received.
-	outstanding map[dag.TaskID]int
-	arrived     map[dag.TaskID]int
-	finish      float64
-}
-
-// pendingComm is a transfer waiting for its two ports.
-type pendingComm struct {
-	srcProc, dstProc platform.ProcID
-	dur              float64
-	dst              instKey
-	predTask         dag.TaskID
-	item             int
-	staticStart      float64
-	srcRef           schedule.Ref
-	// earliest is the synchronous-mode cycle gate (0 in dataflow mode).
-	earliest float64
-	woken    bool
-}
-
-// event is a timed simulator event.
-type event struct {
-	time float64
-	seq  int
-	kind eventKind
-	inst instKey     // execComplete
-	comm *activeComm // commComplete
-	item int         // injection
-	idx  int         // heap bookkeeping
-}
-
-type eventKind int
-
-const (
-	evInject eventKind = iota
-	evFailure
-	evExecComplete
-	evCommComplete
-	// evWake carries no payload; it re-runs the dispatcher when a
-	// synchronous-mode cycle window opens.
-	evWake
-)
-
-type activeComm struct {
-	pc        pendingComm
-	cancelled bool
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx, q[j].idx = i, j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
-// engine holds the full simulation state.
-type engine struct {
-	s   *schedule.Schedule
-	cfg Config
-
-	events eventQueue
-	seq    int
-	now    float64
-
-	insts map[instKey]*instance
-	// outs[ref] lists the consumers of replica ref with the edge volume.
-	outs map[schedule.Ref][]outLink
-
-	cpuBusy  []bool
-	cpuQueue [][]instKey
-	sendBusy []bool
-	recvBusy []bool
-	pending  []pendingComm
-	// pendingDirty marks that pending gained entries since the last sort;
-	// the sort keys are static, so an unchanged list stays sorted.
-	pendingDirty bool
-	deadFrom     []float64 // +Inf = never fails
-	// Active transfers per port, for crash cancellation.
-	sendComm map[platform.ProcID]*activeComm
-	recvComm map[platform.ProcID]*activeComm
-
-	// exitDone[item][task] = completion time of the first valid exit
-	// replica of that exit task.
-	exitDone  []map[dag.TaskID]float64
-	exitTasks []dag.TaskID
-
-	// stages holds per-replica pipeline stage numbers (synchronous mode).
-	stages map[schedule.Ref]int
-	// woken de-duplicates wake events per (instance, gate time).
-	woken map[instKey]bool
-	// spans records traced activity (Config.TraceItems).
-	spans []trace.Span
-}
-
-type outLink struct {
-	dst    schedule.Ref
-	volume float64
-}
-
 // Run simulates the schedule under cfg and returns the measurements. A
 // cancelled ctx aborts the event loop with ctx.Err().
+//
+// Run builds a fresh Engine per call; callers simulating the same schedule
+// under several configurations (the experiment campaigns) should build one
+// Engine with NewEngine and call its Run repeatedly to reuse the derived
+// schedule tables and the simulation state buffers.
 func Run(ctx context.Context, s *schedule.Schedule, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if !s.Complete() {
-		return nil, fmt.Errorf("sim: schedule incomplete")
-	}
-	if cfg.Items <= 0 {
-		cfg = DefaultConfig(s)
-	}
-	if cfg.Warmup >= cfg.Items {
-		cfg.Warmup = cfg.Items / 2
-	}
-	m := s.P.NumProcs()
-	e := &engine{
-		s:         s,
-		cfg:       cfg,
-		insts:     make(map[instKey]*instance),
-		outs:      make(map[schedule.Ref][]outLink),
-		cpuBusy:   make([]bool, m),
-		cpuQueue:  make([][]instKey, m),
-		sendBusy:  make([]bool, m),
-		recvBusy:  make([]bool, m),
-		deadFrom:  make([]float64, m),
-		sendComm:  make(map[platform.ProcID]*activeComm),
-		recvComm:  make(map[platform.ProcID]*activeComm),
-		exitDone:  make([]map[dag.TaskID]float64, cfg.Items),
-		exitTasks: s.G.Exits(),
-	}
-	for u := range e.deadFrom {
-		e.deadFrom[u] = math.Inf(1)
-	}
-	if cfg.Synchronous {
-		e.stages = s.StageNumbers()
-		e.woken = make(map[instKey]bool)
-	}
-	for k := range e.exitDone {
-		e.exitDone[k] = make(map[dag.TaskID]float64)
-	}
-	for _, r := range s.All() {
-		for _, c := range r.In {
-			e.outs[c.From] = append(e.outs[c.From], outLink{dst: r.Ref, volume: c.Volume})
-		}
-	}
-	// Deterministic out-link order.
-	for ref := range e.outs {
-		links := e.outs[ref]
-		sort.Slice(links, func(i, j int) bool {
-			if links[i].dst.Task != links[j].dst.Task {
-				return links[i].dst.Task < links[j].dst.Task
-			}
-			return links[i].dst.Copy < links[j].dst.Copy
-		})
-	}
-
-	for k := 0; k < cfg.Items; k++ {
-		e.push(float64(k)*s.Period, evInject, instKey{}, nil, k)
-	}
-	if len(cfg.Failures.Procs) > 0 {
-		e.push(cfg.Failures.At, evFailure, instKey{}, nil, 0)
-	}
-	if err := e.loop(ctx); err != nil {
+	e, err := NewEngine(s)
+	if err != nil {
 		return nil, err
 	}
-	return e.result(), nil
-}
-
-func (e *engine) push(t float64, kind eventKind, inst instKey, comm *activeComm, item int) {
-	e.seq++
-	heap.Push(&e.events, &event{time: t, seq: e.seq, kind: kind, inst: inst, comm: comm, item: item})
-}
-
-// inst returns (creating lazily) the instance for key.
-func (e *engine) instFor(key instKey) *instance {
-	if in, ok := e.insts[key]; ok {
-		return in
-	}
-	rep := e.s.Replica(key.ref)
-	in := &instance{
-		key:         key,
-		rep:         rep,
-		outstanding: make(map[dag.TaskID]int),
-		arrived:     make(map[dag.TaskID]int),
-	}
-	for _, c := range rep.In {
-		in.outstanding[c.From.Task]++
-	}
-	e.insts[key] = in
-	return in
-}
-
-func (e *engine) loop(ctx context.Context) error {
-	// Poll cancellation every 1024 events: cheap enough to keep the hot
-	// loop unaffected, frequent enough to abort long runs promptly.
-	const pollMask = 1024 - 1
-	for n := 0; e.events.Len() > 0; n++ {
-		if n&pollMask == pollMask {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.time
-		switch ev.kind {
-		case evInject:
-			e.inject(ev.item)
-		case evFailure:
-			e.failProcs()
-		case evExecComplete:
-			e.execComplete(ev)
-		case evCommComplete:
-			e.commComplete(ev)
-		case evWake:
-			// dispatch below is the whole effect
-		}
-		e.dispatch()
-	}
-	return nil
-}
-
-func (e *engine) inject(item int) {
-	for _, t := range e.s.G.Entries() {
-		for _, ref := range schedule.ReplicaRefs(t, e.s.Eps) {
-			in := e.instFor(instKey{ref: ref, item: item})
-			e.tryEnqueue(in)
-		}
-	}
-}
-
-// dead reports whether processor u is dead at the current time.
-func (e *engine) dead(u platform.ProcID) bool { return e.now >= e.deadFrom[u] }
-
-// tryEnqueue moves a pending instance to its processor's ready queue when
-// its inputs are complete, or fails it when they can never be.
-func (e *engine) tryEnqueue(in *instance) {
-	if in.state != instPending {
-		return
-	}
-	if e.dead(in.rep.Proc) {
-		e.failInstance(in)
-		return
-	}
-	// Doomed check first (an exhausted predecessor with no valid arrival can
-	// never be satisfied), then wait on in-flight inputs. Checking all
-	// predecessors keeps the cascade order independent of map iteration.
-	waiting := false
-	for p, n := range in.outstanding {
-		if n == 0 && in.arrived[p] == 0 {
-			e.failInstance(in)
-			return
-		}
-		if n > 0 {
-			waiting = true
-		}
-	}
-	if waiting {
-		return
-	}
-	in.state = instQueued
-	u := in.rep.Proc
-	e.cpuQueue[u] = append(e.cpuQueue[u], in.key)
-}
-
-// failInstance marks an instance invalid and cascades to its consumers.
-func (e *engine) failInstance(in *instance) {
-	if in.state == instFailed || in.state == instDone {
-		return
-	}
-	in.state = instFailed
-	for _, link := range e.outs[in.key.ref] {
-		dst := e.instFor(instKey{ref: link.dst, item: in.key.item})
-		if dst.state != instPending {
-			continue
-		}
-		dst.outstanding[in.key.ref.Task]--
-		e.tryEnqueue(dst)
-	}
-}
-
-// dispatch starts any work that can start now: CPU executions and pending
-// transfers whose two ports are free.
-func (e *engine) dispatch() {
-	for u := range e.cpuBusy {
-		pu := platform.ProcID(u)
-		if e.cpuBusy[u] || len(e.cpuQueue[u]) == 0 || e.dead(pu) {
-			continue
-		}
-		// Deterministic priority among eligible instances: earliest item,
-		// then static start time, then ref order. In synchronous mode an
-		// instance only becomes eligible once its cycle window opens.
-		q := e.cpuQueue[u]
-		best := -1
-		for i := 0; i < len(q); i++ {
-			if e.cfg.Synchronous {
-				if gate := e.cycleGate(q[i]); gate > e.now {
-					e.wakeAt(q[i], gate)
-					continue
-				}
-			}
-			if best < 0 || e.instLess(q[i], q[best]) {
-				best = i
-			}
-		}
-		if best < 0 {
-			continue
-		}
-		key := q[best]
-		e.cpuQueue[u] = append(q[:best], q[best+1:]...)
-		in := e.insts[key]
-		in.state = instRunning
-		e.cpuBusy[u] = true
-		dur := e.s.P.ExecTime(e.s.G.Task(key.ref.Task).Work, pu)
-		e.push(e.now+dur, evExecComplete, key, nil, key.item)
-	}
-	// Port dispatch: sort pending deterministically, grant greedily.
-	if len(e.pending) > 0 {
-		if e.pendingDirty {
-			sort.SliceStable(e.pending, func(i, j int) bool { return e.commLess(e.pending[i], e.pending[j]) })
-			e.pendingDirty = false
-		}
-		remaining := e.pending[:0]
-		for _, pc := range e.pending {
-			if e.dead(pc.dstProc) {
-				e.failInstance(e.instFor(pc.dst))
-				continue
-			}
-			if e.dead(pc.srcProc) {
-				// Lost transfer: the consumer will not get this input.
-				dst := e.instFor(pc.dst)
-				if dst.state == instPending {
-					dst.outstanding[pc.predTask]--
-					e.tryEnqueue(dst)
-				}
-				continue
-			}
-			if pc.earliest > e.now {
-				if !pc.woken {
-					pc.woken = true
-					e.push(pc.earliest, evWake, instKey{}, nil, pc.item)
-				}
-				remaining = append(remaining, pc)
-				continue
-			}
-			if !e.sendBusy[pc.srcProc] && !e.recvBusy[pc.dstProc] {
-				e.sendBusy[pc.srcProc] = true
-				e.recvBusy[pc.dstProc] = true
-				ac := &activeComm{pc: pc}
-				e.sendComm[pc.srcProc] = ac
-				e.recvComm[pc.dstProc] = ac
-				e.push(e.now+pc.dur, evCommComplete, instKey{}, ac, pc.item)
-			} else {
-				remaining = append(remaining, pc)
-			}
-		}
-		e.pending = remaining
-	}
-}
-
-// cycleGate returns the earliest synchronous start time of an instance.
-func (e *engine) cycleGate(key instKey) float64 {
-	return float64(key.item+2*(e.stages[key.ref]-1)) * e.s.Period
-}
-
-// wakeAt schedules a dispatcher wake-up for a gated instance, once.
-func (e *engine) wakeAt(key instKey, gate float64) {
-	if e.woken[key] {
-		return
-	}
-	e.woken[key] = true
-	e.push(gate, evWake, instKey{}, nil, key.item)
-}
-
-func (e *engine) instLess(a, b instKey) bool {
-	if a.item != b.item {
-		return a.item < b.item
-	}
-	ra, rb := e.s.Replica(a.ref), e.s.Replica(b.ref)
-	if ra.Start != rb.Start {
-		return ra.Start < rb.Start
-	}
-	if a.ref.Task != b.ref.Task {
-		return a.ref.Task < b.ref.Task
-	}
-	return a.ref.Copy < b.ref.Copy
-}
-
-func (e *engine) commLess(a, b pendingComm) bool {
-	if a.item != b.item {
-		return a.item < b.item
-	}
-	if a.staticStart != b.staticStart {
-		return a.staticStart < b.staticStart
-	}
-	if a.srcRef.Task != b.srcRef.Task {
-		return a.srcRef.Task < b.srcRef.Task
-	}
-	return a.srcRef.Copy < b.srcRef.Copy
-}
-
-func (e *engine) execComplete(ev *event) {
-	in := e.insts[ev.inst]
-	if in == nil || in.state != instRunning {
-		return
-	}
-	u := in.rep.Proc
-	if e.dead(u) {
-		// The failure event already handled this instance.
-		return
-	}
-	in.state = instDone
-	in.finish = e.now
-	e.cpuBusy[u] = false
-	if in.key.item < e.cfg.TraceItems {
-		dur := e.s.P.ExecTime(e.s.G.Task(in.key.ref.Task).Work, u)
-		e.spans = append(e.spans, trace.Span{
-			Name:  fmt.Sprintf("%s(%d)#%d", e.s.G.Task(in.key.ref.Task).Name, in.key.ref.Copy+1, in.key.item),
-			Lane:  fmt.Sprintf("P%d", u+1),
-			Start: e.now - dur,
-			End:   e.now,
-			Args:  map[string]any{"item": in.key.item, "task": int(in.key.ref.Task), "copy": in.key.ref.Copy},
-		})
-	}
-
-	// Record exit completions.
-	if e.s.G.OutDegree(in.key.ref.Task) == 0 {
-		done := e.exitDone[in.key.item]
-		if _, ok := done[in.key.ref.Task]; !ok {
-			done[in.key.ref.Task] = e.now
-		}
-	}
-
-	// Emit outputs.
-	for _, link := range e.outs[in.key.ref] {
-		dst := e.instFor(instKey{ref: link.dst, item: in.key.item})
-		if dst.state != instPending {
-			continue
-		}
-		dstProc := dst.rep.Proc
-		if e.dead(dstProc) {
-			e.failInstance(dst)
-			continue
-		}
-		if dstProc == u || link.volume == 0 {
-			dst.outstanding[in.key.ref.Task]--
-			dst.arrived[in.key.ref.Task]++
-			e.tryEnqueue(dst)
-			continue
-		}
-		pc := pendingComm{
-			srcProc:     u,
-			dstProc:     dstProc,
-			dur:         e.s.P.CommTime(link.volume, u, dstProc),
-			dst:         dst.key,
-			predTask:    in.key.ref.Task,
-			item:        in.key.item,
-			staticStart: in.rep.Finish,
-			srcRef:      in.key.ref,
-		}
-		if e.cfg.Synchronous {
-			// Cross-stage transfers wait for the communication cycle
-			// following the source's compute cycle.
-			pc.earliest = float64(in.key.item+2*e.stages[in.key.ref]-1) * e.s.Period
-		}
-		e.pending = append(e.pending, pc)
-		e.pendingDirty = true
-	}
-}
-
-func (e *engine) commComplete(ev *event) {
-	ac := ev.comm
-	if ac.cancelled {
-		return
-	}
-	pc := ac.pc
-	e.sendBusy[pc.srcProc] = false
-	e.recvBusy[pc.dstProc] = false
-	delete(e.sendComm, pc.srcProc)
-	delete(e.recvComm, pc.dstProc)
-	if pc.item < e.cfg.TraceItems {
-		name := fmt.Sprintf("%v→t%d#%d", pc.srcRef, pc.dst.ref.Task, pc.item)
-		args := map[string]any{"item": pc.item}
-		e.spans = append(e.spans,
-			trace.Span{Name: name, Lane: fmt.Sprintf("P%d:send", pc.srcProc+1), Start: e.now - pc.dur, End: e.now, Args: args},
-			trace.Span{Name: name, Lane: fmt.Sprintf("P%d:recv", pc.dstProc+1), Start: e.now - pc.dur, End: e.now, Args: args})
-	}
-	dst := e.instFor(pc.dst)
-	if dst.state != instPending {
-		return
-	}
-	dst.outstanding[pc.predTask]--
-	dst.arrived[pc.predTask]++
-	e.tryEnqueue(dst)
-}
-
-// failProcs applies the failure spec at the current time.
-func (e *engine) failProcs() {
-	for _, u := range e.cfg.Failures.Procs {
-		e.deadFrom[u] = e.now
-	}
-	for _, u := range e.cfg.Failures.Procs {
-		// In-flight computation on u is lost (the instance is failed below).
-		e.cpuBusy[u] = false
-		// Kill in-flight transfers touching u and free the peer's port.
-		for _, ac := range []*activeComm{e.sendComm[u], e.recvComm[u]} {
-			if ac == nil || ac.cancelled {
-				continue
-			}
-			ac.cancelled = true
-			e.sendBusy[ac.pc.srcProc] = false
-			e.recvBusy[ac.pc.dstProc] = false
-			delete(e.sendComm, ac.pc.srcProc)
-			delete(e.recvComm, ac.pc.dstProc)
-			dst := e.instFor(ac.pc.dst)
-			if dst.state == instPending {
-				dst.outstanding[ac.pc.predTask]--
-				e.tryEnqueue(dst)
-			}
-		}
-		// Fail every instance bound to u: running, queued, and all future
-		// instances (created lazily — mark existing ones now; lazily
-		// created ones fail in tryEnqueue via the dead check).
-		for _, in := range e.instsOn(u) {
-			e.failInstance(in)
-		}
-		e.cpuQueue[u] = nil
-	}
-}
-
-func (e *engine) instsOn(u platform.ProcID) []*instance {
-	var out []*instance
-	for _, in := range e.insts {
-		if in.rep.Proc == u && (in.state == instPending || in.state == instQueued || in.state == instRunning) {
-			out = append(out, in)
-		}
-	}
-	// Deterministic order for the cascade.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].key.item != out[j].key.item {
-			return out[i].key.item < out[j].key.item
-		}
-		if out[i].key.ref.Task != out[j].key.ref.Task {
-			return out[i].key.ref.Task < out[j].key.ref.Task
-		}
-		return out[i].key.ref.Copy < out[j].key.ref.Copy
-	})
-	return out
-}
-
-func (e *engine) result() *Result {
-	res := &Result{Items: e.cfg.Items, Trace: e.spans}
-	var completions []float64
-	for k := 0; k < e.cfg.Items; k++ {
-		done := e.exitDone[k]
-		if len(done) != len(e.exitTasks) {
-			continue // undelivered
-		}
-		res.Delivered++
-		latest := 0.0
-		for _, t := range e.exitTasks {
-			if done[t] > latest {
-				latest = done[t]
-			}
-		}
-		if k >= e.cfg.Warmup {
-			res.Latencies = append(res.Latencies, latest-float64(k)*e.s.Period)
-			completions = append(completions, latest)
-		}
-	}
-	if len(res.Latencies) == 0 {
-		res.MeanLatency = math.NaN()
-		res.MaxLatency = math.NaN()
-		res.AchievedPeriod = math.NaN()
-		return res
-	}
-	sum, max := 0.0, 0.0
-	for _, l := range res.Latencies {
-		sum += l
-		if l > max {
-			max = l
-		}
-	}
-	res.MeanLatency = sum / float64(len(res.Latencies))
-	res.MaxLatency = max
-	if len(completions) > 1 {
-		res.AchievedPeriod = (completions[len(completions)-1] - completions[0]) / float64(len(completions)-1)
-	} else {
-		res.AchievedPeriod = math.NaN()
-	}
-	return res
+	return e.Run(ctx, cfg)
 }

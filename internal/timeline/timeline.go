@@ -12,6 +12,7 @@ package timeline
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -134,9 +135,7 @@ func (tl *Timeline) Reserve(iv Interval) error {
 	if i < len(tl.busy) && tl.busy[i].Start < iv.End-eps {
 		return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", iv.Start, iv.End, tl.busy[i].Start, tl.busy[i].End)
 	}
-	tl.busy = append(tl.busy, Interval{})
-	copy(tl.busy[i+1:], tl.busy[i:])
-	tl.busy[i] = iv
+	tl.busy = slices.Insert(tl.busy, i, iv)
 	return nil
 }
 

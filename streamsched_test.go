@@ -8,14 +8,29 @@ import (
 	"streamsched"
 )
 
+// solveWith schedules through the core Solver API. The deprecated Problem
+// shim is exercised only by its dedicated façade test
+// (TestFacadeDeprecatedProblemShim).
+func solveWith(t *testing.T, algo streamsched.Algorithm, g *streamsched.Graph, p *streamsched.Platform, eps int, period float64) (*streamsched.Schedule, error) {
+	t.Helper()
+	solver, err := streamsched.NewSolver(
+		streamsched.WithAlgorithm(algo),
+		streamsched.WithEps(eps),
+		streamsched.WithPeriod(period),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return solver.Solve(context.Background(), g, p)
+}
+
 func TestQuickstartFlow(t *testing.T) {
 	g := streamsched.NewGraph("pipeline")
 	a := g.AddTask("decode", 4)
 	b := g.AddTask("filter", 6)
 	g.MustAddEdge(a, b, 2)
 	p := streamsched.Homogeneous(4, 1.0, 10.0)
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 12}
-	s, err := prob.Solve(streamsched.RLTF)
+	s, err := solveWith(t, streamsched.RLTF, g, p, 1, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,8 +116,7 @@ func TestFacadeMinPeriod(t *testing.T) {
 func TestFacadeCrashSimulation(t *testing.T) {
 	g := streamsched.Chain(4, 1, 1)
 	p := streamsched.Homogeneous(6, 1, 1)
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 20}
-	s, err := prob.Solve(streamsched.LTF)
+	s, err := solveWith(t, streamsched.LTF, g, p, 1, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
