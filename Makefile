@@ -2,11 +2,11 @@
 # so a green `make ci` predicts a green CI run.
 
 GO ?= go
-BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkSim|BenchmarkTimelineReserve
+BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkSim|BenchmarkTimelineReserve|BenchmarkServiceSolveCached
 BENCHTIME ?= 5x
 COUNT ?= 3
 
-.PHONY: all build fmt vet test test-full cover bench bench-record bench-compare bench-trend baseline ci
+.PHONY: all build fmt vet test test-full cover bench bench-record bench-compare bench-trend baseline serve smoke ci
 
 all: build
 
@@ -60,4 +60,14 @@ baseline:
 	$(GO) run ./cmd/bench -bench '$(BENCH_RE)' -benchtime $(BENCHTIME) -count $(COUNT) \
 		-out BENCH_baseline.json
 
-ci: build fmt vet test bench-compare
+# serve runs the scheduling service daemon locally (DESIGN.md §8).
+SERVE_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/streamschedd -addr $(SERVE_ADDR)
+
+# smoke starts a daemon and walks the 200/409/429 service contract; it is
+# the same script the ci.yml service-smoke job runs.
+smoke:
+	bash scripts/service-smoke.sh
+
+ci: build fmt vet test smoke bench-compare

@@ -6,8 +6,12 @@ package streamsched_test
 // stay benchmark-sized; cmd/paperfig regenerates the full 60-graph curves.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"streamsched"
@@ -274,5 +278,52 @@ func BenchmarkMinPeriod(b *testing.B) {
 		if _, _, err := streamsched.MinPeriod(context.Background(), g, p, 1, streamsched.RLTF, 1e-2); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkServiceSolveCached measures the scheduling service's steady
+// state: one cached /v1/solve request — decode, build, canonical hash,
+// LRU hit, pre-rendered response — through the real handler stack
+// (httptest request/recorder; no socket jitter, so the pinned numbers are
+// stable at the gate's short benchtime). This is the per-request CPU cost
+// a warm streamschedd pays for repeat traffic; it is part of the recorded
+// baseline and the CI perf gate (Makefile BENCH_RE).
+func BenchmarkServiceSolveCached(b *testing.B) {
+	srv := streamsched.NewService(streamsched.ServiceConfig{})
+	handler := srv.Handler()
+	payload, err := json.Marshal(streamsched.WireSolveRequest{
+		Graph:    streamsched.NewWireGraph(streamsched.Fig2Graph()),
+		Platform: streamsched.NewWirePlatform(platform.Homogeneous(6, 1, 10)),
+		Options:  streamsched.WireOptions{Eps: 1, Period: 40},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := post(); code != http.StatusOK { // warm the cache
+		b.Fatalf("warm-up solve: HTTP %d", code)
+	}
+	// One op = reqsPerOp requests, so the pinned ns/op averages enough
+	// requests to be stable at the gate's short benchtime.
+	const reqsPerOp = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < reqsPerOp; j++ {
+			if code := post(); code != http.StatusOK {
+				b.Fatalf("cached solve: HTTP %d", code)
+			}
+		}
+	}
+	b.StopTimer()
+	m := srv.Metrics()
+	if m.SolveCalls != 1 {
+		b.Fatalf("cache failed: %d solver calls for %d requests", m.SolveCalls, b.N*reqsPerOp+1)
 	}
 }

@@ -1,0 +1,97 @@
+// Command streamschedd serves the scheduling pipeline over HTTP/JSON: the
+// long-running companion to the one-shot streamsched CLI. It exposes
+//
+//	POST /v1/solve     one problem → schedule (200), typed infeasibility
+//	                   (409), or backpressure (429 + Retry-After)
+//	POST /v1/batch     many problems fanned through the solver worker pool
+//	POST /v1/simulate  solve + a scenario sweep on one simulation engine
+//	GET  /healthz      liveness
+//	GET  /metrics      expvar-style counters: requests, cache hit ratio,
+//	                   queue depth, p50/p90/p99 latency
+//
+// Identical concurrent problems solve once (canonical hashing + coalescing)
+// and repeat problems are served from a bounded LRU cache; see
+// internal/service and DESIGN.md §8.
+//
+//	streamschedd -addr :8080 -workers 8 -queue 32 -cache 1024
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamsched/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent solve/simulate work units (0: GOMAXPROCS)")
+		queue      = flag.Int("queue", -1, "bounded work queue beyond the workers (-1: 4×workers, 0: no queue)")
+		cache      = flag.Int("cache", 1024, "result cache entries (LRU)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested deadlines and per-flight compute budget")
+		retry      = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		maxBody    = flag.Int64("max-body", 16<<20, "maximum request body bytes")
+		// -debug-solve-delay exists for smoke and load testing: it makes
+		// queue-full (429) and coalescing windows deterministic.
+		solveDelay = flag.Duration("debug-solve-delay", 0, "artificial delay per underlying solve (testing only)")
+	)
+	flag.Parse()
+
+	cfg := service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retry,
+		MaxBodyBytes:   *maxBody,
+		SolveDelay:     *solveDelay,
+	}
+	switch {
+	case *queue == 0:
+		cfg.NoQueue = true
+	case *queue > 0:
+		cfg.QueueLimit = *queue
+	}
+	srv := service.New(cfg)
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("streamschedd: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "streamschedd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		log.Printf("streamschedd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "streamschedd: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command service is a complete streamschedd client: it submits one
+// problem to POST /v1/solve (handling the 200 / 409 / 429 outcomes the
+// service distinguishes), runs a crash-scenario sweep through
+// POST /v1/simulate, and reads the cache/queue counters from GET /metrics.
+//
+// Start a daemon first, then point the client at it:
+//
+//	go run ./cmd/streamschedd -addr :8080 &
+//	go run ./examples/service -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"streamsched"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "streamschedd base URL")
+	flag.Parse()
+
+	// The paper's Figure 2 workflow on six processors, tolerating one
+	// failure — the same problem the quickstart example solves in-process.
+	req := streamsched.WireSolveRequest{
+		Graph:    streamsched.NewWireGraph(streamsched.Fig2Graph()),
+		Platform: streamsched.NewWirePlatform(streamsched.Homogeneous(6, 1, 10)),
+		Options:  streamsched.WireOptions{Algorithm: "rltf", Eps: 1, Period: 40},
+	}
+
+	var solve streamsched.WireSolveResponse
+	status := post(*addr+"/v1/solve", req, &solve)
+	switch status {
+	case http.StatusOK:
+		s := solve.Summary
+		fmt.Printf("solved (hash %.12s… cached=%v): %s, %d stages, latency bound %.4g\n",
+			solve.Hash, solve.Cached, s.Algorithm, s.Stages, s.LatencyBound)
+	case http.StatusConflict:
+		fmt.Printf("infeasible: %v\n", solve.Infeasible)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "solve failed: HTTP %d: %s\n", status, solve.Error)
+		os.Exit(1)
+	}
+
+	// Sweep three scenarios on the solved schedule; the daemon reuses one
+	// simulation engine for the whole sweep, and the solve above means the
+	// schedule comes straight from the result cache.
+	sweep := streamsched.WireSimulateRequest{
+		Graph: req.Graph, Platform: req.Platform, Options: req.Options,
+		Scenarios: []streamsched.WireScenario{
+			{Name: "free-running"},
+			{Name: "synchronous", Synchronous: true},
+			{Name: "crash-P1", CrashProcs: []int{0}, CrashAt: 0},
+		},
+	}
+	var sim streamsched.WireSimulateResponse
+	if status := post(*addr+"/v1/simulate", sweep, &sim); status != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "simulate failed: HTTP %d: %s\n", status, sim.Error)
+		os.Exit(1)
+	}
+	for _, sc := range sim.Scenarios {
+		mean := "n/a"
+		if sc.MeanLatency != nil {
+			mean = fmt.Sprintf("%.4g", *sc.MeanLatency)
+		}
+		fmt.Printf("  %-12s mean latency %s (%d/%d items delivered)\n",
+			sc.Name, mean, sc.Delivered, sc.Items)
+	}
+
+	var metrics streamsched.ServiceMetrics
+	resp, err := http.Get(*addr + "/metrics")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("server: %d solver calls, cache hit ratio %.2f, %d rejected\n",
+		metrics.SolveCalls, metrics.Cache.HitRatio, metrics.Queue.Rejected)
+}
+
+// post sends one JSON request, retrying once on 429 after the server's
+// Retry-After hint — the client-side half of the backpressure contract.
+func post(url string, body, out any) int {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(enc))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "post:", err)
+			os.Exit(1)
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt == 0 {
+			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+			resp.Body.Close()
+			if secs < 1 {
+				secs = 1
+			}
+			fmt.Printf("server busy; retrying in %ds\n", secs)
+			time.Sleep(time.Duration(secs) * time.Second)
+			continue
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decode:", err)
+			os.Exit(1)
+		}
+		return resp.StatusCode
+	}
+}

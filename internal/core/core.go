@@ -56,6 +56,11 @@ func (a Algorithm) String() string {
 }
 
 // Problem is one tri-criteria scheduling instance.
+//
+// Deprecated: Problem predates the Solver API and remains only as a source
+// compatibility shim. Build a Solver with [NewSolver] — it validates options
+// as they apply, accepts a context and a latency cap, and supports the
+// Portfolio mode — and pass the graph and platform to [Solver.Solve].
 type Problem struct {
 	// Graph is the streaming application workflow.
 	Graph *dag.Graph
@@ -106,10 +111,13 @@ func (pr *Problem) Solver(algo Algorithm) (*Solver, error) {
 
 // Solve runs the selected algorithm on the instance.
 //
-// Deprecated: build a Solver with NewSolver and call Solve(ctx, g, p) —
-// it accepts a context, a latency cap and the Portfolio mode. Solve is a
-// thin shim kept for source compatibility; it solves under
-// context.Background().
+// Deprecated: build a Solver with [NewSolver] and call
+// [Solver.Solve](ctx, g, p) — it accepts a context, a latency cap and the
+// Portfolio mode. Solve is a thin shim kept for source compatibility; it
+// solves under context.Background(). The //go:fix annotation below lets
+// modernizing tooling inline the replacement mechanically.
+//
+//go:fix inline
 func (pr *Problem) Solve(algo Algorithm) (*schedule.Schedule, error) {
 	s, err := pr.Solver(algo)
 	if err != nil {
@@ -121,8 +129,11 @@ func (pr *Problem) Solve(algo Algorithm) (*schedule.Schedule, error) {
 // SolveAll runs LTF and R-LTF on the instance and returns both schedules
 // (nil where infeasible) — the comparison the paper's evaluation makes.
 //
-// Deprecated: use SolveMany with two requests, or a Portfolio Solver when
-// only the better schedule is needed.
+// Deprecated: use [SolveMany] with two requests — one WithAlgorithm(LTF),
+// one WithAlgorithm(RLTF) — or a Portfolio Solver built with [NewSolver]
+// when only the better schedule is needed.
+//
+//go:fix inline
 func (pr *Problem) SolveAll() (ltfSched, rltfSched *schedule.Schedule, ltfErr, rltfErr error) {
 	ltfSched, ltfErr = pr.Solve(LTF)
 	rltfSched, rltfErr = pr.Solve(RLTF)

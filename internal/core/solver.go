@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -153,6 +154,18 @@ func NewSolver(opts ...Option) (*Solver, error) {
 // Algorithm reports the configured algorithm.
 func (s *Solver) Algorithm() Algorithm { return s.algo }
 
+// Fingerprint returns a canonical, versioned encoding of the Solver's
+// configuration. Two Solvers with identical fingerprints produce identical
+// schedules for identical inputs (solving is deterministic), so the string
+// is a sound cache-key component; the service layer hashes it together with
+// the graph and platform (internal/service). Floats are encoded as IEEE-754
+// bit patterns so the fingerprint never loses precision to formatting.
+func (s *Solver) Fingerprint() string {
+	return fmt.Sprintf("solver/v1 algo=%d eps=%d period=%016x chunk=%d o2o=%t lcap=%016x",
+		int(s.algo), s.eps, math.Float64bits(s.period), s.chunkSize,
+		s.oneToOne, math.Float64bits(s.latencyCap))
+}
+
 // Period reports the configured period Δ.
 func (s *Solver) Period() float64 { return s.period }
 
@@ -286,6 +299,16 @@ type Batch struct {
 // results are identical for any worker count. After ctx is cancelled,
 // remaining requests fail fast with ctx.Err().
 func (b *Batch) Solve(ctx context.Context, reqs []Request) []Result {
+	return b.SolveFunc(ctx, reqs, b.solveOne)
+}
+
+// SolveFunc is Solve with a caller-supplied solve function: the requests
+// fan across the same bounded pool with the same ordering and fail-fast
+// semantics, but each request is executed by fn (which receives its index
+// and the request) instead of a solver built from the option lists. The
+// service layer routes pre-validated per-request solvers — and its test
+// seams — through the batch pool this way.
+func (b *Batch) SolveFunc(ctx context.Context, reqs []Request, fn func(ctx context.Context, i int, req Request) (*schedule.Schedule, error)) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -307,7 +330,16 @@ func (b *Batch) Solve(ctx context.Context, reqs []Request) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = b.solveOne(ctx, reqs[i])
+				if err := ctx.Err(); err != nil {
+					results[i] = Result{Err: err}
+					continue
+				}
+				sched, err := fn(ctx, i, reqs[i])
+				if err != nil {
+					results[i] = Result{Err: err}
+				} else {
+					results[i] = Result{Schedule: sched}
+				}
 			}
 		}()
 	}
@@ -320,22 +352,15 @@ func (b *Batch) Solve(ctx context.Context, reqs []Request) []Result {
 }
 
 // solveOne builds the per-request solver and runs it.
-func (b *Batch) solveOne(ctx context.Context, req Request) Result {
-	if err := ctx.Err(); err != nil {
-		return Result{Err: err}
-	}
+func (b *Batch) solveOne(ctx context.Context, _ int, req Request) (*schedule.Schedule, error) {
 	opts := make([]Option, 0, len(b.Opts)+len(req.Opts))
 	opts = append(opts, b.Opts...)
 	opts = append(opts, req.Opts...)
 	solver, err := NewSolver(opts...)
 	if err != nil {
-		return Result{Err: err}
+		return nil, err
 	}
-	sched, err := solver.Solve(ctx, req.Graph, req.Platform)
-	if err != nil {
-		return Result{Err: err}
-	}
-	return Result{Schedule: sched}
+	return solver.Solve(ctx, req.Graph, req.Platform)
 }
 
 // SolveMany solves the requests concurrently on a GOMAXPROCS-bounded pool

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCellCacheReusesGeneration(t *testing.T) {
+	clearCellCache()
+	defer clearCellCache()
+	cfg := DefaultConfig(1, 1)
+
+	c1 := makeCell(cfg, 2, 3, 1.2)
+	c2 := makeCell(cfg, 2, 3, 1.2)
+	if c1.g != c2.g || c1.p != c2.p {
+		t.Fatal("identical derivation parameters regenerated the cell")
+	}
+	if !reflect.DeepEqual(c1.crashed, c2.crashed) {
+		t.Fatalf("crash samples differ: %v vs %v", c1.crashed, c2.crashed)
+	}
+
+	// Any parameter shift must miss: ε enters the derived seed, the crash
+	// count changes the sample, the granularity changes the calibration.
+	if c3 := makeCell(DefaultConfig(3, 1), 2, 3, 1.2); c3.g == c1.g {
+		t.Fatal("ε=3 cell aliased the ε=1 cell")
+	}
+	cfg2 := cfg
+	cfg2.Crashes = 0
+	if c4 := makeCell(cfg2, 2, 3, 1.2); c4.g == c1.g {
+		t.Fatal("crash-count change aliased the cached cell")
+	}
+	if c5 := makeCell(cfg, 2, 3, 0.4); c5.g == c1.g {
+		t.Fatal("granularity change aliased the cached cell")
+	}
+}
+
+func TestCellCacheIsBounded(t *testing.T) {
+	clearCellCache()
+	defer clearCellCache()
+	cellCache.Lock()
+	for i := 0; i < cellCacheMax; i++ {
+		cellCache.m[cellKey{seed: uint64(i)}] = &cellData{}
+	}
+	cellCache.Unlock()
+	cfg := DefaultConfig(1, 1)
+	makeCell(cfg, 0, 0, 1.0)
+	cellCache.Lock()
+	n := len(cellCache.m)
+	cellCache.Unlock()
+	if n != cellCacheMax {
+		t.Fatalf("cache grew past its bound: %d entries", n)
+	}
+}
+
+// TestRunDeterministicColdVsWarm pins the cache's central invariant: a
+// campaign run against a warm cache produces byte-identical points to a
+// cold run.
+func TestRunDeterministicColdVsWarm(t *testing.T) {
+	clearCellCache()
+	defer clearCellCache()
+	cfg := DefaultConfig(1, 1)
+	cfg.GraphsPerPoint = 2
+	cfg.Granularities = []float64{1.0}
+
+	cold := mustRun(t, cfg)
+	warm := mustRun(t, cfg)
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatalf("warm run diverged from cold run:\n%+v\nvs\n%+v", cold, warm)
+	}
+	clearCellCache()
+	recold := mustRun(t, cfg)
+	if !reflect.DeepEqual(cold, recold) {
+		t.Fatalf("re-cold run diverged:\n%+v\nvs\n%+v", cold, recold)
+	}
+}

@@ -1,0 +1,117 @@
+package infeas
+
+// JSON encoding of the infeasibility family, used by the service layer
+// (internal/service) to report "no schedule exists" outcomes over the wire
+// without losing the classification. Reasons encode as stable string tokens
+// — never as raw ints, which would silently re-number if the enum grows —
+// and absent task/copy/processor locations are omitted rather than encoded
+// as the in-memory -1 sentinels.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+)
+
+// reasonTokens maps each Reason to its wire token. Tokens are part of the
+// wire contract: they may be extended but never renamed.
+var reasonTokens = map[Reason]string{
+	ReasonUnknown:         "unknown",
+	ReasonPeriodExceeded:  "period-exceeded",
+	ReasonPortOverload:    "port-overload",
+	ReasonNoProcessor:     "no-processor",
+	ReasonLatencyExceeded: "latency-exceeded",
+	ReasonSearchExhausted: "search-exhausted",
+}
+
+// Reasons lists every defined Reason in declaration order, for callers that
+// enumerate the classification (wire tests, documentation generators).
+func Reasons() []Reason {
+	return []Reason{
+		ReasonUnknown,
+		ReasonPeriodExceeded,
+		ReasonPortOverload,
+		ReasonNoProcessor,
+		ReasonLatencyExceeded,
+		ReasonSearchExhausted,
+	}
+}
+
+// MarshalText encodes the reason as its wire token.
+func (r Reason) MarshalText() ([]byte, error) {
+	tok, ok := reasonTokens[r]
+	if !ok {
+		return nil, fmt.Errorf("infeas: reason %d has no wire token", int(r))
+	}
+	return []byte(tok), nil
+}
+
+// UnmarshalText decodes a wire token back into the reason.
+func (r *Reason) UnmarshalText(text []byte) error {
+	for reason, tok := range reasonTokens {
+		if tok == string(text) {
+			*r = reason
+			return nil
+		}
+	}
+	return fmt.Errorf("infeas: unknown reason token %q", text)
+}
+
+// jsonError is the wire form of *Error. Location fields are pointers so
+// that the NoTask/NoProc/-1 sentinels become absent keys instead of magic
+// numbers a non-Go consumer would have to know.
+type jsonError struct {
+	Reason Reason  `json:"reason"`
+	Task   *int    `json:"task,omitempty"`
+	Copy   *int    `json:"copy,omitempty"`
+	Proc   *int    `json:"proc,omitempty"`
+	Period float64 `json:"period,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// MarshalJSON encodes the classified infeasibility.
+func (e *Error) MarshalJSON() ([]byte, error) {
+	out := jsonError{Reason: e.Reason, Period: e.Period, Detail: e.Detail}
+	if e.Task != NoTask {
+		t := int(e.Task)
+		out.Task = &t
+	}
+	if e.Copy >= 0 {
+		c := e.Copy
+		out.Copy = &c
+	}
+	if e.Proc != NoProc {
+		p := int(e.Proc)
+		out.Proc = &p
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes an error previously encoded with MarshalJSON;
+// absent location fields restore the NoTask/NoProc/-1 sentinels.
+func (e *Error) UnmarshalJSON(data []byte) error {
+	var in jsonError
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("infeas: %w", err)
+	}
+	*e = Error{
+		Reason: in.Reason,
+		Task:   NoTask,
+		Copy:   -1,
+		Proc:   NoProc,
+		Period: in.Period,
+		Detail: in.Detail,
+	}
+	if in.Task != nil {
+		e.Task = dag.TaskID(*in.Task)
+	}
+	if in.Copy != nil {
+		e.Copy = *in.Copy
+	}
+	if in.Proc != nil {
+		e.Proc = platform.ProcID(*in.Proc)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package service
+
+// Size-bounded LRU result cache. Values are solved outcomes — either a
+// schedule (with its interchange JSON rendered once at solve time, so hits
+// never re-marshal the schedule struct) or a classified infeasibility;
+// both are deterministic functions of the problem hash and therefore safe
+// to share across requests. Non-infeasibility errors (cancellation, solver
+// faults) are never cached.
+
+import (
+	"container/list"
+	"sync"
+
+	"streamsched/internal/infeas"
+	"streamsched/internal/schedule"
+)
+
+// outcome is the cacheable result of solving one problem: exactly one of
+// sched and infeas is set.
+type outcome struct {
+	sched     *schedule.Schedule
+	schedJSON []byte
+	summary   *ScheduleSummary
+	infeas    *infeas.Error
+}
+
+// lruCache is a plain mutex-guarded LRU: a map into an access-ordered
+// intrusive list. The service's hot path is Get on a warm cache — one map
+// lookup and one list splice under a short critical section.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	out outcome
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached outcome for key and marks it most recently used.
+func (c *lruCache) Get(key string) (outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return outcome{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).out, true
+}
+
+// Put inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *lruCache) Put(key string, out outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).out = out
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, out: out})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,82 @@
+package service
+
+// Canonical problem hashing. The cache and the coalescing layer key on
+// "the problem", which the HTTP surface receives as (graph, platform,
+// options). Hashing the wire JSON would be fragile — field order,
+// whitespace and float formatting are not canonical — so the hash is
+// computed over a deterministic binary encoding of the decoded in-memory
+// problem: graph name, tasks (name, work bits) in ID order, edges in the
+// graph's canonical iteration order, platform speeds and off-diagonal
+// bandwidths in index order, and the solver's versioned Fingerprint.
+// Solving is deterministic, so equal hashes imply byte-identical results.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"math"
+
+	"streamsched/internal/core"
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+)
+
+// problemHasher wraps a hash.Hash with the primitive encoders.
+type problemHasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (ph *problemHasher) u64(v uint64) {
+	binary.LittleEndian.PutUint64(ph.buf[:], v)
+	ph.h.Write(ph.buf[:])
+}
+
+func (ph *problemHasher) f64(v float64) { ph.u64(math.Float64bits(v)) }
+
+func (ph *problemHasher) str(s string) {
+	ph.u64(uint64(len(s)))
+	io.WriteString(ph.h, s)
+}
+
+// ProblemHash returns the canonical hash of (g, p, solver configuration)
+// as a hex string. It is stable across processes and releases: the
+// encoding is versioned by the leading magic and the solver fingerprint
+// carries its own version tag.
+func ProblemHash(g *dag.Graph, p *platform.Platform, s *core.Solver) string {
+	ph := &problemHasher{h: sha256.New()}
+	ph.str("streamsched-problem/v1")
+
+	ph.str(g.Name())
+	ph.u64(uint64(g.NumTasks()))
+	for _, t := range g.Tasks() {
+		ph.str(t.Name)
+		ph.f64(t.Work)
+	}
+	ph.u64(uint64(g.NumEdges()))
+	for i := 0; i < g.NumTasks(); i++ {
+		for _, e := range g.Succ(dag.TaskID(i)) {
+			ph.u64(uint64(e.From))
+			ph.u64(uint64(e.To))
+			ph.f64(e.Volume)
+		}
+	}
+
+	m := p.NumProcs()
+	ph.u64(uint64(m))
+	for _, sp := range p.Speeds() {
+		ph.f64(sp)
+	}
+	for k := 0; k < m; k++ {
+		for h := 0; h < m; h++ {
+			if k != h {
+				ph.f64(p.Bandwidth(platform.ProcID(k), platform.ProcID(h)))
+			}
+		}
+	}
+
+	ph.str(s.Fingerprint())
+	return hex.EncodeToString(ph.h.Sum(nil))
+}

@@ -1,0 +1,168 @@
+package service
+
+// In-repo load generator: concurrent mixed solve/batch/simulate traffic
+// against a live server, checking the invariants that matter under load —
+// every response is a well-formed wire document with an expected status,
+// the cache and coalescing layers keep the underlying solver call count at
+// (or near) the number of distinct problems, and the counters balance.
+// Run under -race this doubles as the service's concurrency test.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rng"
+)
+
+// loadProblemPool builds a small pool of distinct problems, one of them
+// infeasible, so the traffic mixes 200 and 409 outcomes.
+func loadProblemPool() []SolveRequest {
+	pool := make([]SolveRequest, 0, 6)
+	for i := 0; i < 5; i++ {
+		g := randgraph.Chain(4+i, 1.5, 2)
+		pool = append(pool, SolveRequest{
+			Graph:    GraphDTO(g),
+			Platform: PlatformDTO(platform.Homogeneous(3, 1, 10)),
+			Options:  Options{Eps: 1, Period: 30 + float64(i)},
+		})
+	}
+	pool = append(pool, infeasibleRequest())
+	return pool
+}
+
+func TestLoadGeneratorMixedTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation in -short mode is reduced elsewhere; full mix here")
+	}
+	runLoadMix(t, 16, 20)
+}
+
+func TestLoadGeneratorMixedTrafficShort(t *testing.T) {
+	runLoadMix(t, 8, 6)
+}
+
+func runLoadMix(t *testing.T, clients, iters int) {
+	srv := New(Config{Workers: 4, QueueLimit: 1024, CacheEntries: 256})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	pool := loadProblemPool()
+	var (
+		total     atomic.Int64
+		ok200     atomic.Int64
+		infeas409 atomic.Int64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + c)) // deterministic per-client mix
+			for i := 0; i < iters; i++ {
+				prob := pool[r.IntN(len(pool))]
+				var (
+					url  string
+					body any
+				)
+				switch r.IntN(3) {
+				case 0:
+					url, body = "/v1/solve", prob
+				case 1:
+					url, body = "/v1/simulate", SimulateRequest{
+						Graph: prob.Graph, Platform: prob.Platform, Options: prob.Options,
+						Scenarios: []Scenario{{Name: "free"}, {Name: "sync", Synchronous: true}},
+					}
+				default:
+					other := pool[r.IntN(len(pool))]
+					url, body = "/v1/batch", BatchRequest{
+						Options: prob.Options,
+						Problems: []BatchProblem{
+							{Graph: prob.Graph, Platform: prob.Platform},
+							{Graph: other.Graph, Platform: other.Platform, Options: &other.Options},
+						},
+					}
+				}
+				status, data := doPost(t, ts, url, body)
+				total.Add(1)
+				switch status {
+				case http.StatusOK:
+					ok200.Add(1)
+				case http.StatusConflict:
+					infeas409.Add(1)
+				default:
+					t.Errorf("client %d: %s returned %d: %s", c, url, status, data)
+					return
+				}
+				if !json.Valid(data) {
+					t.Errorf("client %d: invalid JSON from %s", c, url)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if t.Failed() {
+		return
+	}
+	m := getMetrics(t, ts)
+
+	// Every problem in the pool appears many times across solve, batch and
+	// simulate traffic, yet the solver runs at most once per distinct
+	// problem: the cache (and coalescing under concurrency) absorbs the
+	// rest. The pool never exceeds the cache, so no entry is ever evicted
+	// and re-solved.
+	if m.SolveCalls > int64(len(pool)) {
+		t.Errorf("solver ran %d times for %d distinct problems", m.SolveCalls, len(pool))
+	}
+	if m.Cache.Hits == 0 {
+		t.Error("no cache hits under repeat traffic")
+	}
+	if m.Cache.HitRatio <= 0 || m.Cache.HitRatio > 1 {
+		t.Errorf("implausible hit ratio %v", m.Cache.HitRatio)
+	}
+	if got := m.Requests["solve"] + m.Requests["batch"] + m.Requests["simulate"]; got != total.Load() {
+		t.Errorf("request counters sum to %d, sent %d", got, total.Load())
+	}
+	if ok200.Load() == 0 || infeas409.Load() == 0 {
+		t.Errorf("traffic mix degenerate: %d OK, %d infeasible", ok200.Load(), infeas409.Load())
+	}
+	if m.LatencyMs.Count != total.Load() {
+		t.Errorf("latency observations %d, requests %d", m.LatencyMs.Count, total.Load())
+	}
+	if m.Queue.Depth != 0 || m.Queue.InFlight != 0 {
+		t.Errorf("queue gauges nonzero after drain: %+v", m.Queue)
+	}
+	if m.Queue.Rejected != 0 {
+		t.Errorf("unexpected rejections with a deep queue: %d", m.Queue.Rejected)
+	}
+}
+
+// doPost is postJSON without t.Fatal, safe for worker goroutines.
+func doPost(t *testing.T, ts *httptest.Server, path string, body any) (int, []byte) {
+	enc, err := json.Marshal(body)
+	if err != nil {
+		t.Errorf("marshal: %v", err)
+		return 0, nil
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(enc))
+	if err != nil {
+		t.Errorf("post %s: %v", path, err)
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("read %s: %v", path, err)
+		return 0, nil
+	}
+	return resp.StatusCode, data
+}

@@ -1,0 +1,195 @@
+package service
+
+// Request metrics, exposed as expvar-style JSON on GET /metrics. Counters
+// are lock-free atomics; request latencies go into a bounded ring whose
+// percentiles are computed on scrape (the ring holds the most recent
+// observations — a windowed view, which is what an operator watching a
+// live service wants).
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyRingSize bounds the latency window. 4096 recent requests give
+// stable p99 estimates without unbounded memory.
+const latencyRingSize = 4096
+
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [latencyRingSize]float64 // milliseconds
+	n    int                      // filled entries, ≤ len(buf)
+	next int                      // write cursor
+	cnt  int64                    // total observations ever
+}
+
+func (r *latencyRing) observe(ms float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = ms
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.cnt++
+}
+
+// snapshot returns (count, p50, p90, p99, max); count is all-time, the
+// percentiles and the max describe the recent window only — an operator
+// watching the live gauge wants current behaviour, not a high-water mark
+// pinned by one cold start.
+func (r *latencyRing) snapshot() (int64, float64, float64, float64, float64) {
+	r.mu.Lock()
+	cnt, n := r.cnt, r.n
+	window := make([]float64, n)
+	copy(window, r.buf[:n])
+	r.mu.Unlock()
+	if n == 0 {
+		return cnt, 0, 0, 0, 0
+	}
+	sort.Float64s(window)
+	q := func(p float64) float64 {
+		i := int(p * float64(n-1))
+		return window[i]
+	}
+	return cnt, q(0.50), q(0.90), q(0.99), window[n-1]
+}
+
+// metrics is the server's counter set.
+type metrics struct {
+	start time.Time
+
+	// Per-endpoint request counts.
+	reqSolve, reqBatch, reqSimulate, reqHealthz, reqMetrics atomic.Int64
+
+	// Response counts by HTTP status.
+	respMu sync.Mutex
+	resp   map[int]int64
+
+	// Work counters.
+	solveCalls  atomic.Int64 // underlying solver invocations
+	simRuns     atomic.Int64 // scenario simulations executed
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64 // requests that piggybacked on a flight
+	rejected    atomic.Int64 // 429s issued by admission
+
+	// Queue gauges: pending counts admitted work units (waiting +
+	// executing); inFlight counts units holding a worker slot.
+	pending  atomic.Int64
+	inFlight atomic.Int64
+
+	lat latencyRing
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), resp: make(map[int]int64)}
+}
+
+func (m *metrics) countResponse(status int) {
+	m.respMu.Lock()
+	m.resp[status]++
+	m.respMu.Unlock()
+}
+
+// CacheStats is the cache section of a metrics snapshot.
+type CacheStats struct {
+	Hits     int64   `json:"hits"`
+	Misses   int64   `json:"misses"`
+	HitRatio float64 `json:"hitRatio"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+}
+
+// QueueStats is the admission section of a metrics snapshot.
+type QueueStats struct {
+	// Depth is the number of admitted work units waiting for a worker
+	// slot; InFlight the number executing.
+	Depth    int64 `json:"depth"`
+	InFlight int64 `json:"inFlight"`
+	// Capacity is Workers + QueueLimit, the admission bound.
+	Capacity int   `json:"capacity"`
+	Rejected int64 `json:"rejected"`
+}
+
+// LatencyStats summarizes the recent request latency window.
+type LatencyStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// MetricsSnapshot is the GET /metrics document.
+type MetricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Requests      map[string]int64 `json:"requests"`
+	Responses     map[string]int64 `json:"responses"`
+	SolveCalls    int64            `json:"solveCalls"`
+	SimRuns       int64            `json:"simRuns"`
+	Coalesced     int64            `json:"coalesced"`
+	Cache         CacheStats       `json:"cache"`
+	Queue         QueueStats       `json:"queue"`
+	LatencyMs     LatencyStats     `json:"latencyMs"`
+}
+
+// snapshot assembles the /metrics document.
+func (s *Server) snapshot() MetricsSnapshot {
+	m := s.m
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	ratio := 0.0
+	if hits+misses > 0 {
+		ratio = float64(hits) / float64(hits+misses)
+	}
+	pending, inFlight := m.pending.Load(), m.inFlight.Load()
+	depth := pending - inFlight
+	if depth < 0 { // racy reads of two gauges; clamp for presentation
+		depth = 0
+	}
+	cnt, p50, p90, p99, max := m.lat.snapshot()
+	m.respMu.Lock()
+	resp := make(map[string]int64, len(m.resp))
+	for status, n := range m.resp {
+		resp[statusKey(status)] = n
+	}
+	m.respMu.Unlock()
+	return MetricsSnapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests: map[string]int64{
+			"solve":    m.reqSolve.Load(),
+			"batch":    m.reqBatch.Load(),
+			"simulate": m.reqSimulate.Load(),
+			"healthz":  m.reqHealthz.Load(),
+			"metrics":  m.reqMetrics.Load(),
+		},
+		Responses:  resp,
+		SolveCalls: m.solveCalls.Load(),
+		SimRuns:    m.simRuns.Load(),
+		Coalesced:  m.coalesced.Load(),
+		Cache: CacheStats{
+			Hits:     hits,
+			Misses:   misses,
+			HitRatio: ratio,
+			Entries:  s.cache.Len(),
+			Capacity: s.cfg.CacheEntries,
+		},
+		Queue: QueueStats{
+			Depth:    depth,
+			InFlight: inFlight,
+			Capacity: s.cfg.Workers + s.cfg.QueueLimit,
+			Rejected: m.rejected.Load(),
+		},
+		LatencyMs: LatencyStats{Count: cnt, P50: p50, P90: p90, P99: p99, Max: max},
+	}
+}
+
+func statusKey(status int) string {
+	// Small, allocation-free itoa for the handful of statuses we emit.
+	if status >= 100 && status < 1000 {
+		return string([]byte{byte('0' + status/100), byte('0' + status/10%10), byte('0' + status%10)})
+	}
+	return "other"
+}

@@ -1,0 +1,751 @@
+package service
+
+// The HTTP server: routing, admission and the solve/batch/simulate
+// pipelines.
+//
+// Request lifecycle for /v1/solve:
+//
+//	decode → canonical hash → cache (hit: respond) → flight Claim
+//	  follower: wait for the flight's outcome (no queue slot consumed)
+//	  leader:   start the flight — admission (bounded queue → worker
+//	            slot) → solve → cache.Put → Fulfill — in a DETACHED
+//	            goroutine under the server's own compute budget
+//	            (MaxTimeout), then wait on it like a follower
+//
+// Detaching the computation from the leader's request context is what
+// makes coalescing sound: a leader whose client disconnects, or whose
+// deadline is shorter than a follower's, must not poison the followers
+// with its context error. Every requester honors its own deadline while
+// waiting; the work itself always runs to completion (within MaxTimeout)
+// and lands in the cache.
+//
+// Backpressure policy. Admission counts work units — individual solves
+// that must actually compute (a batch's problems are each their own
+// unit, so one batch cannot exceed the Workers bound by fanning out) and
+// simulate sweeps. At most Workers units execute concurrently and at
+// most QueueLimit more may wait; a unit beyond that bound is rejected
+// immediately with 429 and a Retry-After hint — the client, not the
+// server, owns the retry budget. Cache hits and coalesced followers
+// bypass admission entirely: they consume no solver capacity, so
+// rejecting them would only waste work already done. Per-request
+// deadlines (TimeoutMs, clamped to MaxTimeout, default
+// Config.DefaultTimeout) bound the requester's wait including queueing;
+// an expired deadline surfaces as 504.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"streamsched/internal/core"
+	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+	"streamsched/internal/sim"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field
+// falls back to the documented default.
+type Config struct {
+	// Workers bounds the concurrently executing work units (≤0 → GOMAXPROCS).
+	Workers int
+	// QueueLimit bounds the admitted-but-waiting work units (<0 → 0,
+	// 0 → 4×Workers... see withDefaults; use NoQueue for a hard 0).
+	QueueLimit int
+	// NoQueue disables waiting entirely: beyond Workers executing units,
+	// requests are rejected immediately.
+	NoQueue bool
+	// CacheEntries bounds the LRU result cache (≤0 → 1024).
+	CacheEntries int
+	// DefaultTimeout is the per-request deadline when the request does not
+	// carry TimeoutMs (≤0 → 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-supplied TimeoutMs — without a ceiling a
+	// client could pin worker slots indefinitely — and budgets the
+	// server-side computation of each flight (≤0 → 5m, raised to
+	// DefaultTimeout if configured smaller).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies (≤0 → 16 MiB).
+	MaxBodyBytes int64
+	// RetryAfter is the hint attached to 429 responses (≤0 → 1s).
+	RetryAfter time.Duration
+	// SolveDelay artificially delays every underlying solve. It exists for
+	// load and smoke testing (deterministic 429/coalescing scenarios);
+	// production configs leave it zero.
+	SolveDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.NoQueue || c.QueueLimit < 0 {
+		c.QueueLimit = 0
+	} else if c.QueueLimit == 0 {
+		c.QueueLimit = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxTimeout < c.DefaultTimeout {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// errQueueFull is the admission rejection; it maps to 429.
+var errQueueFull = errors.New("service: work queue full")
+
+// Server implements the scheduling service. Build with New, mount
+// Handler() on an http.Server.
+type Server struct {
+	cfg     Config
+	slots   chan struct{}
+	cache   *lruCache
+	flights *flightGroup
+	m       *metrics
+
+	// solve performs one underlying solve; tests swap it to gate or count
+	// solver entry deterministically.
+	solve func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error)
+}
+
+// New builds a Server from cfg (zero value: sensible defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		m:       newMetrics(),
+	}
+	s.solve = func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error) {
+		if cfg.SolveDelay > 0 {
+			select {
+			case <-time.After(cfg.SolveDelay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return sv.Solve(ctx, g, p)
+	}
+	return s
+}
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/simulate", s.handleSimulate)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (s *Server) Metrics() MetricsSnapshot { return s.snapshot() }
+
+// admit acquires one work unit: a place within the Workers+QueueLimit
+// bound, then a worker slot. It returns the release function, errQueueFull
+// when the bound is exceeded, or ctx.Err() if the deadline expires while
+// queued.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	limit := int64(s.cfg.Workers + s.cfg.QueueLimit)
+	if s.m.pending.Add(1) > limit {
+		s.m.pending.Add(-1)
+		s.m.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.m.inFlight.Add(1)
+		return func() {
+			<-s.slots
+			s.m.inFlight.Add(-1)
+			s.m.pending.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		s.m.pending.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// hitState records how a solve outcome was obtained.
+type hitState int
+
+const (
+	hitSolved hitState = iota
+	hitCache
+	hitCoalesced
+)
+
+// solveProblem resolves one problem through cache → coalescing → admission
+// → solver. Every returned outcome has exactly one of sched/infeas set;
+// err covers everything else (queue full, deadline, solver fault). The
+// caller waits under its own ctx; the underlying computation runs
+// detached (see the file header).
+func (s *Server) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, string, hitState, error) {
+	hash := ProblemHash(g, p, sv)
+	if out, ok := s.cache.Get(hash); ok {
+		s.m.cacheHits.Add(1)
+		return out, hash, hitCache, nil
+	}
+	f, leader := s.flights.Claim(hash)
+	if !leader {
+		s.m.coalesced.Add(1)
+		out, err := f.Wait(ctx)
+		return out, hash, hitCoalesced, err
+	}
+	s.m.cacheMisses.Add(1)
+	go s.runFlight(hash, f, g, p, sv)
+	out, err := f.Wait(ctx)
+	return out, hash, hitSolved, err
+}
+
+// runFlight executes one claimed flight — admission, solve, cache fill,
+// fulfillment — under the server's own compute budget, independent of any
+// requester's context. Queue-full is decided immediately (admit rejects
+// without blocking when the bound is exceeded), so a rejected flight
+// resolves at once.
+func (s *Server) runFlight(hash string, f *flight, g *dag.Graph, p *platform.Platform, sv *core.Solver) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+	defer cancel()
+	out, err := s.computeFlight(ctx, hash, g, p, sv)
+	s.flights.Fulfill(hash, f, out, err)
+}
+
+// computeFlight resolves a led flight: one last cache check — a previous
+// flight may have fulfilled and vanished between this requester's cache
+// miss and its Claim, and re-solving an already-cached problem would break
+// the "equal hashes solve once" invariant — then an admission-bounded
+// solve whose result fills the cache.
+func (s *Server) computeFlight(ctx context.Context, hash string, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	if out, ok := s.cache.Get(hash); ok {
+		return out, nil
+	}
+	out, err := s.solveAdmitted(ctx, g, p, sv)
+	if err == nil {
+		s.cache.Put(hash, out)
+	}
+	return out, err
+}
+
+// compute runs the underlying solver and folds typed infeasibility into
+// the outcome (it is a result, not a failure).
+func (s *Server) compute(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	s.m.solveCalls.Add(1)
+	sched, err := s.solve(ctx, sv, g, p)
+	if err != nil {
+		return foldInfeasible(err)
+	}
+	return renderOutcome(sched)
+}
+
+// foldInfeasible converts an infeasibility error into a cacheable outcome;
+// any other error propagates.
+func foldInfeasible(err error) (outcome, error) {
+	var ie *infeas.Error
+	if errors.As(err, &ie) {
+		return outcome{infeas: ie}, nil
+	}
+	if errors.Is(err, infeas.ErrInfeasible) {
+		return outcome{infeas: infeas.New(infeas.ReasonUnknown, 0, err.Error())}, nil
+	}
+	return outcome{}, err
+}
+
+// renderOutcome serializes the schedule once, at solve time; cache hits
+// reuse the rendered bytes instead of re-marshalling the schedule struct.
+func renderOutcome(sched *schedule.Schedule) (outcome, error) {
+	raw, err := json.Marshal(sched)
+	if err != nil {
+		return outcome{}, fmt.Errorf("service: encoding schedule: %w", err)
+	}
+	return outcome{sched: sched, schedJSON: raw, summary: summarize(sched)}, nil
+}
+
+// requestContext applies the per-request deadline, clamped to MaxTimeout.
+// The clamp compares in milliseconds before converting — multiplying an
+// absurd TimeoutMs into a time.Duration first could wrap to an arbitrary
+// small value.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		if int64(timeoutMs) > int64(s.cfg.MaxTimeout/time.Millisecond) {
+			d = s.cfg.MaxTimeout
+		} else {
+			d = time.Duration(timeoutMs) * time.Millisecond
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// ---- HTTP plumbing ----------------------------------------------------
+
+// writeJSON renders the response compactly: responses are machine-read,
+// and indenting would re-format the pre-rendered schedule RawMessage on
+// every cache hit.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body) // write errors mean the client is gone
+	s.m.countResponse(status)
+}
+
+// errorStatus maps a pipeline error to its HTTP status.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log counters only.
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusClientClosedRequest is nginx's conventional code for "client
+// cancelled"; no standard constant exists.
+const statusClientClosedRequest = 499
+
+// writeError renders a pipeline error in a SolveResponse envelope,
+// attaching Retry-After to 429s.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.writeJSON(w, s.errorHeaders(w, err), SolveResponse{V: Version, Error: err.Error()})
+}
+
+// writeBatchError is writeError in the BatchResponse envelope, so batch
+// clients decode every /v1/batch body into one documented type.
+func (s *Server) writeBatchError(w http.ResponseWriter, err error) {
+	s.writeJSON(w, s.errorHeaders(w, err), BatchResponse{V: Version, Error: err.Error()})
+}
+
+// errorHeaders maps the error to its status and sets error-specific
+// headers on the way.
+func (s *Server) errorHeaders(w http.ResponseWriter, err error) int {
+	status := errorStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
+	}
+	return status
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// decodeRequest parses the body into dst, enforcing method and size; the
+// caller checks the decoded wire version with checkVersion. It reports
+// (status, error) on failure, (0, nil) on success.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return http.StatusMethodNotAllowed, fmt.Errorf("service: %s requires POST", r.URL.Path)
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("service: body exceeds %d bytes", tooBig.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("service: invalid JSON: %w", err)
+	}
+	return 0, nil
+}
+
+// checkVersion accepts the current wire version and 0 (omitted field).
+func checkVersion(v int) error {
+	if v != 0 && v != Version {
+		return fmt.Errorf("service: unsupported wire version %d (want %d)", v, Version)
+	}
+	return nil
+}
+
+// buildProblem decodes one (graph, platform, options) triple.
+func buildProblem(g Graph, p Platform, o Options) (*dag.Graph, *platform.Platform, *core.Solver, error) {
+	dg, err := g.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pp, err := p.Build()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sv, err := o.Solver()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return dg, pp, sv, nil
+}
+
+// ---- Handlers ---------------------------------------------------------
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.m.reqSolve.Add(1)
+	start := time.Now()
+	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+
+	var req SolveRequest
+	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		s.writeJSON(w, status, SolveResponse{V: Version, Error: err.Error()})
+		return
+	}
+	if err := checkVersion(req.V); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, SolveResponse{V: Version, Error: err.Error()})
+		return
+	}
+	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, SolveResponse{V: Version, Error: err.Error()})
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	out, hash, state, err := s.solveProblem(ctx, g, p, sv)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := SolveResponse{
+		V:         Version,
+		Hash:      hash,
+		Cached:    state == hitCache,
+		Coalesced: state == hitCoalesced,
+	}
+	if out.infeas != nil {
+		resp.Infeasible = out.infeas
+		s.writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	resp.Schedule = out.schedJSON
+	resp.Summary = out.summary
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// batchItem tracks one problem of a batch through the pipeline.
+type batchItem struct {
+	g    *dag.Graph
+	p    *platform.Platform
+	sv   *core.Solver
+	hash string
+
+	out    outcome
+	state  hitState
+	err    error
+	flight *flight // non-nil: wait on a foreign in-flight solve
+	lead   *flight // non-nil: this batch owns the flight and must fulfill
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.m.reqBatch.Add(1)
+	start := time.Now()
+	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+
+	var req BatchRequest
+	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		s.writeJSON(w, status, BatchResponse{V: Version, Error: err.Error()})
+		return
+	}
+	if err := checkVersion(req.V); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, BatchResponse{V: Version, Error: err.Error()})
+		return
+	}
+	if len(req.Problems) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, BatchResponse{V: Version, Error: "service: batch has no problems"})
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	// Pass 1: decode and triage every problem — cache hit, foreign flight
+	// to join, or a solve this batch leads.
+	items := make([]batchItem, len(req.Problems))
+	var leaders []int
+	for i, bp := range req.Problems {
+		it := &items[i]
+		opts := req.Options
+		if bp.Options != nil {
+			opts = *bp.Options
+		}
+		it.g, it.p, it.sv, it.err = buildProblem(bp.Graph, bp.Platform, opts)
+		if it.err != nil {
+			continue
+		}
+		it.hash = ProblemHash(it.g, it.p, it.sv)
+		if out, ok := s.cache.Get(it.hash); ok {
+			s.m.cacheHits.Add(1)
+			it.out, it.state = out, hitCache
+			continue
+		}
+		f, leader := s.flights.Claim(it.hash)
+		if !leader {
+			s.m.coalesced.Add(1)
+			it.flight, it.state = f, hitCoalesced
+			continue
+		}
+		s.m.cacheMisses.Add(1)
+		it.lead = f
+		leaders = append(leaders, i)
+	}
+
+	// Pass 2: start the led solves through core.Batch, detached from this
+	// request's context like any flight (file header). The pool fans the
+	// problems out, but each problem admits itself as its own work unit,
+	// so concurrency stays inside the global Workers bound no matter how
+	// many batches are in flight: one batch's problems trickle through
+	// the shared queue like any other units (at most the pool's worker
+	// count pending at once), while competing traffic beyond the
+	// admission bound — other batches included — is rejected per unit.
+	if len(leaders) > 0 {
+		go s.runBatchFlights(leaders, items)
+	}
+
+	// Pass 3: collect every non-cached problem's flight — the ones this
+	// batch leads and the foreign ones — under the request's deadline.
+	for i := range items {
+		it := &items[i]
+		if f := it.lead; f != nil {
+			it.out, it.err = f.Wait(ctx)
+		} else if it.flight != nil {
+			it.out, it.err = it.flight.Wait(ctx)
+		}
+	}
+
+	// A batch whose every problem was rejected by admission is a rejected
+	// batch: surface the 429 (with Retry-After) rather than a 200 full of
+	// queue-full errors. Mixed outcomes keep the 200 envelope with
+	// per-problem errors — cached results must not be discarded.
+	allRejected := true
+	for i := range items {
+		if !errors.Is(items[i].err, errQueueFull) {
+			allRejected = false
+			break
+		}
+	}
+	if allRejected && len(items) > 0 {
+		s.writeBatchError(w, errQueueFull)
+		return
+	}
+
+	resp := BatchResponse{V: Version, Results: make([]SolveResponse, len(items))}
+	for i := range items {
+		it := &items[i]
+		sr := SolveResponse{
+			V:         Version,
+			Hash:      it.hash,
+			Cached:    it.state == hitCache,
+			Coalesced: it.state == hitCoalesced,
+		}
+		switch {
+		case it.err != nil:
+			sr.Error = it.err.Error()
+		case it.out.infeas != nil:
+			sr.Infeasible = it.out.infeas
+		default:
+			sr.Schedule = it.out.schedJSON
+			sr.Summary = it.out.summary
+		}
+		resp.Results[i] = sr
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runBatchFlights executes a batch's led solves through core.Batch under
+// the server's compute budget. Each problem's flight is fulfilled (and the
+// cache filled) inside the pool hook, the moment its own result lands —
+// a waiter coalesced onto problem #1 must not stall behind problem #100.
+// The hook admits every problem individually: the pool's goroutines queue
+// on the shared worker slots, they do not multiply them.
+func (s *Server) runBatchFlights(leaders []int, items []batchItem) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
+	defer cancel()
+	reqs := make([]core.Request, len(leaders))
+	for k, i := range leaders {
+		reqs[k] = core.Request{Graph: items[i].g, Platform: items[i].p}
+	}
+	fulfilled := make([]bool, len(leaders)) // per-lane writes, no sharing
+	batch := core.Batch{Workers: s.cfg.Workers}
+	results := batch.SolveFunc(ctx, reqs, func(ctx context.Context, k int, _ core.Request) (*schedule.Schedule, error) {
+		it := &items[leaders[k]]
+		out, err := s.computeFlight(ctx, it.hash, it.g, it.p, it.sv)
+		s.flights.Fulfill(it.hash, it.lead, out, err)
+		fulfilled[k] = true
+		return nil, err // the flight already carries the outcome
+	})
+	// SolveFunc fails requests fast without running the hook once its
+	// context expires; their flights must still resolve or waiters would
+	// hang until their own deadlines.
+	for k, i := range leaders {
+		if !fulfilled[k] {
+			s.flights.Fulfill(items[i].hash, items[i].lead, outcome{}, results[k].Err)
+		}
+	}
+}
+
+// solveAdmitted is one admission-bounded solve: acquire a work unit, run
+// the solver, fold infeasibility, render.
+func (s *Server) solveAdmitted(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	release, err := s.admit(ctx)
+	if err != nil {
+		return outcome{}, err
+	}
+	defer release()
+	return s.compute(ctx, g, p, sv)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	s.m.reqSimulate.Add(1)
+	start := time.Now()
+	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+
+	var req SimulateRequest
+	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		s.writeJSON(w, status, SimulateResponse{V: Version, Error: err.Error()})
+		return
+	}
+	if err := checkVersion(req.V); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{V: Version, Error: err.Error()})
+		return
+	}
+	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
+	if err != nil {
+		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{V: Version, Error: err.Error()})
+		return
+	}
+	scenarios := req.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []Scenario{{}}
+	}
+	for _, sc := range scenarios {
+		for _, u := range sc.CrashProcs {
+			if u < 0 || u >= p.NumProcs() {
+				s.writeJSON(w, http.StatusBadRequest, SimulateResponse{
+					V: Version, Error: fmt.Sprintf("service: crash processor %d out of range [0,%d)", u, p.NumProcs()),
+				})
+				return
+			}
+		}
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	// Solve through the shared cache/coalescing path (same hash space as
+	// /v1/solve), then run the sweep as its own admitted work unit. The
+	// two acquisitions are sequential, never nested, so a Workers=1 server
+	// cannot deadlock against its own solve.
+	out, hash, state, err := s.solveProblem(ctx, g, p, sv)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := SimulateResponse{
+		V:         Version,
+		Hash:      hash,
+		Cached:    state == hitCache,
+		Coalesced: state == hitCoalesced,
+	}
+	if out.infeas != nil {
+		resp.Infeasible = out.infeas
+		s.writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	resp.Summary = out.summary
+
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+
+	// One engine for the whole sweep: the derived schedule tables and the
+	// simulation state buffers are built once and reused per scenario.
+	eng, err := sim.NewEngine(out.sched)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp.Scenarios = make([]ScenarioResult, 0, len(scenarios))
+	for _, sc := range scenarios {
+		res, err := s.runScenario(ctx, eng, out.sched, sc)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		resp.Scenarios = append(resp.Scenarios, res)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// runScenario executes one scenario on the request's engine.
+func (s *Server) runScenario(ctx context.Context, eng *sim.Engine, sched *schedule.Schedule, sc Scenario) (ScenarioResult, error) {
+	cfg := sim.DefaultConfig(sched)
+	if sc.Items > 0 {
+		cfg.Items = sc.Items
+	}
+	if sc.Warmup > 0 {
+		cfg.Warmup = sc.Warmup
+	}
+	cfg.Synchronous = sc.Synchronous
+	if len(sc.CrashProcs) > 0 {
+		procs := make([]platform.ProcID, len(sc.CrashProcs))
+		for i, u := range sc.CrashProcs {
+			procs[i] = platform.ProcID(u)
+		}
+		cfg.Failures = sim.FailureSpec{Procs: procs, At: sc.CrashAt}
+	}
+	s.m.simRuns.Add(1)
+	res, err := eng.Run(ctx, cfg)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	return ScenarioResult{
+		Name:           sc.Name,
+		MeanLatency:    jsonFloat(res.MeanLatency),
+		MaxLatency:     jsonFloat(res.MaxLatency),
+		AchievedPeriod: jsonFloat(res.AchievedPeriod),
+		Delivered:      res.Delivered,
+		Items:          res.Items,
+	}, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.m.reqHealthz.Add(1)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.m.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.m.reqMetrics.Add(1)
+	s.writeJSON(w, http.StatusOK, s.snapshot())
+}

@@ -1,0 +1,275 @@
+package service
+
+// Wire codec properties. The contract pinned here: encode(decode(x)) is
+// byte-stable for graphs, platforms and schedules — a decoded-and-re-encoded
+// document is byte-identical, so hashes of wire payloads are meaningful and
+// proxies can round-trip documents without perturbing them — and every
+// infeasibility Reason survives JSON encoding with its classification.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"streamsched/internal/core"
+	"streamsched/internal/dag"
+	"streamsched/internal/infeas"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+// reencodeGraph runs one decode→encode cycle on an encoded graph.
+func reencodeGraph(t *testing.T, enc []byte) []byte {
+	t.Helper()
+	var w Graph
+	if err := json.Unmarshal(enc, &w); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	g, err := w.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := json.Marshal(GraphDTO(g))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return out
+}
+
+func TestGraphRoundTripByteStable(t *testing.T) {
+	r := rng.New(7)
+	p := platform.Homogeneous(4, 1, 10)
+	graphs := []*dag.Graph{
+		randgraph.Chain(6, 2, 3),
+		randgraph.ForkJoin(3, 2, 1, 1),
+		randgraph.Fig1Graph(),
+		randgraph.Fig2Graph(),
+		randgraph.SeriesParallel(rng.New(11), 20, 0.5, 1.5, 50, 150),
+	}
+	for i := 0; i < 20; i++ {
+		cfg := randgraph.DefaultStreamConfig()
+		cfg.MinTasks, cfg.MaxTasks = 10, 40
+		cfg.Granularity = 0.2 + 1.8*r.Float64()
+		graphs = append(graphs, randgraph.Stream(r.Split(), cfg, p))
+	}
+	for _, g := range graphs {
+		enc, err := json.Marshal(GraphDTO(g))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		re := reencodeGraph(t, enc)
+		if !bytes.Equal(enc, re) {
+			t.Errorf("%s: re-encoding not byte-stable:\n%s\nvs\n%s", g.Name(), enc, re)
+		}
+		// And a second cycle stays fixed too.
+		if re2 := reencodeGraph(t, re); !bytes.Equal(re, re2) {
+			t.Errorf("%s: second cycle moved the encoding", g.Name())
+		}
+	}
+}
+
+func TestPlatformRoundTripByteStable(t *testing.T) {
+	r := rng.New(3)
+	plats := []*platform.Platform{
+		platform.Homogeneous(1, 2, 5),
+		platform.Homogeneous(6, 1, 10),
+	}
+	for i := 0; i < 10; i++ {
+		plats = append(plats, platform.RandomHeterogeneous(r, 2+i, 0.5, 1.0, 0.5, 1.0, 100))
+	}
+	for _, p := range plats {
+		enc, err := json.Marshal(PlatformDTO(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w Platform
+		if err := json.Unmarshal(enc, &w); err != nil {
+			t.Fatal(err)
+		}
+		built, err := w.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		re, err := json.Marshal(PlatformDTO(built))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Errorf("platform m=%d: re-encoding not byte-stable", p.NumProcs())
+		}
+	}
+}
+
+func TestScheduleRoundTripByteStable(t *testing.T) {
+	g := randgraph.Fig2Graph()
+	p := platform.Homogeneous(6, 1, 10)
+	for _, eps := range []int{0, 1, 2} {
+		sv, err := core.NewSolver(core.WithEps(eps), core.WithPeriod(40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := sv.Solve(context.Background(), g, p)
+		if err != nil {
+			t.Fatalf("eps=%d: %v", eps, err)
+		}
+		enc, err := json.Marshal(sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := schedule.LoadJSON(enc, g, p)
+		if err != nil {
+			t.Fatalf("eps=%d: load: %v", eps, err)
+		}
+		re, err := json.Marshal(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Errorf("eps=%d: schedule re-encoding not byte-stable", eps)
+		}
+	}
+}
+
+func TestEveryReasonSurvivesJSON(t *testing.T) {
+	for _, reason := range infeas.Reasons() {
+		e := &infeas.Error{
+			Reason: reason,
+			Task:   dag.TaskID(3),
+			Copy:   1,
+			Proc:   platform.ProcID(2),
+			Period: 12.5,
+			Detail: "detail",
+		}
+		enc, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", reason, err)
+		}
+		var back infeas.Error
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("%v: unmarshal: %v", reason, err)
+		}
+		if back != *e {
+			t.Errorf("%v: round trip changed the error: %+v vs %+v", reason, back, *e)
+		}
+	}
+}
+
+func TestReasonUnknownTokenRejected(t *testing.T) {
+	var r infeas.Reason
+	if err := r.UnmarshalText([]byte("definitely-not-a-reason")); err == nil {
+		t.Fatal("unknown token accepted")
+	}
+}
+
+func TestErrorJSONOmitsSentinels(t *testing.T) {
+	e := infeas.Newf(infeas.ReasonSearchExhausted, 8, "probed the whole window")
+	enc, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, forbidden := range []string{`"task"`, `"copy"`, `"proc"`, "-1"} {
+		if bytes.Contains(enc, []byte(forbidden)) {
+			t.Errorf("encoding leaks sentinel %s: %s", forbidden, enc)
+		}
+	}
+	var back infeas.Error
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Task != infeas.NoTask || back.Copy != -1 || back.Proc != infeas.NoProc {
+		t.Errorf("sentinels not restored: %+v", back)
+	}
+}
+
+func TestProblemHashDiscriminates(t *testing.T) {
+	base := func() (*dag.Graph, *platform.Platform, *core.Solver) {
+		g := randgraph.Chain(5, 2, 3)
+		p := platform.Homogeneous(4, 1, 10)
+		sv, err := core.NewSolver(core.WithEps(1), core.WithPeriod(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, p, sv
+	}
+
+	g, p, sv := base()
+	ref := ProblemHash(g, p, sv)
+
+	// Identical problems built independently hash identically.
+	g2, p2, sv2 := base()
+	if h := ProblemHash(g2, p2, sv2); h != ref {
+		t.Fatalf("identical problems hash differently: %s vs %s", ref, h)
+	}
+
+	// Each kind of perturbation moves the hash.
+	perturbed := map[string]string{}
+	{
+		gg := randgraph.Chain(5, 2, 3)
+		gg.ScaleWork(1.0000001)
+		perturbed["work"] = ProblemHash(gg, p, sv)
+	}
+	{
+		gg := randgraph.Chain(5, 2, 3)
+		gg.ScaleVolume(1.0000001)
+		perturbed["volume"] = ProblemHash(gg, p, sv)
+	}
+	perturbed["platform"] = ProblemHash(g, platform.Homogeneous(4, 1.0000001, 10), sv)
+	{
+		sv3, err := core.NewSolver(core.WithEps(2), core.WithPeriod(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perturbed["eps"] = ProblemHash(g, p, sv3)
+	}
+	{
+		sv4, err := core.NewSolver(core.WithEps(1), core.WithPeriod(20), core.WithAlgorithm(core.LTF))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perturbed["algorithm"] = ProblemHash(g, p, sv4)
+	}
+	seen := map[string]string{ref: "base"}
+	for kind, h := range perturbed {
+		if prev, dup := seen[h]; dup {
+			t.Errorf("perturbation %q collides with %q", kind, prev)
+		}
+		seen[h] = kind
+	}
+}
+
+func TestGraphBuildRejectsMalformedInput(t *testing.T) {
+	cases := map[string]Graph{
+		"empty":        {},
+		"zero work":    {Tasks: []Task{{Work: 0}}},
+		"nan work":     {Tasks: []Task{{Work: math.NaN()}}},
+		"neg volume":   {Tasks: []Task{{Work: 1}, {Work: 1}}, Edges: []Edge{{From: 0, To: 1, Volume: -1}}},
+		"self loop":    {Tasks: []Task{{Work: 1}}, Edges: []Edge{{From: 0, To: 0}}},
+		"out of range": {Tasks: []Task{{Work: 1}}, Edges: []Edge{{From: 0, To: 5}}},
+		"cycle": {Tasks: []Task{{Work: 1}, {Work: 1}},
+			Edges: []Edge{{From: 0, To: 1}, {From: 1, To: 0}}},
+	}
+	for name, w := range cases {
+		if _, err := w.Build(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPlatformBuildRejectsMalformedInput(t *testing.T) {
+	cases := map[string]Platform{
+		"empty":      {},
+		"zero speed": {Speeds: []float64{0}, Bandwidth: [][]float64{{0}}},
+		"row count":  {Speeds: []float64{1, 1}, Bandwidth: [][]float64{{0, 1}}},
+		"col count":  {Speeds: []float64{1, 1}, Bandwidth: [][]float64{{0, 1}, {1}}},
+		"zero bw":    {Speeds: []float64{1, 1}, Bandwidth: [][]float64{{0, 0}, {1, 0}}},
+	}
+	for name, w := range cases {
+		if _, err := w.Build(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Service smoke: start a streamschedd with one worker, no queue and an
+# artificial solve delay, then walk the status paths the service contract
+# promises — 200 (solved), 200+cached (LRU hit), 409 (typed infeasibility),
+# 429+Retry-After (queue full) — and check /healthz and the /metrics
+# counters. Used by `make smoke` and the ci.yml service-smoke job, which
+# must stay in lockstep.
+set -euo pipefail
+
+ADDR=${ADDR:-127.0.0.1:18080}
+BASE="http://$ADDR"
+DELAY=${DELAY:-3s}
+
+workdir=$(mktemp -d)
+DPID=
+cleanup() {
+	[ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/streamschedd" ./cmd/streamschedd
+"$workdir/streamschedd" -addr "$ADDR" -workers 1 -queue 0 -debug-solve-delay "$DELAY" &
+DPID=$!
+
+for _ in $(seq 1 100); do
+	curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+	sleep 0.1
+done
+curl -fsS "$BASE/healthz" | jq -e '.status == "ok"' >/dev/null || {
+	echo "FAIL: /healthz not ok" >&2
+	exit 1
+}
+
+cat >"$workdir/feasible.json" <<'EOF'
+{"graph":{"name":"smoke","tasks":[{"name":"a","work":2},{"name":"b","work":3}],"edges":[{"from":0,"to":1,"volume":1}]},"platform":{"speeds":[1,1],"bandwidth":[[0,10],[10,0]]},"options":{"eps":1,"period":20}}
+EOF
+cat >"$workdir/other.json" <<'EOF'
+{"graph":{"name":"smoke2","tasks":[{"name":"a","work":4},{"name":"b","work":5}],"edges":[{"from":0,"to":1,"volume":1}]},"platform":{"speeds":[1,1],"bandwidth":[[0,10],[10,0]]},"options":{"eps":1,"period":20}}
+EOF
+cat >"$workdir/infeasible.json" <<'EOF'
+{"graph":{"name":"heavy","tasks":[{"name":"t","work":100}]},"platform":{"speeds":[1],"bandwidth":[[0]]},"options":{"period":1}}
+EOF
+
+post() { # post <payload> <body-out> [extra curl args...]
+	local payload=$1 out=$2
+	shift 2
+	curl -s -o "$out" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+		--data-binary @"$payload" "$@" "$BASE/v1/solve"
+}
+
+# 1. Occupy the single worker with a slow first solve (expected 200).
+post "$workdir/feasible.json" "$workdir/first.json" >"$workdir/first_code" &
+FIRST=$!
+sleep 1
+
+# 2. A different problem finds the queue full: 429 with Retry-After.
+got=$(post "$workdir/other.json" "$workdir/busy.json" -D "$workdir/headers")
+[ "$got" = 429 ] || {
+	echo "FAIL: queue-full solve returned $got, want 429" >&2
+	exit 1
+}
+grep -qi '^retry-after:' "$workdir/headers" || {
+	echo "FAIL: 429 response missing Retry-After" >&2
+	exit 1
+}
+
+wait "$FIRST"
+[ "$(cat "$workdir/first_code")" = 200 ] || {
+	echo "FAIL: first solve returned $(cat "$workdir/first_code"), want 200" >&2
+	exit 1
+}
+
+# 3. The same problem again: instant 200 served from the result cache.
+got=$(post "$workdir/feasible.json" "$workdir/cached.json")
+[ "$got" = 200 ] || {
+	echo "FAIL: repeat solve returned $got, want 200" >&2
+	exit 1
+}
+jq -e '.cached == true' "$workdir/cached.json" >/dev/null || {
+	echo "FAIL: repeat solve not served from cache" >&2
+	exit 1
+}
+
+# 4. An unsolvable problem: 409 with the classified reason.
+got=$(post "$workdir/infeasible.json" "$workdir/infeasible_resp.json")
+[ "$got" = 409 ] || {
+	echo "FAIL: infeasible solve returned $got, want 409" >&2
+	exit 1
+}
+jq -e '.infeasible.reason == "period-exceeded"' "$workdir/infeasible_resp.json" >/dev/null || {
+	echo "FAIL: 409 response missing the classified reason" >&2
+	exit 1
+}
+
+# 5. Metrics report the cache hit and the rejection.
+curl -fsS "$BASE/metrics" >"$workdir/metrics.json"
+jq -e '.cache.hits == 1' "$workdir/metrics.json" >/dev/null || {
+	echo "FAIL: /metrics does not report the cache hit" >&2
+	exit 1
+}
+jq -e '.queue.rejected == 1' "$workdir/metrics.json" >/dev/null || {
+	echo "FAIL: /metrics does not report the 429 rejection" >&2
+	exit 1
+}
+
+echo "service smoke OK: 200, cached 200, 409 (period-exceeded), 429 (+Retry-After), metrics consistent"

@@ -51,6 +51,7 @@ import (
 	"streamsched/internal/randgraph"
 	"streamsched/internal/rng"
 	"streamsched/internal/schedule"
+	"streamsched/internal/service"
 	"streamsched/internal/sim"
 	"streamsched/internal/trace"
 	"streamsched/internal/tricrit"
@@ -315,6 +316,60 @@ func MaxFailures(ctx context.Context, g *Graph, p *Platform, period, maxLatency 
 // schedulable (the Figure 2 question).
 func MinProcessors(ctx context.Context, g *Graph, p *Platform, eps int, period float64, algo Algorithm) (m int, s *Schedule, err error) {
 	return tricrit.MinProcessors(ctx, g, p, eps, period, algo)
+}
+
+// Scheduling service. cmd/streamschedd serves the whole pipeline over
+// HTTP/JSON — POST /v1/solve, /v1/batch, /v1/simulate plus /healthz and
+// /metrics — with canonical problem hashing, a coalescing LRU result cache
+// and bounded-queue backpressure (DESIGN.md §8). The wire types are
+// re-exported here so clients build requests and decode responses with the
+// same definitions the daemon uses; examples/service is a complete client.
+type (
+	// Service is the embeddable HTTP scheduling service; mount
+	// Service.Handler() on any http.Server. Build with NewService.
+	Service = service.Server
+	// ServiceConfig bounds the service: workers, queue, cache, deadlines.
+	ServiceConfig = service.Config
+	// ServiceMetrics is the GET /metrics document.
+	ServiceMetrics = service.MetricsSnapshot
+
+	// WireGraph/WirePlatform/WireOptions describe one problem on the wire.
+	WireGraph    = service.Graph
+	WireTask     = service.Task
+	WireEdge     = service.Edge
+	WirePlatform = service.Platform
+	WireOptions  = service.Options
+	// WireSolveRequest/Response are the /v1/solve payloads; a response
+	// carries a schedule, a typed infeasibility, or an error.
+	WireSolveRequest  = service.SolveRequest
+	WireSolveResponse = service.SolveResponse
+	// WireBatch types fan many problems through one request.
+	WireBatchRequest  = service.BatchRequest
+	WireBatchProblem  = service.BatchProblem
+	WireBatchResponse = service.BatchResponse
+	// WireSimulate types solve and sweep simulation scenarios.
+	WireSimulateRequest  = service.SimulateRequest
+	WireSimulateResponse = service.SimulateResponse
+	WireScenario         = service.Scenario
+	WireScenarioResult   = service.ScenarioResult
+	// WireInfeasible is the classified "no schedule exists" payload.
+	WireInfeasible = service.Infeasible
+)
+
+// NewService builds the HTTP scheduling service (zero config: GOMAXPROCS
+// workers, 4× queue, 1024-entry cache, 30s deadline).
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewWireGraph converts a graph to its wire form.
+func NewWireGraph(g *Graph) WireGraph { return service.GraphDTO(g) }
+
+// NewWirePlatform converts a platform to its wire form.
+func NewWirePlatform(p *Platform) WirePlatform { return service.PlatformDTO(p) }
+
+// CanonicalProblemHash returns the service's canonical problem hash for
+// (g, p, solver) — the key under which results are cached and coalesced.
+func CanonicalProblemHash(g *Graph, p *Platform, s *Solver) string {
+	return service.ProblemHash(g, p, s)
 }
 
 // Energy accounting (the paper's §6 energy extension).
