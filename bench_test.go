@@ -17,6 +17,7 @@ import (
 	"streamsched"
 	"streamsched/internal/experiments"
 	"streamsched/internal/ltf"
+	"streamsched/internal/oneport"
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
 	"streamsched/internal/rltf"
@@ -252,6 +253,115 @@ func BenchmarkTimelineReserve(b *testing.B) {
 		})
 	}
 }
+
+// populateSystem commits n random reservations onto a fresh m-processor
+// one-port system — the committed-state backdrop for the transactional
+// rollback and availability-cache benchmarks.
+func populateSystem(m, n int) *oneport.System {
+	r := rng.New(29)
+	p := platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 100)
+	s := oneport.NewSystem(p)
+	for i := 0; i < n; i++ {
+		txn := s.Begin()
+		if r.Bool(0.4) {
+			txn.Compute(platform.ProcID(r.IntN(m)), r.Uniform(0.1, 2), r.Uniform(0, 50), "")
+		} else {
+			txn.Transfer(platform.ProcID(r.IntN(m)), platform.ProcID(r.IntN(m)),
+				r.Uniform(1, 40), r.Uniform(0, 50), "")
+		}
+		txn.Commit()
+	}
+	return s
+}
+
+// BenchmarkSnapshotRestore measures the pre-transactional rollback
+// strategy — capture all 3m timelines by deep copy (buffer-reused, as the
+// deleted oneport.SnapshotInto did), then restore by swap — which the
+// reverse-mode retry ladder used to pay per task. Kept as the recorded
+// contrast for BenchmarkTxnRollback: O(total reservations) per rollback
+// point, independent of how little actually changed.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	const m = 20
+	s := populateSystem(m, 2000)
+	var live, snap []*timeline.Timeline
+	for u := 0; u < m; u++ {
+		pu := platform.ProcID(u)
+		live = append(live, s.Comp(pu).Clone(), s.Send(pu).Clone(), s.Recv(pu).Clone())
+	}
+	for range live {
+		snap = append(snap, &timeline.Timeline{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, tl := range live {
+			snap[j].CopyFrom(tl)
+		}
+		live, snap = snap, live // the RestoreSwap analogue
+	}
+}
+
+// BenchmarkTxnRollback measures the journaled replacement on the same
+// committed backdrop: one op takes a rollback mark, commits two replicas'
+// worth of reservations (two transfers and a compute each, the reverse-mode
+// retry shape), and rolls them back — O(changes), not O(total reservations).
+func BenchmarkTxnRollback(b *testing.B) {
+	s := populateSystem(20, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mark := s.Mark()
+		for rep := 0; rep < 2; rep++ {
+			txn := s.Begin()
+			txn.Transfer(1, 5, 30, 10, "")
+			txn.Transfer(2, 5, 20, 15, "")
+			txn.Compute(5, 1.5, 20, "")
+			txn.Commit()
+		}
+		s.Rollback(mark)
+	}
+}
+
+// BenchmarkHeadsAvailCache measures the head-selection availability walk —
+// the earliest common send/recv gap per (source processor × target
+// processor), re-asked with identical arguments between commits — uncached
+// (the raw timeline walk singleCommFinish used to pay every time) and
+// through the system's per-port-pair cache.
+func BenchmarkHeadsAvailCache(b *testing.B) {
+	const m = 20
+	s := populateSystem(m, 2000)
+	readies := make([]float64, m)
+	for u := range readies {
+		readies[u] = float64(3 * u)
+	}
+	sweep := func(query func(from, to platform.ProcID, ready, dur float64) float64) float64 {
+		acc := 0.0
+		for to := 0; to < m; to++ {
+			for from := 0; from < m; from++ {
+				if from != to {
+					acc += query(platform.ProcID(from), platform.ProcID(to), readies[from], 2.5)
+				}
+			}
+		}
+		return acc
+	}
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkFloat = sweep(func(from, to platform.ProcID, ready, dur float64) float64 {
+				return timeline.EarliestCommonGap(ready, dur, s.Send(from), s.Recv(to))
+			})
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkFloat = sweep(s.CommonGap)
+		}
+	})
+}
+
+var sinkFloat float64
 
 // BenchmarkValidate measures the full audit including the exhaustive
 // ε-failure enumeration.

@@ -82,7 +82,7 @@ func (ls *listState) feasible(t dag.TaskID, u platform.ProcID) bool {
 // trial returns the start and finish a placement of t on u would get.
 func (ls *listState) trial(t dag.TaskID, u platform.ProcID) (start, finish float64) {
 	txn := ls.sys.Begin()
-	defer txn.Discard()
+	defer txn.Abort()
 	ready := 0.0
 	for _, e := range ls.g.Pred(t) {
 		src := ls.sched.Replica(schedule.Ref{Task: e.From})

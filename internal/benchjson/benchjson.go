@@ -47,7 +47,11 @@ type Result struct {
 }
 
 // Parse reads `go test -bench` output and collects benchmark results plus
-// the cpu line. Repeated benchmarks (-count > 1) are averaged.
+// the cpu line. For repeated benchmarks (-count > 1), ns/op keeps the
+// fastest repetition — scheduling interference on a loaded machine only
+// ever adds time, so the minimum is the robust estimate of true cost and
+// keeps the regression gate stable on noisy hardware — while memory and
+// custom metrics, which are deterministic per run, are averaged.
 func Parse(r io.Reader) (*File, error) {
 	f := &File{Schema: Schema}
 	type acc struct {
@@ -83,7 +87,7 @@ func Parse(r io.Reader) (*File, error) {
 		}
 		a.n++
 		a.Runs += res.Runs
-		a.NsOp += res.NsOp
+		a.NsOp = min(a.NsOp, res.NsOp)
 		a.BytesOp += res.BytesOp
 		a.AllocsOp += res.AllocsOp
 		for k, v := range res.Metrics {
@@ -100,7 +104,6 @@ func Parse(r io.Reader) (*File, error) {
 		a := byName[name]
 		res := a.Result
 		if a.n > 1 {
-			res.NsOp /= float64(a.n)
 			res.BytesOp /= float64(a.n)
 			res.AllocsOp /= float64(a.n)
 			for k := range res.Metrics {

@@ -9,9 +9,12 @@
 // replicate) cell of a campaign contributes its three scheduling requests
 // (fault-free reference, LTF, R-LTF) to one core.Batch, so the whole
 // campaign's schedules are computed concurrently on a bounded worker pool
-// rather than point by point; the simulation phase then fans the surviving
-// cells across the same worker budget. Cells remain individually seeded, so
-// the results are deterministic for any worker count.
+// rather than point by point; the simulation phase then fans every schedule
+// of the surviving cells (with all its scenarios, on one shared engine)
+// across the same worker budget, so even a single-cell campaign
+// parallelizes. Cells remain individually seeded and every scenario writes
+// to its own result slot, so the results are deterministic for any worker
+// count.
 package experiments
 
 import (
@@ -206,12 +209,19 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 		return nil, err
 	}
 
-	// Phase 3: simulate the cells where all three schedulers succeeded,
-	// fanned across the same worker budget.
+	// Phase 3: simulate the cells where all three schedulers succeeded.
+	// Scenario sharding: every schedule of every surviving cell is its own
+	// work unit on the pool (three per cell), so even a single-cell campaign
+	// (interactive use) spreads across the workers instead of running its
+	// scenarios serially. The unit is the schedule, not the single scenario:
+	// each unit builds one engine and runs all of that schedule's scenarios
+	// on it, keeping the schedule-to-tables conversion at once per schedule
+	// (engines are not safe for concurrent Run calls, so finer sharding
+	// would rebuild the engine per scenario). Every scenario writes to its
+	// own result slot, which keeps the campaign deterministic for any worker
+	// count.
 	results := make([]instanceResult, len(cells))
-	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	var jobs []simJob
 	for i := range cells {
 		ff, ls, rs := solved[3*i], solved[3*i+1], solved[3*i+2]
 		// Only classified infeasibility counts as "the algorithm failed";
@@ -227,13 +237,19 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 		if results[i].ffF || results[i].ltfFail || results[i].rltfFail {
 			continue
 		}
+		jobs = append(jobs, scenarioJobs(&results[i], cells[i], ff.Schedule, ls.Schedule, rs.Schedule)...)
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for j := range jobs {
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, ff, ls, rs *schedule.Schedule) {
+		go func(j int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = measure(ctx, &results[i], cells[i], ff, ls, rs)
-		}(i, ff.Schedule, ls.Schedule, rs.Schedule)
+			errs[j] = runScenarios(ctx, jobs[j])
+		}(j)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -256,8 +272,28 @@ func Run(ctx context.Context, cfg Config) ([]Point, error) {
 	return points, nil
 }
 
-// measure fills one cell's measurements from the simulator.
-func measure(ctx context.Context, res *instanceResult, c cell, ff, ls, rs *schedule.Schedule) error {
+// simJob is one schedule's simulation work in the campaign's fan-out: the
+// schedule plus every scenario (crash set × semantics) to run on it, all
+// sharing one engine. Jobs of one cell write to distinct fields of its
+// instanceResult, so they run concurrently without coordination.
+type simJob struct {
+	s     *schedule.Schedule
+	scens []scenario
+}
+
+// scenario is one simulator configuration of a job and the result slot its
+// mean latency lands in.
+type scenario struct {
+	out     *float64
+	crashed []platform.ProcID
+	sync    bool
+}
+
+// scenarioJobs fills one surviving cell's static measurements and returns
+// its simulation work units: one per schedule, carrying 2 scenarios (plus 2
+// crash scenarios per replicated schedule when the cell crashes
+// processors).
+func scenarioJobs(res *instanceResult, c cell, ff, ls, rs *schedule.Schedule) []simJob {
 	res.ltfBound = ls.LatencyBound()
 	res.rltfBound = rs.LatencyBound()
 	res.ffBound = ff.LatencyBound()
@@ -265,46 +301,34 @@ func measure(ctx context.Context, res *instanceResult, c cell, ff, ls, rs *sched
 	res.rltfStages = float64(rs.Stages())
 	res.ltfComms = float64(ls.CrossComms())
 	res.rltfComms = float64(rs.CrossComms())
+	res.ok = true
 
-	// One simulation engine per schedule: every scenario of a cell reuses
-	// the engine's derived schedule tables and state buffers, so a campaign
-	// pays the schedule-to-tables conversion once per schedule instead of
-	// once per sim.Run.
-	type simRun struct {
-		out     *float64
-		crashed []platform.ProcID
-		sync    bool
+	ffJob := simJob{ff, []scenario{{&res.ffSim0, nil, false}, {&res.ffSync0, nil, true}}}
+	lsJob := simJob{ls, []scenario{{&res.ltfSim0, nil, false}, {&res.ltfSync0, nil, true}}}
+	rsJob := simJob{rs, []scenario{{&res.rltfSim0, nil, false}, {&res.rltfSync0, nil, true}}}
+	if len(c.crashed) > 0 {
+		lsJob.scens = append(lsJob.scens,
+			scenario{&res.ltfSimC, c.crashed, false}, scenario{&res.ltfSyncC, c.crashed, true})
+		rsJob.scens = append(rsJob.scens,
+			scenario{&res.rltfSimC, c.crashed, false}, scenario{&res.rltfSyncC, c.crashed, true})
 	}
-	mkRuns := func(sim0, sync0, simC, syncC *float64) []simRun {
-		runs := []simRun{{sim0, nil, false}, {sync0, nil, true}}
-		if len(c.crashed) > 0 && simC != nil {
-			runs = append(runs,
-				simRun{simC, c.crashed, false},
-				simRun{syncC, c.crashed, true})
-		}
-		return runs
+	return []simJob{ffJob, lsJob, rsJob}
+}
+
+// runScenarios executes one simulation work unit: every scenario of one
+// schedule, on one shared engine.
+func runScenarios(ctx context.Context, job simJob) error {
+	eng, err := sim.NewEngine(job.s)
+	if err != nil {
+		return err
 	}
-	for _, sr := range []struct {
-		s    *schedule.Schedule
-		runs []simRun
-	}{
-		{ff, mkRuns(&res.ffSim0, &res.ffSync0, nil, nil)},
-		{ls, mkRuns(&res.ltfSim0, &res.ltfSync0, &res.ltfSimC, &res.ltfSyncC)},
-		{rs, mkRuns(&res.rltfSim0, &res.rltfSync0, &res.rltfSimC, &res.rltfSyncC)},
-	} {
-		eng, err := sim.NewEngine(sr.s)
+	for _, sc := range job.scens {
+		lat, err := meanLatency(ctx, eng, sc.crashed, sc.sync)
 		if err != nil {
 			return err
 		}
-		for _, r := range sr.runs {
-			lat, err := meanLatency(ctx, eng, r.crashed, r.sync)
-			if err != nil {
-				return err
-			}
-			*r.out = lat
-		}
+		*sc.out = lat
 	}
-	res.ok = true
 	return nil
 }
 

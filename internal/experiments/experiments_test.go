@@ -83,6 +83,40 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestScenarioShardingDeterministic pins the scenario fan-out contract: a
+// single-cell campaign (the interactive case the sharding exists for) and a
+// multi-cell campaign must produce identical points for any worker count.
+func TestScenarioShardingDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep; skipped in -short mode")
+	}
+	for name, cfg := range map[string]Config{
+		"single-cell": func() Config {
+			c := miniConfig(1, 1)
+			c.GraphsPerPoint = 1
+			c.Granularities = []float64{1.0}
+			return c
+		}(),
+		"multi-cell": miniConfig(1, 1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			serial, wide := cfg, cfg
+			serial.Workers = 1
+			wide.Workers = 16
+			a := mustRun(t, serial)
+			b := mustRun(t, wide)
+			if len(a) != len(b) {
+				t.Fatalf("point counts differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("point %d differs between Workers=1 and Workers=16:\n%+v\n%+v", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
 func TestSeriesColumns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep; skipped in -short mode")

@@ -68,7 +68,8 @@ func run(ctx context.Context, st *mapper.State, chunkSize int, better mapper.Bet
 // one-to-one procedure or every copy through the fallback — because a
 // mixture would leave the consumers that are no chain's head fed only by
 // the fallback copies, an untracked vulnerability (see mapper's discipline
-// note). A mid-way one-to-one failure rolls the task back via snapshot.
+// note). A mid-way one-to-one failure rolls the task back through the task
+// transaction's journal mark.
 func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -122,7 +123,8 @@ func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor fun
 // comparator first; if the aggressive merging runs the chains into a wall,
 // a full chain with the finish-time comparator (which spreads load); and
 // only then the all-fallback placement with its (ε+1)²-per-edge
-// communications. Each failed rung rolls back through a snapshot.
+// communications. Each failed rung rolls back through the task transaction
+// (journaled undo, O(changes)).
 func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better) error {
 	if !st.OneToOneOff && st.Theta(st.Pools(t)) >= st.Eps+1 {
 		for rung := 0; rung < 2; rung++ {
@@ -131,7 +133,7 @@ func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better)
 				b = mapper.MinFinish
 			}
 			pools := st.Pools(t)
-			snap := st.Snapshot(t)
+			st.BeginTask(t)
 			ok := true
 			for n := 0; n <= st.Eps; n++ {
 				if !st.OneToOne(t, n, pools, b) {
@@ -140,10 +142,10 @@ func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better)
 				}
 			}
 			if ok {
-				st.Release(snap)
+				st.CommitTask()
 				return nil
 			}
-			st.Restore(snap)
+			st.AbortTask()
 		}
 	}
 	for n := 0; n <= st.Eps; n++ {

@@ -264,19 +264,19 @@ func TestFallbackInfeasible(t *testing.T) {
 	}
 }
 
-func TestSnapshotRestore(t *testing.T) {
+func TestTaskTransactionRollback(t *testing.T) {
 	g := chainAB()
 	st := newState(t, g, 4, 1, 100)
 	st.ReverseMode = true
 	pools := st.Pools(dag.TaskID(0))
-	snapBefore := st.Snapshot(0)
+	st.BeginTask(0)
 	if !st.OneToOne(0, 0, pools, MinFinish) {
 		t.Fatal("one-to-one failed")
 	}
 	if st.Sched.Replica(schedule.Ref{Task: 0, Copy: 0}) == nil {
 		t.Fatal("replica missing after placement")
 	}
-	st.Restore(snapBefore)
+	st.AbortTask()
 	if st.Sched.Replica(schedule.Ref{Task: 0, Copy: 0}) != nil {
 		t.Fatal("replica survived rollback")
 	}

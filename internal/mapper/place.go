@@ -6,10 +6,8 @@ import (
 	"streamsched/internal/bitset"
 	"streamsched/internal/dag"
 	"streamsched/internal/infeas"
-	"streamsched/internal/oneport"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
-	"streamsched/internal/timeline"
 )
 
 // Reliability discipline
@@ -107,8 +105,8 @@ func (st *State) orderSources(sources []schedule.Ref) []schedule.Ref {
 // TrialFinish simulates placing a replica of t on u with the given sources
 // and returns the finish time, without mutating anything.
 func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) float64 {
-	txn := st.Sys.Pooled()
-	defer txn.Discard()
+	txn := st.Sys.Begin()
+	defer txn.Abort()
 	ready := 0.0
 	for _, src := range st.orderSources(sources) {
 		r := st.Sched.Replica(src)
@@ -128,7 +126,7 @@ func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule
 // caller's job (commitChain/commitFallback).
 func (st *State) CommitPlace(t dag.TaskID, copy int, u platform.ProcID, sources []schedule.Ref) *schedule.Replica {
 	ref := schedule.Ref{Task: t, Copy: copy}
-	txn := st.Sys.Pooled()
+	txn := st.Sys.Begin()
 	ready := 0.0
 	st.commBuf = st.commBuf[:0]
 	for _, src := range st.orderSources(sources) {
@@ -209,15 +207,17 @@ func (st *State) Theta(pools [][]schedule.Ref) int {
 }
 
 // singleCommFinish returns the earliest finish of a single transfer from
-// src's processor to u, against the committed port state (read-only).
+// src's processor to u, against the committed port state (read-only). The
+// walk goes through the system's per-port-pair availability cache: head
+// selection re-derives this quantity for every (pool candidate × processor)
+// across copies and retry rungs, and between commits the answer repeats.
 func (st *State) singleCommFinish(src schedule.Ref, t dag.TaskID, u platform.ProcID) float64 {
 	r := st.Sched.Replica(src)
 	if r.Proc == u {
 		return r.Finish
 	}
 	dur := st.P.CommTime(st.volume(src.Task, t), r.Proc, u)
-	start := timeline.EarliestCommonGap(r.Finish, dur, st.Sys.Send(r.Proc), st.Sys.Recv(u))
-	return start + dur
+	return st.Sys.CommonGap(r.Proc, u, r.Finish, dur) + dur
 }
 
 // siblingVuln returns the union of the vulnerability sets of the other
@@ -552,52 +552,54 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 	return nil
 }
 
-// TaskSnapshot captures everything a task's replica placements mutate, so a
-// partially chained task can be rolled back and retried in all-fallback mode
-// (reverse construction must never mix chain and fallback copies of one
-// task: consumers that are no chain's head would then receive inputs only
-// from the fallback copies, an untracked vulnerability — see the discipline
-// note above). Snapshots come from a free list on State and return to it
-// through Restore or Release, so the reverse-mode retry ladder reuses one
-// set of buffers for the whole construction.
-type TaskSnapshot struct {
-	task             dag.TaskID
-	sys              *oneport.Snapshot
-	sigma, cin, cout []float64
-	claims           bitset.Set
-	copyProcs        bitset.Set
-}
-
-// Snapshot captures the rollback state before placing task t's replicas.
-func (st *State) Snapshot(t dag.TaskID) *TaskSnapshot {
-	var snap *TaskSnapshot
-	if n := len(st.snapFree); n > 0 {
-		snap = st.snapFree[n-1]
-		st.snapFree = st.snapFree[:n-1]
-	} else {
-		snap = &TaskSnapshot{sys: &oneport.Snapshot{}}
+// BeginTask opens the task transaction covering everything task t's replica
+// placements mutate, so a partially chained task can be rolled back and
+// retried in all-fallback mode (reverse construction must never mix chain
+// and fallback copies of one task: consumers that are no chain's head would
+// then receive inputs only from the fallback copies, an untracked
+// vulnerability — see the discipline note above). The one-port side is a
+// journal mark — AbortTask rewinds the timelines in O(changes) instead of
+// restoring a 3m-timeline deep copy; the small per-processor load vectors
+// and the claims span are still captured by value into State-owned scratch.
+// At most one task transaction is live at a time (the retry ladder is
+// sequential); close it with CommitTask or AbortTask.
+func (st *State) BeginTask(t dag.TaskID) {
+	if st.snapLive {
+		panic("mapper: BeginTask while a task transaction is live")
 	}
-	snap.task = t
-	st.Sys.SnapshotInto(snap.sys)
-	snap.sigma = append(snap.sigma[:0], st.Sigma...)
-	snap.cin = append(snap.cin[:0], st.CIn...)
-	snap.cout = append(snap.cout[:0], st.COut...)
-	snap.claims = st.claims.Snapshot(snap.claims)
-	snap.copyProcs = append(snap.copyProcs[:0], st.copyProcs.At(int(t))...)
-	return snap
+	st.snapLive = true
+	st.snapTask = t
+	st.snapMark = st.Sys.Mark()
+	st.snapSigma = append(st.snapSigma[:0], st.Sigma...)
+	st.snapCIn = append(st.snapCIn[:0], st.CIn...)
+	st.snapCOut = append(st.snapCOut[:0], st.COut...)
+	st.snapClaims = st.claims.Snapshot(st.snapClaims)
+	st.snapCopyProcs = append(st.snapCopyProcs[:0], st.copyProcs.At(int(t))...)
 }
 
-// Restore rolls the state back to the snapshot, withdrawing any replicas of
-// the snapshot's task placed since, and recycles the snapshot. A snapshot
-// may be restored at most once.
-func (st *State) Restore(snap *TaskSnapshot) {
-	st.Sys.RestoreSwap(snap.sys)
-	copy(st.Sigma, snap.sigma)
-	copy(st.CIn, snap.cin)
-	copy(st.COut, snap.cout)
-	st.claims.Restore(snap.claims)
-	st.copyProcs.At(int(snap.task)).CopyFrom(snap.copyProcs)
-	for _, ref := range schedule.ReplicaRefs(snap.task, st.Eps) {
+// CommitTask closes the task transaction, keeping every placement made
+// since BeginTask.
+func (st *State) CommitTask() {
+	if !st.snapLive {
+		panic("mapper: CommitTask without a live task transaction")
+	}
+	st.snapLive = false
+}
+
+// AbortTask rolls the state back to the BeginTask point, withdrawing any
+// replicas of the transaction's task placed since.
+func (st *State) AbortTask() {
+	if !st.snapLive {
+		panic("mapper: AbortTask without a live task transaction")
+	}
+	st.snapLive = false
+	st.Sys.Rollback(st.snapMark)
+	copy(st.Sigma, st.snapSigma)
+	copy(st.CIn, st.snapCIn)
+	copy(st.COut, st.snapCOut)
+	st.claims.Restore(st.snapClaims)
+	st.copyProcs.At(int(st.snapTask)).CopyFrom(st.snapCopyProcs)
+	for _, ref := range schedule.ReplicaRefs(st.snapTask, st.Eps) {
 		if st.Sched.Replica(ref) != nil {
 			st.Sched.RemoveReplica(ref)
 		}
@@ -605,14 +607,6 @@ func (st *State) Restore(snap *TaskSnapshot) {
 		st.stage[i] = 0
 		st.supp[i] = nil
 	}
-	st.Release(snap)
-}
-
-// Release returns an unrestored snapshot's buffers to the free list. Restore
-// recycles its snapshot itself; call Release on the snapshots of attempts
-// that succeeded and will never roll back.
-func (st *State) Release(snap *TaskSnapshot) {
-	st.snapFree = append(st.snapFree, snap)
 }
 
 // MaxPredStage returns the largest stage number among the placed replicas of

@@ -132,7 +132,19 @@ type State struct {
 	chunkBuf    []dag.TaskID      // PopChunk result
 	commBuf     []schedule.Comm   // CommitPlace: staged incoming comms
 	tagBuf      []byte            // commTag assembly
-	snapFree    []*TaskSnapshot   // snapshot free list
+
+	// Task-transaction scratch (BeginTask/AbortTask). The retry ladder holds
+	// at most one task transaction at a time, so one set of buffers serves
+	// the whole construction; the one-port side needs no buffers at all —
+	// the journal mark snapMark rewinds it in O(changes).
+	snapLive      bool
+	snapTask      dag.TaskID
+	snapMark      oneport.Mark
+	snapSigma     []float64
+	snapCIn       []float64
+	snapCOut      []float64
+	snapClaims    bitset.Set
+	snapCopyProcs bitset.Set
 }
 
 // predEdge is one (predecessor, volume) entry of predVol.
@@ -409,7 +421,7 @@ func (st *State) evalCandidate(t dag.TaskID, u platform.ProcID, sources []schedu
 	}
 	cand = Candidate{Proc: u, Stage: stage, Sources: sources}
 	if trial {
-		txn := st.Sys.Pooled()
+		txn := st.Sys.Begin()
 		ready := 0.0
 		for i, src := range ordered {
 			r := st.Sched.Replica(src)
@@ -418,7 +430,7 @@ func (st *State) evalCandidate(t dag.TaskID, u platform.ProcID, sources []schedu
 			}
 		}
 		_, fin := txn.Compute(u, st.G.Task(t).Work, ready, "")
-		txn.Discard()
+		txn.Abort()
 		cand.Finish = fin
 	}
 	return cand, true, infeas.ReasonUnknown

@@ -7,11 +7,21 @@
 // so transfers reserve a common window on the sender's send-port timeline
 // and the receiver's receive-port timeline.
 //
-// Schedulers explore candidate placements ("simulate the mapping of each
-// task in the subset on all processors", Algorithm 4.1); the Txn type makes
-// those trials cheap and side-effect free: a transaction lazily clones only
-// the timelines it touches, serializes its own operations against each
-// other, and either commits atomically or is dropped.
+// State is transactional rather than copy-based: every timeline is
+// journaled, a Mark captures the system at a point in time as a single
+// integer, and Rollback(mark) rewinds in O(reservations undone). The Txn
+// type wraps a mark for the schedulers' trial placements ("simulate the
+// mapping of each task in the subset on all processors", Algorithm 4.1):
+// a transaction reserves directly on the committed timelines — seeing both
+// committed state and its own reservations — and either Commits (keeps
+// them) or Aborts (pops them off the journal). Transactions and marks must
+// unwind LIFO. The former design cloned every touched timeline per trial
+// and deep-copied all 3m timelines per retry snapshot; the journal replaces
+// both (DESIGN.md §7, "Transactional timelines").
+//
+// Because a system is single-goroutine during a construction, readers of
+// Comp/Send/Recv observe a live transaction's tentative reservations until
+// it resolves; query committed state only between transactions.
 package oneport
 
 import (
@@ -21,29 +31,82 @@ import (
 	"streamsched/internal/timeline"
 )
 
+// opKind identifies which of a processor's three timelines a journaled
+// reservation hit.
+type opKind uint32
+
+const (
+	opComp opKind = iota
+	opSend
+	opRecv
+)
+
+// opRec packs (kind, processor) of one journaled reservation.
+type opRec uint32
+
+func op(k opKind, u platform.ProcID) opRec { return opRec(uint32(k)<<24 | uint32(u)) }
+
+func (o opRec) kind() opKind          { return opKind(o >> 24) }
+func (o opRec) proc() platform.ProcID { return platform.ProcID(o & 0xffffff) }
+
+// Mark is a rollback point: the system journal position at Mark() time.
+type Mark int
+
+// gapEntry memoizes one CommonGap query against a (send, recv) port pair,
+// validated by the ports' mutation sequence numbers.
+type gapEntry struct {
+	ready, dur, start float64
+	sendSeq, recvSeq  uint64
+	valid             bool
+}
+
 // System tracks per-processor compute, send-port and receive-port timelines
-// over one schedule construction.
+// over one schedule construction. It is not safe for concurrent use.
 type System struct {
-	plat   *platform.Platform
-	comp   []*timeline.Timeline
-	send   []*timeline.Timeline
-	recv   []*timeline.Timeline
-	pooled *Txn // reusable trial transaction, see Pooled
+	plat *platform.Platform
+	comp []*timeline.Timeline
+	send []*timeline.Timeline
+	recv []*timeline.Timeline
+
+	// seq is the shared mutation counter all timelines draw their sequence
+	// numbers from; ops is the system-wide journal recording which timeline
+	// each reservation hit, in order, so Rollback knows where to undo.
+	seq uint64
+	ops []opRec
+	// live counts open transactions. While a transaction is live the
+	// committed timelines carry tentative reservations, so the gap cache
+	// skips stores (lookups stay sound: entries are validated by sequence
+	// numbers, and tentative mutations always move them).
+	live int
+	// genCtr numbers every transaction ever begun; openGen is the
+	// generation of the innermost open one (0 = none). Together they catch
+	// stale Txn copies and non-LIFO use — see Txn.checkOpen.
+	genCtr, openGen uint64
+
+	// gapCache memoizes CommonGap per (receiver, sender) port pair. Entries
+	// are invalidated only by commits touching the pair's ports: an aborted
+	// trial restores the sequence numbers it bumped, so the cache survives
+	// the candidate sweeps between commits.
+	gapCache []gapEntry
 }
 
 // NewSystem returns an empty System for the platform.
 func NewSystem(p *platform.Platform) *System {
 	m := p.NumProcs()
 	s := &System{
-		plat: p,
-		comp: make([]*timeline.Timeline, m),
-		send: make([]*timeline.Timeline, m),
-		recv: make([]*timeline.Timeline, m),
+		plat:     p,
+		comp:     make([]*timeline.Timeline, m),
+		send:     make([]*timeline.Timeline, m),
+		recv:     make([]*timeline.Timeline, m),
+		gapCache: make([]gapEntry, m*m),
 	}
 	for u := 0; u < m; u++ {
 		s.comp[u] = &timeline.Timeline{}
 		s.send[u] = &timeline.Timeline{}
 		s.recv[u] = &timeline.Timeline{}
+		s.comp[u].EnableJournal(&s.seq)
+		s.send[u].EnableJournal(&s.seq)
+		s.recv[u].EnableJournal(&s.seq)
 	}
 	return s
 }
@@ -73,107 +136,79 @@ func (s *System) Horizon() float64 {
 	return h
 }
 
-// Txn is an uncommitted view of the system. Operations performed through a
-// Txn see both committed state and the transaction's own reservations, but
-// never affect the parent System until Commit. A Txn must not outlive
-// intervening commits of other transactions on the same System.
+// Mark returns the current rollback point. The mark stays valid until a
+// Rollback past it; marks must unwind LIFO.
+func (s *System) Mark() Mark { return Mark(len(s.ops)) }
+
+// Rollback undoes every reservation made since the mark — committed or not
+// — most recent first, in O(reservations undone). The reverse-mode retry
+// ladder rolls whole tasks back this way. Marks must unwind LIFO; a mark
+// past the journal (already rolled back, or used out of order) panics
+// rather than silently resurrecting undone journal entries.
+func (s *System) Rollback(m Mark) {
+	if m < 0 || int(m) > len(s.ops) {
+		panic("oneport: rollback to a mark past the journal (non-LIFO mark use)")
+	}
+	for i := len(s.ops) - 1; i >= int(m); i-- {
+		rec := s.ops[i]
+		u := rec.proc()
+		switch rec.kind() {
+		case opComp:
+			s.comp[u].Undo()
+		case opSend:
+			s.send[u].Undo()
+		default:
+			s.recv[u].Undo()
+		}
+	}
+	s.ops = s.ops[:m]
+}
+
+// CommonGap returns the earliest start s ≥ ready such that [s, s+dur) is
+// simultaneously free on from's send port and to's receive port — the
+// placement primitive for one-port transfers, and the quantity the head
+// selection re-derives for every (pool candidate × processor) pair. Results
+// are memoized per port pair and invalidated only when a commit touches the
+// pair's ports.
+func (s *System) CommonGap(from, to platform.ProcID, ready, dur float64) float64 {
+	st, rt := s.send[from], s.recv[to]
+	e := &s.gapCache[int(to)*len(s.send)+int(from)]
+	if e.valid && e.sendSeq == st.Seq() && e.recvSeq == rt.Seq() &&
+		e.ready == ready && e.dur == dur {
+		return e.start
+	}
+	start := timeline.EarliestCommonGap(ready, dur, st, rt)
+	if s.live == 0 {
+		*e = gapEntry{ready: ready, dur: dur, start: start,
+			sendSeq: st.Seq(), recvSeq: rt.Seq(), valid: true}
+	}
+	return start
+}
+
+// Txn is a transaction over the system: a rollback mark plus the operations
+// performed since. Reservations land directly on the committed timelines,
+// so a transaction sees committed state and its own reservations; Commit
+// keeps them, Abort pops them off the journal in O(changes). Transactions
+// must resolve LIFO and the system is single-goroutine, so at most one
+// chain of nested transactions is live at a time — only the innermost open
+// transaction may operate or resolve. A Txn must not be copied: each use is
+// checked against the system's open-transaction generation, so a stale copy
+// (whose original already resolved) panics instead of silently rolling back
+// another transaction's work.
 type Txn struct {
-	sys     *System
-	comp    []*timeline.Timeline // nil until touched
-	send    []*timeline.Timeline
-	recv    []*timeline.Timeline
-	cache   *txnCache // clone buffers for the pooled transaction, nil otherwise
-	touched bool
-	done    bool
+	sys      *System
+	mark     Mark
+	gen, par uint64 // this txn's generation and its parent's (0 = none)
+	done     bool
 }
 
-// txnCache retains the timeline clones a pooled transaction made, so the
-// next reuse refreshes them with CopyFrom instead of allocating. A buffer
-// leaves the cache when Commit hands it to the System.
-type txnCache struct {
-	comp, send, recv []*timeline.Timeline
-}
-
-// Begin opens a one-shot transaction.
-func (s *System) Begin() *Txn {
-	m := s.plat.NumProcs()
-	return &Txn{
-		sys:  s,
-		comp: make([]*timeline.Timeline, m),
-		send: make([]*timeline.Timeline, m),
-		recv: make([]*timeline.Timeline, m),
-	}
-}
-
-// Pooled returns the system's reusable transaction, reset and ready. The
-// schedulers trial every candidate placement through a transaction; the
-// pooled one recycles both the overlay slices and the timeline clone
-// buffers, making a discarded trial allocation-free in steady state. At most
-// one pooled transaction may be live at a time (Commit or Discard it before
-// the next Pooled call); use Begin for nested or concurrent trials.
-func (s *System) Pooled() *Txn {
-	if s.pooled == nil {
-		t := s.Begin()
-		m := s.plat.NumProcs()
-		t.cache = &txnCache{
-			comp: make([]*timeline.Timeline, m),
-			send: make([]*timeline.Timeline, m),
-			recv: make([]*timeline.Timeline, m),
-		}
-		s.pooled = t
-		return t
-	}
-	t := s.pooled
-	if !t.done {
-		panic("oneport: Pooled called while the pooled transaction is live")
-	}
-	clear(t.comp)
-	clear(t.send)
-	clear(t.recv)
-	t.touched = false
-	t.done = false
+// Begin opens a transaction at the current journal position.
+func (s *System) Begin() Txn {
+	s.live++
+	s.genCtr++
+	t := Txn{sys: s, mark: s.Mark(), gen: s.genCtr, par: s.openGen}
+	s.openGen = t.gen
 	return t
-}
-
-// overlay returns the transaction's private copy of committed[u], cloning it
-// on first touch (through the cache for pooled transactions).
-func overlay(t *Txn, over, cache []*timeline.Timeline, committed *timeline.Timeline, u platform.ProcID) *timeline.Timeline {
-	if over[u] == nil {
-		if cache != nil && cache[u] != nil {
-			cache[u].CopyFrom(committed)
-			over[u] = cache[u]
-		} else {
-			over[u] = committed.Clone()
-			if cache != nil {
-				cache[u] = over[u]
-			}
-		}
-	}
-	return over[u]
-}
-
-func (t *Txn) compTL(u platform.ProcID) *timeline.Timeline {
-	var cache []*timeline.Timeline
-	if t.cache != nil {
-		cache = t.cache.comp
-	}
-	return overlay(t, t.comp, cache, t.sys.comp[u], u)
-}
-
-func (t *Txn) sendTL(u platform.ProcID) *timeline.Timeline {
-	var cache []*timeline.Timeline
-	if t.cache != nil {
-		cache = t.cache.send
-	}
-	return overlay(t, t.send, cache, t.sys.send[u], u)
-}
-
-func (t *Txn) recvTL(u platform.ProcID) *timeline.Timeline {
-	var cache []*timeline.Timeline
-	if t.cache != nil {
-		cache = t.cache.recv
-	}
-	return overlay(t, t.recv, cache, t.sys.recv[u], u)
 }
 
 // Transfer reserves the earliest window for moving vol data units from
@@ -198,13 +233,13 @@ func (t *Txn) TransferDur(from, to platform.ProcID, dur, ready float64, tag stri
 	if dur == 0 {
 		return ready, ready
 	}
-	st := t.sendTL(from)
-	rt := t.recvTL(to)
-	start = timeline.EarliestCommonGap(ready, dur, st, rt)
+	s := t.sys
+	start = s.CommonGap(from, to, ready, dur)
 	iv := timeline.Interval{Start: start, End: start + dur, Tag: tag}
-	st.MustReserve(iv)
-	rt.MustReserve(iv)
-	t.touched = true
+	s.send[from].MustReserve(iv)
+	s.ops = append(s.ops, op(opSend, from))
+	s.recv[to].MustReserve(iv)
+	s.ops = append(s.ops, op(opRecv, to))
 	return start, start + dur
 }
 
@@ -212,110 +247,49 @@ func (t *Txn) TransferDur(from, to platform.ProcID, dur, ready float64, tag stri
 // work, no earlier than ready, and returns the slot.
 func (t *Txn) Compute(u platform.ProcID, work, ready float64, tag string) (start, finish float64) {
 	t.checkOpen()
-	dur := t.sys.plat.ExecTime(work, u)
-	tl := t.compTL(u)
+	s := t.sys
+	dur := s.plat.ExecTime(work, u)
+	tl := s.comp[u]
 	start = tl.EarliestGap(ready, dur)
-	tl.MustReserve(timeline.Interval{Start: start, End: start + dur, Tag: tag})
-	t.touched = true
+	if dur != 0 {
+		tl.MustReserve(timeline.Interval{Start: start, End: start + dur, Tag: tag})
+		s.ops = append(s.ops, op(opComp, u))
+	}
 	return start, start + dur
 }
 
-// Commit applies the transaction's reservations to the parent System.
-// The transaction cannot be used afterwards. Committed overlays leave the
-// pooled transaction's cache — the System owns them now.
+// Commit keeps the transaction's reservations. The transaction cannot be
+// used afterwards.
 func (t *Txn) Commit() {
 	t.checkOpen()
-	for u := range t.comp {
-		if t.comp[u] != nil {
-			t.sys.comp[u] = t.comp[u]
-			if t.cache != nil {
-				t.cache.comp[u] = nil
-			}
-		}
-		if t.send[u] != nil {
-			t.sys.send[u] = t.send[u]
-			if t.cache != nil {
-				t.cache.send[u] = nil
-			}
-		}
-		if t.recv[u] != nil {
-			t.sys.recv[u] = t.recv[u]
-			if t.cache != nil {
-				t.cache.recv[u] = nil
-			}
-		}
-	}
 	t.done = true
+	t.sys.live--
+	t.sys.openGen = t.par
 }
 
-// Discard drops the transaction. Safe to call on a committed transaction
-// (no-op) so callers can defer it.
-func (t *Txn) Discard() { t.done = true }
+// Abort rolls the transaction's reservations back off the journal. Safe to
+// call on a committed transaction (no-op) so callers can defer it.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.checkOpen()
+	t.sys.Rollback(t.mark)
+	t.done = true
+	t.sys.live--
+	t.sys.openGen = t.par
+}
 
+// checkOpen panics unless t is the innermost open transaction: finished
+// transactions, stale copies of resolved ones, and out-of-LIFO use (an
+// outer transaction operating while an inner one is live) are all bugs
+// that would otherwise corrupt the shared journal silently.
 func (t *Txn) checkOpen() {
 	if t.done {
 		panic("oneport: use of finished transaction")
 	}
-}
-
-// Snapshot captures a deep copy of every timeline, for coarse-grained
-// rollback (R-LTF retries a task's whole replica set in fallback mode when a
-// one-to-one chain attempt fails mid-way).
-type Snapshot struct {
-	comp, send, recv []*timeline.Timeline
-}
-
-// Snapshot returns a restorable copy of the current reservations.
-func (s *System) Snapshot() *Snapshot {
-	snap := &Snapshot{}
-	s.SnapshotInto(snap)
-	return snap
-}
-
-// SnapshotInto captures the current reservations into snap, reusing snap's
-// timeline buffers from an earlier capture or an earlier RestoreSwap. The
-// reverse-mode retry ladder snapshots every task; buffer reuse keeps that
-// off the allocator.
-func (s *System) SnapshotInto(snap *Snapshot) {
-	m := len(s.comp)
-	if snap.comp == nil {
-		snap.comp = make([]*timeline.Timeline, m)
-		snap.send = make([]*timeline.Timeline, m)
-		snap.recv = make([]*timeline.Timeline, m)
-	}
-	for u := 0; u < m; u++ {
-		snap.comp[u] = copyTL(snap.comp[u], s.comp[u])
-		snap.send[u] = copyTL(snap.send[u], s.send[u])
-		snap.recv[u] = copyTL(snap.recv[u], s.recv[u])
-	}
-}
-
-func copyTL(dst, src *timeline.Timeline) *timeline.Timeline {
-	if dst == nil {
-		return src.Clone()
-	}
-	dst.CopyFrom(src)
-	return dst
-}
-
-// Restore rewinds the system to a previously captured snapshot. The system
-// takes ownership of the snapshot's timelines: a snapshot may be restored at
-// most once.
-func (s *System) Restore(snap *Snapshot) {
-	copy(s.comp, snap.comp)
-	copy(s.send, snap.send)
-	copy(s.recv, snap.recv)
-}
-
-// RestoreSwap rewinds the system to the snapshot by exchanging timelines:
-// the snapshot ends up holding the abandoned post-snapshot state, which a
-// later SnapshotInto overwrites in place. Unlike Restore, the snapshot stays
-// usable as a buffer — but its contents are no longer the captured state.
-func (s *System) RestoreSwap(snap *Snapshot) {
-	for u := range s.comp {
-		s.comp[u], snap.comp[u] = snap.comp[u], s.comp[u]
-		s.send[u], snap.send[u] = snap.send[u], s.send[u]
-		s.recv[u], snap.recv[u] = snap.recv[u], s.recv[u]
+	if t.sys.openGen != t.gen {
+		panic("oneport: transaction is not the innermost open one (stale copy or non-LIFO use)")
 	}
 }
 

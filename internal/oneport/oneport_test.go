@@ -121,7 +121,7 @@ func TestTrialIsolation(t *testing.T) {
 	trial := s.Begin()
 	trial.Compute(0, 10, 0, "")
 	trial.Transfer(0, 1, 5, 0, "")
-	trial.Discard()
+	trial.Abort()
 	if s.Comp(0).Len() != 0 || s.Send(0).Len() != 0 {
 		t.Fatal("discarded trial leaked into system")
 	}
@@ -137,7 +137,7 @@ func TestTrialSeesCommittedState(t *testing.T) {
 	if st != 10 {
 		t.Fatalf("trial ignored committed busy interval: start %v", st)
 	}
-	trial.Discard()
+	trial.Abort()
 }
 
 func TestCommitThenReuseDetected(t *testing.T) {
@@ -202,7 +202,7 @@ func TestValidateAfterRandomOps(t *testing.T) {
 			txn.Transfer(u, v, r.Uniform(0, 100), ready, "")
 		}
 		if r.Bool(0.3) {
-			txn.Discard()
+			txn.Abort()
 		} else {
 			txn.Commit()
 		}
@@ -239,17 +239,29 @@ func TestTransferTimingProperty(t *testing.T) {
 	}
 }
 
-func TestTxnOverlayDoesNotAliasCommitted(t *testing.T) {
+func TestTxnReservationsVisibleUntilAbort(t *testing.T) {
+	// A transaction reserves in place on the committed timelines (that is
+	// what lets Abort be O(changes)): its reservations are visible while it
+	// is live and vanish without trace on Abort.
 	s := newSys()
-	base := s.Comp(0)
 	txn := s.Begin()
 	txn.Compute(0, 5, 0, "")
-	if base.Len() != 0 {
-		t.Fatal("txn mutated committed timeline before commit")
-	}
-	txn.Commit()
 	if s.Comp(0).Len() != 1 {
-		t.Fatal("commit did not install overlay")
+		t.Fatal("live txn reservation not visible in place")
+	}
+	seqBefore := s.Comp(0).Seq()
+	txn.Abort()
+	if s.Comp(0).Len() != 0 {
+		t.Fatal("aborted reservation survived")
+	}
+	if s.Comp(0).Seq() == seqBefore {
+		t.Fatal("abort did not restore the pre-txn sequence number")
+	}
+	txn2 := s.Begin()
+	txn2.Compute(0, 5, 0, "")
+	txn2.Commit()
+	if s.Comp(0).Len() != 1 {
+		t.Fatal("commit did not keep the reservation")
 	}
 }
 
@@ -277,7 +289,7 @@ func BenchmarkTrialCommitCycle(b *testing.B) {
 			trial := s.Begin()
 			_, fin := trial.Transfer(platform.ProcID((u+1)%20), platform.ProcID(u), 50, 0, "")
 			_, fin2 := trial.Compute(platform.ProcID(u), 1, fin, "")
-			trial.Discard()
+			trial.Abort()
 			if best < 0 || fin2 < best {
 				best, bestU = fin2, platform.ProcID(u)
 			}

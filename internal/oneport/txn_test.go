@@ -1,0 +1,275 @@
+package oneport
+
+import (
+	"slices"
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/rng"
+	"streamsched/internal/timeline"
+)
+
+func TestMarkRollback(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(3, 1, 1))
+	txn := s.Begin()
+	txn.Compute(0, 5, 0, "before")
+	txn.Transfer(0, 1, 3, 5, "before")
+	txn.Commit()
+	mark := s.Mark()
+
+	txn2 := s.Begin()
+	txn2.Compute(0, 5, 0, "after")
+	txn2.Transfer(1, 2, 4, 0, "after")
+	txn2.Commit()
+	if s.Comp(0).Len() != 2 || s.Send(1).Len() != 1 {
+		t.Fatal("post-mark work missing")
+	}
+
+	s.Rollback(mark)
+	if s.Comp(0).Len() != 1 {
+		t.Fatalf("comp not rolled back: %d intervals", s.Comp(0).Len())
+	}
+	if s.Send(1).Len() != 0 || s.Recv(2).Len() != 0 {
+		t.Fatal("ports not rolled back")
+	}
+	if s.Send(0).Len() != 1 || s.Recv(1).Len() != 1 {
+		t.Fatal("pre-mark reservations lost")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkReusableAcrossRollbacks(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(2, 1, 1))
+	mark := s.Mark()
+	for i := 0; i < 3; i++ {
+		txn := s.Begin()
+		txn.Compute(0, 5, 0, "")
+		txn.Commit()
+		s.Rollback(mark)
+		if s.Comp(0).Len() != 0 {
+			t.Fatal("rollback left residue")
+		}
+	}
+	// Work again after the rollbacks.
+	txn := s.Begin()
+	st, fin := txn.Compute(0, 5, 0, "")
+	txn.Commit()
+	if st != 0 || fin != 5 {
+		t.Fatalf("post-rollback placement [%v,%v)", st, fin)
+	}
+}
+
+// TestRollbackPastJournalPanics pins the mark guard: rolling back to a mark
+// taken before an earlier rollback (non-LIFO use) must panic instead of
+// silently resurrecting undone journal entries.
+func TestRollbackPastJournalPanics(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(2, 1, 1))
+	txn := s.Begin()
+	txn.Compute(0, 5, 0, "")
+	txn.Commit()
+	stale := s.Mark() // position 1
+	s.Rollback(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rollback past the journal did not panic")
+		}
+	}()
+	s.Rollback(stale)
+}
+
+// TestStaleTxnCopyPanics pins the copy guard: a Txn copy whose original
+// already resolved must panic instead of silently rolling back work that
+// later transactions committed.
+func TestStaleTxnCopyPanics(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(2, 1, 1))
+	txn := s.Begin()
+	stale := txn
+	txn.Abort()
+
+	later := s.Begin()
+	later.Compute(0, 5, 0, "kept")
+	later.Commit()
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stale Txn copy resolved without panicking")
+		}
+		if s.Comp(0).Len() != 1 {
+			t.Fatal("stale copy rolled back committed work")
+		}
+	}()
+	stale.Abort()
+}
+
+// TestNonLIFOTxnUsePanics pins the nesting guard: an outer transaction
+// operating while an inner one is live would interleave its reservations
+// into the inner transaction's journal range.
+func TestNonLIFOTxnUsePanics(t *testing.T) {
+	s := NewSystem(platform.Homogeneous(2, 1, 1))
+	outer := s.Begin()
+	inner := s.Begin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("outer Txn operated while inner was live without panicking")
+		}
+		inner.Abort()
+		outer.Abort()
+	}()
+	outer.Compute(0, 5, 0, "")
+}
+
+// oracleSnap is the old deep-copy snapshot semantics, kept as the test
+// oracle: an independent copy of every timeline's reservations.
+type oracleSnap struct {
+	comp, send, recv []*timeline.Timeline
+}
+
+func snapOracle(s *System) *oracleSnap {
+	m := s.Platform().NumProcs()
+	o := &oracleSnap{}
+	for u := 0; u < m; u++ {
+		pu := platform.ProcID(u)
+		o.comp = append(o.comp, s.Comp(pu).Clone())
+		o.send = append(o.send, s.Send(pu).Clone())
+		o.recv = append(o.recv, s.Recv(pu).Clone())
+	}
+	return o
+}
+
+func requireEqualOracle(t *testing.T, s *System, o *oracleSnap, what string) {
+	t.Helper()
+	m := s.Platform().NumProcs()
+	for u := 0; u < m; u++ {
+		pu := platform.ProcID(u)
+		for _, pair := range []struct {
+			name string
+			got  *timeline.Timeline
+			want *timeline.Timeline
+		}{
+			{"comp", s.Comp(pu), o.comp[u]},
+			{"send", s.Send(pu), o.send[u]},
+			{"recv", s.Recv(pu), o.recv[u]},
+		} {
+			if !slices.Equal(pair.got.Busy(), pair.want.Busy()) {
+				t.Fatalf("%s: proc %d %s diverged from deep-copy oracle:\n got %+v\nwant %+v",
+					what, u, pair.name, pair.got.Busy(), pair.want.Busy())
+			}
+		}
+	}
+}
+
+// randomOp performs one random reservation through txn.
+func randomOp(r *rng.Source, txn *Txn, m int) {
+	u := platform.ProcID(r.IntN(m))
+	v := platform.ProcID(r.IntN(m))
+	ready := r.Uniform(0, 40)
+	if r.Bool(0.5) {
+		txn.Compute(u, r.Uniform(0.1, 4), ready, "")
+	} else {
+		txn.Transfer(u, v, r.Uniform(0, 60), ready, "")
+	}
+}
+
+// TestJournalMatchesDeepCopyOracle interleaves Reserve/Begin/Abort/Commit
+// and system-level Mark/Rollback randomly and checks after every unwind
+// that the journaled timelines are byte-identical to the deep-copy snapshot
+// the old implementation would have restored.
+func TestJournalMatchesDeepCopyOracle(t *testing.T) {
+	const m = 5
+	r := rng.New(5)
+	s := NewSystem(platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 10))
+
+	type frame struct {
+		mark   Mark
+		oracle *oracleSnap
+	}
+	var stack []frame
+	for i := 0; i < 3000; i++ {
+		switch r.IntN(6) {
+		case 0: // open an outer rollback scope (the retry-ladder pattern)
+			if len(stack) < 4 {
+				stack = append(stack, frame{s.Mark(), snapOracle(s)})
+			}
+		case 1: // unwind the innermost scope
+			if n := len(stack); n > 0 {
+				f := stack[n-1]
+				stack = stack[:n-1]
+				s.Rollback(f.mark)
+				requireEqualOracle(t, s, f.oracle, "Rollback")
+			}
+		case 2: // keep the innermost scope's work
+			if n := len(stack); n > 0 {
+				stack = stack[:n-1]
+			}
+		default: // a trial or commit transaction with a few reservations
+			oracle := snapOracle(s)
+			txn := s.Begin()
+			for k := r.IntN(3); k >= 0; k-- {
+				randomOp(r, &txn, m)
+			}
+			if r.Bool(0.4) {
+				txn.Abort()
+				requireEqualOracle(t, s, oracle, "Abort")
+			} else {
+				txn.Commit()
+			}
+		}
+	}
+	for n := len(stack); n > 0; n = len(stack) {
+		f := stack[n-1]
+		stack = stack[:n-1]
+		s.Rollback(f.mark)
+		requireEqualOracle(t, s, f.oracle, "final unwind")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommonGapCacheConsistency checks the per-port-pair availability cache
+// against the uncached walk under random committed mutations, aborted
+// trials (which restore sequence numbers, keeping entries valid) and
+// rollbacks.
+func TestCommonGapCacheConsistency(t *testing.T) {
+	const m = 4
+	r := rng.New(23)
+	s := NewSystem(platform.RandomHeterogeneous(r, m, 0.5, 1, 0.5, 1, 10))
+	check := func() {
+		t.Helper()
+		for q := 0; q < 8; q++ {
+			from := platform.ProcID(r.IntN(m))
+			to := platform.ProcID(r.IntN(m))
+			ready := r.Uniform(0, 30)
+			dur := r.Uniform(0.1, 5)
+			// Repeat each query so the second lookup exercises the cached
+			// entry; compare against the walk on memo-free clones.
+			for rep := 0; rep < 2; rep++ {
+				got := s.CommonGap(from, to, ready, dur)
+				want := timeline.EarliestCommonGap(ready, dur,
+					s.Send(from).Clone(), s.Recv(to).Clone())
+				if got != want {
+					t.Fatalf("CommonGap(%d,%d,%v,%v) rep %d = %v, want %v",
+						from, to, ready, dur, rep, got, want)
+				}
+			}
+		}
+	}
+	mark := s.Mark()
+	for i := 0; i < 400; i++ {
+		txn := s.Begin()
+		randomOp(r, &txn, m)
+		if r.Bool(0.3) {
+			txn.Abort()
+		} else {
+			txn.Commit()
+		}
+		check()
+		if r.Bool(0.02) {
+			s.Rollback(mark)
+			check()
+			mark = s.Mark()
+		}
+	}
+}

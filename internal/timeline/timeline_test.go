@@ -340,3 +340,124 @@ func BenchmarkReserve(b *testing.B) {
 		}
 	}
 }
+
+func TestJournalRollback(t *testing.T) {
+	var seq uint64
+	var tl Timeline
+	tl.EnableJournal(&seq)
+	tl.MustReserve(Interval{Start: 0, End: 1, Tag: "keep"})
+	mark := tl.Mark()
+	// Insert around the kept interval so rollback must delete mid-slice.
+	tl.MustReserve(Interval{Start: 4, End: 5})
+	tl.MustReserve(Interval{Start: 2, End: 3})
+	tl.MustReserve(Interval{Start: 6, End: 7})
+	if tl.Len() != 4 {
+		t.Fatalf("Len = %d before rollback", tl.Len())
+	}
+	tl.Rollback(mark)
+	if tl.Len() != 1 || tl.Busy()[0].Tag != "keep" {
+		t.Fatalf("rollback left %+v", tl.Busy())
+	}
+	if tl.Mark() != mark {
+		t.Fatalf("journal position %d after rollback to %d", tl.Mark(), mark)
+	}
+	if err := tl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalUndoIsLIFO(t *testing.T) {
+	var seq uint64
+	var tl Timeline
+	tl.EnableJournal(&seq)
+	tl.MustReserve(Interval{Start: 2, End: 3})
+	tl.MustReserve(Interval{Start: 0, End: 1})
+	tl.Undo() // must remove [0,1), the most recent reservation
+	busy := tl.Busy()
+	if len(busy) != 1 || busy[0].Start != 2 {
+		t.Fatalf("Undo removed the wrong interval: %+v", busy)
+	}
+}
+
+func TestZeroLengthReserveNotJournaled(t *testing.T) {
+	var seq uint64
+	var tl Timeline
+	tl.EnableJournal(&seq)
+	if tl.Mark() != 0 {
+		t.Fatal("fresh journal not empty")
+	}
+	tl.MustReserve(Interval{Start: 5, End: 5})
+	if tl.Mark() != 0 {
+		t.Fatal("zero-length reservation was journaled")
+	}
+}
+
+func TestSeqRestoredOnRollback(t *testing.T) {
+	var seq uint64
+	var tl Timeline
+	tl.EnableJournal(&seq)
+	tl.MustReserve(Interval{Start: 0, End: 1})
+	want := tl.Seq()
+	mark := tl.Mark()
+	tl.MustReserve(Interval{Start: 2, End: 3})
+	if tl.Seq() == want {
+		t.Fatal("mutation did not change Seq")
+	}
+	tl.Rollback(mark)
+	if tl.Seq() != want {
+		t.Fatalf("Seq = %d after rollback, want %d", tl.Seq(), want)
+	}
+}
+
+func TestSeqValuesNeverReissued(t *testing.T) {
+	// The counter keeps rising across rollbacks, so a (timeline, Seq) pair
+	// observed once always identifies the same contents — the soundness
+	// argument of the availability caches.
+	var seq uint64
+	var tl Timeline
+	tl.EnableJournal(&seq)
+	seen := map[uint64]int{}
+	mark := tl.Mark()
+	for i := 0; i < 10; i++ {
+		tl.MustReserve(Interval{Start: float64(2 * i), End: float64(2*i) + 1})
+		if n, dup := seen[tl.Seq()]; dup && n != tl.Len() {
+			t.Fatalf("Seq %d reissued for different contents", tl.Seq())
+		}
+		seen[tl.Seq()] = tl.Len()
+		if i%3 == 2 {
+			tl.Rollback(mark)
+		}
+	}
+}
+
+func TestEarliestGapMemo(t *testing.T) {
+	var tl Timeline
+	tl.MustReserve(Interval{Start: 1, End: 3})
+	if g := tl.EarliestGap(0, 2); g != 3 {
+		t.Fatalf("gap = %v", g)
+	}
+	if g := tl.EarliestGap(0, 2); g != 3 {
+		t.Fatalf("memoized gap = %v", g)
+	}
+	// A mutation must invalidate the memo.
+	tl.MustReserve(Interval{Start: 3, End: 4})
+	if g := tl.EarliestGap(0, 2); g != 4 {
+		t.Fatalf("gap after mutation = %v (stale memo?)", g)
+	}
+	tl.Reset()
+	if g := tl.EarliestGap(0, 2); g != 0 {
+		t.Fatalf("gap after reset = %v (stale memo?)", g)
+	}
+}
+
+func TestEnableJournalNonEmptyPanics(t *testing.T) {
+	var tl Timeline
+	tl.MustReserve(Interval{Start: 0, End: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic enabling a journal on a non-empty timeline")
+		}
+	}()
+	var seq uint64
+	tl.EnableJournal(&seq)
+}
