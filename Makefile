@@ -6,7 +6,7 @@ BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkSim|BenchmarkTimelineReserve|Ben
 BENCHTIME ?= 5x
 COUNT ?= 3
 
-.PHONY: all build fmt vet test test-full cover bench bench-record bench-compare bench-trend baseline serve smoke ci
+.PHONY: all build fmt vet lint fuzz test test-full cover bench bench-record bench-compare bench-trend baseline serve smoke ci
 
 all: build
 
@@ -21,6 +21,28 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# lint is the full static gate: formatting, go vet, the repo's own
+# streamschedlint analyzers (DESIGN.md §9), and — when the network allows
+# installing x/tools — the nilness analyzer. CI runs nilness
+# unconditionally; offline developers get everything but nilness.
+LINTBIN := bin/streamschedlint
+lint: fmt vet
+	$(GO) build -o $(LINTBIN) ./cmd/streamschedlint
+	$(GO) vet -vettool=$(LINTBIN) ./...
+	@if $(GO) run golang.org/x/tools/go/analysis/passes/nilness/cmd/nilness@latest ./... 2>/dev/null; then \
+		echo "nilness: ok"; \
+	else \
+		echo "nilness: skipped (x/tools unavailable offline; CI runs it)"; \
+	fi
+
+# fuzz replays the committed seed corpora, then gives each native fuzz
+# target a short exploration budget. Same step CI runs.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run Fuzz ./internal/service/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/service/
+	$(GO) test -run '^$$' -fuzz FuzzCanonicalProblemHash -fuzztime $(FUZZTIME) ./internal/service/
 
 # test mirrors the CI test job (race + short). test-full runs the slow
 # experiment sweeps too.
@@ -70,4 +92,4 @@ serve:
 smoke:
 	bash scripts/service-smoke.sh
 
-ci: build fmt vet test smoke bench-compare
+ci: build lint test smoke bench-compare

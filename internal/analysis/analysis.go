@@ -1,0 +1,107 @@
+// Package analysis is a self-contained analyzer framework for the repo's
+// own static checks (DESIGN.md §9). It mirrors the shape of
+// golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — but is
+// built on the standard library alone so the module keeps its zero-dep
+// property: the driver speaks the `go vet -vettool` separate-compilation
+// protocol (unit.go), and the fixture harness under analysistest mirrors
+// x/tools' analysistest. If the tree ever takes an x/tools dependency,
+// porting an analyzer is a mechanical import swap.
+//
+// The framework deliberately supports only what the streamsched analyzers
+// need: no facts, no analyzer dependencies, no suggested fixes. Every
+// diagnostic honors the //nolint:streamsched escape hatch (nolint.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects the package in Pass and
+// reports findings through pass.Report/Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in per-analyzer
+	// //nolint:<name> suppressions. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description: the invariant the analyzer
+	// encodes and how to satisfy it.
+	Doc string
+	// Run performs the analysis. Diagnostics go through pass.Report; the
+	// error return is for analysis failures, not findings.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass carries one package's worth of parsed and type-checked input to
+// an analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics that survived nolint suppression.
+	report func(Diagnostic)
+	// suppress decides whether a diagnostic at pos from this analyzer is
+	// silenced by a //nolint directive.
+	suppress func(name string, pos token.Pos) bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Report emits d unless a //nolint directive covers it.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	if p.suppress != nil && p.suppress(d.Analyzer, d.Pos) {
+		return
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The analyzers
+// enforce production-code invariants; tests legitimately range over maps,
+// build root contexts and format failures, so every streamsched analyzer
+// skips test files through this helper.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.File(pos).Name(), "_test.go")
+}
+
+// RunAnalyzers parses nolint directives from the files and runs each
+// analyzer over the package, returning the surviving diagnostics in
+// position order per analyzer. It is the single execution path shared by
+// the vet driver (unit.go) and the analysistest harness, so suppression
+// behaves identically under `go vet` and in fixture tests.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	nl := buildNolint(fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			report:    func(d Diagnostic) { out = append(out, d) },
+			suppress:  nl.suppress,
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return out, nil
+}

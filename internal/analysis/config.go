@@ -1,0 +1,70 @@
+// Package-set configuration for the streamsched analyzers: which packages
+// carry which invariants. The sets are keyed by import path so the same
+// analyzers work over the real module and over analysistest fixtures
+// (whose fake packages reuse the real import paths).
+package analysis
+
+import "strings"
+
+// Module is the module path the invariants are anchored to.
+const Module = "streamsched"
+
+// deterministicPkgs lists the packages whose outputs are pinned by golden
+// byte-identity (testdata/golden): schedule construction, simulation and
+// the baselines. Inside them, map iteration order, wall-clock reads,
+// unseeded randomness and non-stable sorts are all bugs waiting for a
+// hash-seed change (determcheck).
+var deterministicPkgs = pathSet(
+	"internal/mapper",
+	"internal/ltf",
+	"internal/rltf",
+	"internal/sim",
+	"internal/oneport",
+	"internal/timeline",
+	"internal/schedule",
+	"internal/baselines",
+)
+
+// belowCorePkgs lists the packages beneath the core solving API. They
+// receive their context from core (or from whoever drives them) and must
+// never mint a root context of their own: a context.Background() below
+// core silently detaches a placement loop from the caller's cancellation
+// (ctxcheck).
+var belowCorePkgs = pathSet(
+	"internal/bitset",
+	"internal/dag",
+	"internal/infeas",
+	"internal/platform",
+	"internal/timeline",
+	"internal/oneport",
+	"internal/schedule",
+	"internal/mapper",
+	"internal/ltf",
+	"internal/rltf",
+	"internal/sim",
+	"internal/baselines",
+)
+
+func pathSet(rel ...string) map[string]bool {
+	m := make(map[string]bool, len(rel))
+	for _, r := range rel {
+		m[Module+"/"+r] = true
+	}
+	return m
+}
+
+// basePkgPath strips the " [pkg.test]" variant suffix go vet appends to
+// the import path of a package rebuilt for its own tests.
+func basePkgPath(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// IsDeterministic reports whether pkgPath carries the golden byte-identity
+// determinism invariant.
+func IsDeterministic(pkgPath string) bool { return deterministicPkgs[basePkgPath(pkgPath)] }
+
+// IsBelowCore reports whether pkgPath sits beneath the core solving API.
+func IsBelowCore(pkgPath string) bool { return belowCorePkgs[basePkgPath(pkgPath)] }

@@ -1,0 +1,208 @@
+// Package ctxcheck enforces the context-threading discipline of the
+// solving stack (DESIGN.md §5, §9). The core Solver API is the boundary
+// where a root context may be installed; everything beneath it receives
+// the caller's context and threads it down, so one cancellation reaches
+// every placement loop, search ladder and simulation it governs. The
+// analyzer flags:
+//
+//   - context.Background()/context.TODO() in packages below core — those
+//     packages must take the context they run under, never mint a root,
+//   - a context.Context parameter that is not the first parameter,
+//   - functions that take a ctx parameter yet call context.Background()
+//     or context.TODO() anyway — thread the parameter instead,
+//   - passing a nil literal where a callee expects a context.Context —
+//     pass the caller's ctx (or context.Background() at a true root).
+//
+// Test files are exempt; entry points (cmd/, examples/) and the layers at
+// or above core may create roots, with //nolint:ctxcheck available for
+// the rare deliberate detach (e.g. the service's coalesced flights). The
+// defensive boundary guard `if ctx == nil { ctx = context.Background() }`
+// is recognized and allowed at and above core — external callers may hand
+// in nil — but stays flagged below core, where it is dead code.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"streamsched/internal/analysis"
+)
+
+// Analyzer is the context-threading checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc:  "context.Context is threaded from core down: first parameter, no roots below core, no nil contexts",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	belowCore := analysis.IsBelowCore(pass.Pkg.Path())
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkCtxPosition(pass, fd.Type)
+				if fd.Body != nil {
+					walkFunc(pass, fd.Body, hasCtxParam(pass.TypesInfo, fd.Type), belowCore)
+				}
+				continue
+			}
+			// Function literals in package-level initializers.
+			walkFunc(pass, decl, false, belowCore)
+		}
+	}
+	return nil
+}
+
+// walkFunc checks one function body. Nested literals recurse with their
+// own frame: a closure inherits the enclosing function's ctx — a literal
+// inside a ctx-taking function should still thread that ctx.
+func walkFunc(pass *analysis.Pass, body ast.Node, hasCtx, belowCore bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// The defensive boundary idiom
+			//	if ctx == nil { ctx = context.Background() }
+			// is legitimate at and above core, where external callers may
+			// hand in a nil context. Below core every caller threads a real
+			// ctx, so the guard is dead code and stays flagged.
+			if !belowCore && isCtxNilGuard(pass, n) {
+				return false
+			}
+		case *ast.FuncLit:
+			checkCtxPosition(pass, n.Type)
+			walkFunc(pass, n.Body, hasCtx || hasCtxParam(pass.TypesInfo, n.Type), belowCore)
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n, belowCore, hasCtx)
+		}
+		return true
+	})
+}
+
+// isCtxNilGuard matches `if ctx == nil { ctx = context.Background() }`
+// (or context.TODO()), the defensive re-root at an API boundary.
+func isCtxNilGuard(pass *analysis.Pass, s *ast.IfStmt) bool {
+	if s.Init != nil || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	cond, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	x, y := ast.Unparen(cond.X), ast.Unparen(cond.Y)
+	if !isNilIdent(pass, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(pass, x) {
+		return false
+	}
+	ctxID, ok := y.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if t := pass.TypesInfo.TypeOf(ctxID); t == nil || !analysis.IsContextType(t) {
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok || lhs.Name != ctxID.Name {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	return analysis.IsPkgFunc(fn, "context", "Background") ||
+		analysis.IsPkgFunc(fn, "context", "TODO")
+}
+
+func isNilIdent(pass *analysis.Pass, x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && analysis.IsContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCtxPosition flags a context.Context parameter that is not first.
+func checkCtxPosition(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0 // parameter index, counting multi-name fields
+	for _, field := range ft.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		isCtx := t != nil && analysis.IsContextType(t)
+		if isCtx && pos != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		pos += n
+	}
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, belowCore, enclosingHasCtx bool) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if analysis.IsPkgFunc(fn, "context", "Background") || analysis.IsPkgFunc(fn, "context", "TODO") {
+		switch {
+		case belowCore:
+			pass.Reportf(call.Pos(),
+				"context.%s below core: packages under the solving API receive their context from the caller; add or thread a ctx parameter",
+				fn.Name())
+		case enclosingHasCtx:
+			pass.Reportf(call.Pos(),
+				"context.%s inside a function that already has a ctx: thread the parameter (or //nolint:ctxcheck for a deliberate detach)",
+				fn.Name())
+		}
+		return
+	}
+	// nil literal passed where the callee wants a context.
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || id.Name != "nil" {
+			continue
+		}
+		if _, isNil := pass.TypesInfo.Uses[id].(*types.Nil); !isNil {
+			continue
+		}
+		if analysis.IsContextType(sig.Params().At(i).Type()) {
+			pass.Reportf(arg.Pos(),
+				"nil context passed to %s: pass the caller's ctx (or context.Background() at a true root)",
+				fn.Name())
+		}
+	}
+}

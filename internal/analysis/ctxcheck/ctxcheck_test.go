@@ -1,0 +1,16 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"streamsched/internal/analysis/analysistest"
+	"streamsched/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheckBelowCore(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "streamsched/internal/ltf")
+}
+
+func TestCtxcheckAtCore(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "streamsched/internal/core")
+}

@@ -1,0 +1,32 @@
+// Fixture for ctxcheck at core: roots are allowed in root functions and
+// in the defensive nil-guard, but a ctx-taking function must thread its
+// parameter.
+package core
+
+import "context"
+
+func solve(ctx context.Context) error { return ctx.Err() }
+
+// A root function without a ctx parameter may mint one.
+func rootOK() error {
+	return solve(context.Background())
+}
+
+// The boundary nil-guard is the documented idiom at and above core.
+func nilGuardOK(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return solve(ctx)
+}
+
+func ignoresParameter(ctx context.Context) error {
+	return solve(context.Background()) // want `context.Background inside a function that already has a ctx`
+}
+
+func closureThreads(ctx context.Context) func() error {
+	return func() error {
+		c := context.TODO() // want `context.TODO inside a function that already has a ctx`
+		return solve(c)
+	}
+}

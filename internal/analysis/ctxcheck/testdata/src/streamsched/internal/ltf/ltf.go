@@ -1,0 +1,48 @@
+// Fixture for ctxcheck below core: ltf receives its context from the
+// caller, so minting roots and nil-guards are both flagged.
+package ltf
+
+import "context"
+
+func solve(ctx context.Context) error { return ctx.Err() }
+
+func mintsRoot() error {
+	ctx := context.Background() // want `context.Background below core`
+	return solve(ctx)
+}
+
+func mintsTODO() error {
+	return solve(context.TODO()) // want `context.TODO below core`
+}
+
+func nilGuardStillFlaggedBelowCore(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background() // want `context.Background below core`
+	}
+	return solve(ctx)
+}
+
+func ctxNotFirst(g int, ctx context.Context) error { // want `context.Context must be the first parameter`
+	return solve(ctx)
+}
+
+func threadsOK(ctx context.Context) error {
+	return solve(ctx)
+}
+
+func passesNil() error {
+	return solve(nil) // want `nil context passed to solve`
+}
+
+func closureInheritsCtx(ctx context.Context) func() error {
+	return func() error {
+		c := context.Background() // want `context.Background below core`
+		return solve(c)
+	}
+}
+
+func suppressed() error {
+	//nolint:ctxcheck // fixture: deliberate detach
+	ctx := context.Background()
+	return solve(ctx)
+}

@@ -1,0 +1,89 @@
+// Package determcheck enforces the golden byte-identity invariant of the
+// deterministic packages (mapper, ltf, rltf, sim, oneport, timeline,
+// schedule, baselines): every schedule and simulation result is pinned by
+// committed golden files, so any source of iteration-order or wall-clock
+// nondeterminism is a latent golden break. The analyzer flags, in those
+// packages (test files excluded):
+//
+//   - `range` over a map — iteration order is randomized per run; iterate
+//     a sorted key slice or an index-ordered scan instead,
+//   - time.Now (and friends) — deterministic code has no wall clock,
+//   - importing math/rand or math/rand/v2 — randomness must flow through
+//     internal/rng so seeds are explicit and reproducible,
+//   - sort.Slice / slices.SortFunc — unstable sorts permute equal elements
+//     unpredictably under comparator ties; use sort.SliceStable /
+//     slices.SortStableFunc, or keep the unstable sort with a
+//     //nolint:determcheck justification proving the comparator total.
+//
+// See DESIGN.md §9 for the invariant and the escape hatch.
+package determcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamsched/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determcheck",
+	Doc:  "forbid map ranges, wall-clock reads, ad-hoc randomness and unstable sorts in deterministic packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				pass.Reportf(imp.Pos(),
+					"import of %s in deterministic package %s: draw randomness through internal/rng with an explicit seed",
+					imp.Path.Value, pass.Pkg.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if _, ok := pass.TypesInfo.TypeOf(n.X).Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(),
+						"range over a map in deterministic package %s: iteration order is randomized per process; iterate a sorted key slice or an index-ordered scan",
+						pass.Pkg.Name())
+				}
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	switch {
+	case analysis.IsPkgFunc(fn, "time", "Now"),
+		analysis.IsPkgFunc(fn, "time", "Since"),
+		analysis.IsPkgFunc(fn, "time", "Until"):
+		pass.Reportf(call.Pos(),
+			"time.%s in deterministic package %s: deterministic code must not read the wall clock",
+			fn.Name(), pass.Pkg.Name())
+	case analysis.IsPkgFunc(fn, "sort", "Slice"):
+		pass.Reportf(call.Pos(),
+			"sort.Slice in deterministic package %s: unstable under comparator ties; use sort.SliceStable or justify a total comparator with //nolint:determcheck",
+			pass.Pkg.Name())
+	case analysis.IsPkgFunc(fn, "slices", "SortFunc"):
+		pass.Reportf(call.Pos(),
+			"slices.SortFunc in deterministic package %s: unstable under comparator ties; use slices.SortStableFunc or justify a total comparator with //nolint:determcheck",
+			pass.Pkg.Name())
+	}
+}

@@ -1,0 +1,16 @@
+package determcheck_test
+
+import (
+	"testing"
+
+	"streamsched/internal/analysis/analysistest"
+	"streamsched/internal/analysis/determcheck"
+)
+
+func TestDetermcheckDeterministicPkg(t *testing.T) {
+	analysistest.Run(t, "testdata", determcheck.Analyzer, "streamsched/internal/sim")
+}
+
+func TestDetermcheckIgnoresOtherPkgs(t *testing.T) {
+	analysistest.Run(t, "testdata", determcheck.Analyzer, "streamsched/internal/service")
+}

@@ -1,0 +1,17 @@
+// Fixture for determcheck's scoping: service is not a deterministic
+// package, so nothing here is flagged.
+package service
+
+import (
+	"sort"
+	"time"
+)
+
+func free(m map[int]string) (n int, at time.Time) {
+	for range m {
+		n++
+	}
+	xs := []int{3, 1, 2}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	return n, time.Now()
+}

@@ -1,0 +1,57 @@
+// Fixture for determcheck: this path is one of the deterministic
+// packages, so every nondeterminism source below must be flagged.
+package sim
+
+import (
+	"math/rand" // want `import of "math/rand" in deterministic package sim`
+	"slices"
+	"sort"
+	"time"
+)
+
+func seed() int { return rand.Int() }
+
+func mapRange(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want `range over a map in deterministic package sim`
+		out = append(out, v)
+	}
+	return out
+}
+
+func sliceRangeOK(s []string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in deterministic package sim`
+	return t.Unix()
+}
+
+func unstableSorts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `sort.Slice in deterministic package sim`
+	slices.SortFunc(xs, func(a, b int) int { return a - b })     // want `slices.SortFunc in deterministic package sim`
+}
+
+func stableSortsOK(xs []int) {
+	sort.SliceStable(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.SortStableFunc(xs, func(a, b int) int { return a - b })
+	sort.Ints(xs)
+	slices.Sort(xs)
+}
+
+func suppressed(m map[int]bool) int {
+	n := 0
+	// Order-independent reduction: counting values ignores visit order.
+	//nolint:determcheck // order-independent count
+	for _, v := range m {
+		if v {
+			n++
+		}
+	}
+	return n
+}

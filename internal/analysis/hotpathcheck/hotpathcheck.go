@@ -1,0 +1,268 @@
+// Package hotpathcheck keeps the allocation-free hot path allocation-free
+// (DESIGN.md §7): functions marked with a //streamsched:hotpath directive
+// — candidate evaluation, trial placement, timeline Reserve/Rollback, sim
+// dispatch — sit inside loops that the PR2/PR5 benchmarks budget at a
+// handful of allocations per operation, and one innocent fmt.Sprintf
+// regresses allocs/op long before the bench gate notices. In a marked
+// function the analyzer flags:
+//
+//   - any call into package fmt — formatting allocates; move error and
+//     panic message construction to a cold, unmarked helper,
+//   - implicit or explicit conversion of a concrete value to an interface
+//     type (call arguments, assignments, returns, composite literals,
+//     variadic ...any) — interface boxing heap-allocates the value,
+//   - function literals that capture enclosing variables — captured
+//     closures escape to the heap; hoist the state or pass it explicitly.
+//     Literals passed directly to sort.Search are exempt: the callback
+//     provably does not escape it.
+//
+// The marker is a doc-comment directive:
+//
+//	//streamsched:hotpath
+//	func (st *State) evalCandidate(...) ... { ... }
+//
+// See DESIGN.md §9 for the invariant and the //nolint:hotpathcheck escape
+// hatch.
+package hotpathcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"streamsched/internal/analysis"
+)
+
+// Directive is the doc-comment marker that opts a function into the
+// hot-path checks.
+const Directive = "//streamsched:hotpath"
+
+// Analyzer is the hot-path allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathcheck",
+	Doc:  "functions marked //streamsched:hotpath must not call fmt, box interfaces or capture escaping closures",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.FuncHasDirective(fd, Directive) {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	sig, _ := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+	checkScope(pass, fd, fd.Body, sig)
+}
+
+// checkScope checks one function scope (the declaration body or a nested
+// literal's body); sig is that scope's own signature, so return statements
+// are matched against the right result types.
+func checkScope(pass *analysis.Pass, fd *ast.FuncDecl, body *ast.BlockStmt, sig *types.Signature) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(),
+					"fmt.%s in hotpath function %s: formatting allocates; build the message in a cold helper",
+					fn.Name(), fd.Name.Name)
+				return true // args are doomed anyway; skip boxing noise
+			}
+			checkCallBoxing(pass, fd, n)
+		case *ast.FuncLit:
+			checkFuncLit(pass, fd, n)
+			litSig, _ := info.TypeOf(n).(*types.Signature)
+			checkScope(pass, fd, n.Body, litSig)
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // x, y := f() — multi-value, no per-expr boxing check
+				}
+				if lt := info.TypeOf(lhs); lt != nil {
+					checkBoxed(pass, fd, n.Rhs[i], lt, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			if sig == nil || len(n.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				checkBoxed(pass, fd, res, sig.Results().At(i).Type(), "return")
+			}
+		case *ast.CompositeLit:
+			checkCompositeBoxing(pass, fd, n)
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags concrete arguments passed to interface-typed
+// parameters, including the variadic ...any tail, and explicit interface
+// conversions like any(x).
+func checkCallBoxing(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Explicit conversion T(x) where T is an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBoxed(pass, fd, call.Args[0], tv.Type, "conversion")
+		}
+		return
+	}
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // s... forwards an existing slice; nothing new is boxed
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			slice, ok := sig.Params().At(np - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		checkBoxed(pass, fd, arg, pt, "argument")
+	}
+}
+
+func checkCompositeBoxing(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.CompositeLit) {
+	info := pass.TypesInfo
+	lt := info.TypeOf(lit)
+	if lt == nil {
+		return
+	}
+	switch u := lt.Underlying().(type) {
+	case *types.Struct:
+		for _, el := range lit.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				continue // positional: resolved via field order below
+			}
+			if ft := info.TypeOf(kv.Key); ft != nil {
+				checkBoxed(pass, fd, kv.Value, ft, "composite literal field")
+			}
+		}
+		for i, el := range lit.Elts {
+			if _, ok := el.(*ast.KeyValueExpr); ok {
+				continue
+			}
+			if i < u.NumFields() {
+				checkBoxed(pass, fd, el, u.Field(i).Type(), "composite literal field")
+			}
+		}
+	case *types.Slice:
+		for _, el := range lit.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			checkBoxed(pass, fd, el, u.Elem(), "composite literal element")
+		}
+	}
+}
+
+// checkBoxed reports expr if it has a concrete type but flows into an
+// interface-typed slot: that conversion heap-allocates.
+func checkBoxed(pass *analysis.Pass, fd *ast.FuncDecl, expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type.Underlying()) {
+		return // nil and interface-to-interface do not box
+	}
+	if tv.Value != nil {
+		return // constants box into static data, not the heap (e.g. panic("msg"))
+	}
+	pass.Reportf(expr.Pos(),
+		"%s boxes %s into %s in hotpath function %s: interface conversion heap-allocates",
+		what, tv.Type, target, fd.Name.Name)
+}
+
+// checkFuncLit flags closures that capture enclosing state, except
+// literals passed directly to the non-escaping safelist (sort.Search).
+func checkFuncLit(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	if captured := capturedVar(pass.TypesInfo, fd, lit); captured != "" {
+		if safelisted(pass, fd, lit) {
+			return
+		}
+		pass.Reportf(lit.Pos(),
+			"closure capturing %q in hotpath function %s may escape to the heap; hoist the state or pass it explicitly",
+			captured, fd.Name.Name)
+	}
+}
+
+// capturedVar returns the name of a variable the literal captures from the
+// enclosing function, or "" if it captures nothing.
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured ⇔ declared inside the enclosing function but outside
+		// the literal. Receiver and parameters of fd count.
+		if obj.Pos() >= fd.Pos() && obj.Pos() < fd.End() &&
+			!(obj.Pos() >= lit.Pos() && obj.Pos() < lit.End()) {
+			name = obj.Name()
+		}
+		return true
+	})
+	return name
+}
+
+// safelisted reports whether lit is a direct argument to a callee known
+// not to let its callback escape.
+func safelisted(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if arg == lit {
+				fn := analysis.CalleeFunc(pass.TypesInfo, call)
+				if analysis.IsPkgFunc(fn, "sort", "Search") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

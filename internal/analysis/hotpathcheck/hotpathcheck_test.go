@@ -1,0 +1,12 @@
+package hotpathcheck_test
+
+import (
+	"testing"
+
+	"streamsched/internal/analysis/analysistest"
+	"streamsched/internal/analysis/hotpathcheck"
+)
+
+func TestHotpathcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", hotpathcheck.Analyzer, "hotfix")
+}

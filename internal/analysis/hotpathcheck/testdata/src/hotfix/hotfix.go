@@ -1,0 +1,106 @@
+// Fixture for hotpathcheck: only functions carrying the
+// //streamsched:hotpath directive are checked.
+package hotfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+type item struct{ v int }
+
+type boxer struct{ payload interface{} }
+
+func sinkAny(interface{}) {}
+
+func sinkInt(int) {}
+
+func variadic(args ...interface{}) { _ = args }
+
+// Unmarked functions may do anything.
+func coldFormat(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}
+
+//streamsched:hotpath
+func hotFmt(n int) {
+	_ = fmt.Sprint(n) // want `fmt.Sprint in hotpath function hotFmt`
+}
+
+//streamsched:hotpath
+func hotBoxArg(n int) {
+	sinkAny(n) // want `argument boxes int into interface\{\} in hotpath function hotBoxArg`
+	sinkInt(n) // concrete to concrete: fine
+}
+
+//streamsched:hotpath
+func hotBoxVariadic(n int) {
+	variadic(n) // want `argument boxes int into interface\{\} in hotpath function hotBoxVariadic`
+}
+
+//streamsched:hotpath
+func hotBoxConstOK() {
+	sinkAny("static") // constants box into static data, not the heap
+}
+
+//streamsched:hotpath
+func hotBoxAssign(it item) {
+	var x interface{}
+	x = it // want `assignment boxes hotfix.item into interface\{\} in hotpath function hotBoxAssign`
+	_ = x
+}
+
+//streamsched:hotpath
+func hotBoxReturn(n int) error {
+	if n < 0 {
+		return errNegative(n) // cold constructor returns error already: fine
+	}
+	return nil
+}
+
+type numErr int
+
+func (numErr) Error() string { return "negative" }
+
+func errNegative(n int) error { return numErr(n) }
+
+//streamsched:hotpath
+func hotBoxReturnConcrete(n int) error {
+	return numErr(n) // want `return boxes hotfix.numErr into error in hotpath function hotBoxReturnConcrete`
+}
+
+//streamsched:hotpath
+func hotBoxComposite(n int) {
+	b := boxer{payload: n} // want `composite literal field boxes int into interface\{\} in hotpath function hotBoxComposite`
+	_ = b
+	s := []interface{}{n} // want `composite literal element boxes int into interface\{\} in hotpath function hotBoxComposite`
+	_ = s
+}
+
+//streamsched:hotpath
+func hotBoxConversion(n int) {
+	_ = interface{}(n) // want `conversion boxes int into interface\{\} in hotpath function hotBoxConversion`
+}
+
+//streamsched:hotpath
+func hotClosureCapture(xs []int, lo int) int {
+	f := func() int { return lo } // want `closure capturing "lo" in hotpath function hotClosureCapture`
+	return f() + len(xs)
+}
+
+//streamsched:hotpath
+func hotClosureNoCaptureOK(xs []int) int {
+	f := func(a, b int) int { return a + b }
+	return f(len(xs), 1)
+}
+
+//streamsched:hotpath
+func hotSortSearchOK(xs []int, target int) int {
+	return sort.Search(len(xs), func(k int) bool { return xs[k] >= target })
+}
+
+//streamsched:hotpath
+func hotSuppressed(n int) {
+	//nolint:hotpathcheck // fixture: escape hatch
+	_ = fmt.Sprint(n)
+}

@@ -1,0 +1,116 @@
+// The //nolint:streamsched escape hatch. A directive comment silences
+// streamsched analyzer diagnostics on its line; a directive that stands on
+// a line of its own also covers the following line, so call sites can keep
+// the justification above the code:
+//
+//	//nolint:streamsched // total comparator: ties broken by (task, copy)
+//	slices.SortFunc(refs, cmp)
+//
+// Forms:
+//
+//	//nolint:streamsched             — silences every streamsched analyzer
+//	//nolint:determcheck             — silences one analyzer by name
+//	//nolint:determcheck,hotpathcheck — silences several
+//
+// A justification after a second "//" (or after a space) is encouraged and
+// ignored by the parser. Directives are deliberately line-scoped: there is
+// no file- or block-level suppression, so every exemption is visible next
+// to the code it excuses.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// nolintDirective records one parsed //nolint comment.
+type nolintDirective struct {
+	names map[string]bool // empty ⇒ the bare/blanket "streamsched" form
+	all   bool
+}
+
+// nolintIndex maps file → line → directives covering that line.
+type nolintIndex struct {
+	fset  *token.FileSet
+	lines map[*token.File]map[int][]nolintDirective
+}
+
+// buildNolint scans every comment in the files for nolint directives.
+func buildNolint(fset *token.FileSet, files []*ast.File) *nolintIndex {
+	idx := &nolintIndex{fset: fset, lines: make(map[*token.File]map[int][]nolintDirective)}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseNolint(c.Text)
+				if !ok {
+					continue
+				}
+				line := tf.Line(c.Pos())
+				m := idx.lines[tf]
+				if m == nil {
+					m = make(map[int][]nolintDirective)
+					idx.lines[tf] = m
+				}
+				m[line] = append(m[line], d)
+				// A single-line directive also covers the following line,
+				// so the justification can sit above the code it excuses.
+				// (Trailing directives already cover their own line; the
+				// extra next-line reach is deliberate and harmless — an
+				// exemption is always adjacent to the code it names.)
+				if tf.Line(c.Pos()) == tf.Line(c.End()) {
+					m[line+1] = append(m[line+1], d)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// parseNolint recognizes //nolint:<list> comments naming streamsched or a
+// streamsched analyzer. Unqualified "//nolint" (no list) is ignored: the
+// escape hatch must name what it silences.
+func parseNolint(text string) (nolintDirective, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "nolint:")
+	if !ok {
+		return nolintDirective{}, false
+	}
+	// Cut an optional justification: "names // why" or "names -- why".
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	d := nolintDirective{names: make(map[string]bool)}
+	for _, name := range strings.Split(rest, ",") {
+		name = strings.TrimSpace(name)
+		switch {
+		case name == "streamsched" || name == "streamschedlint":
+			d.all = true
+		case name != "":
+			d.names[name] = true
+		}
+	}
+	if !d.all && len(d.names) == 0 {
+		return nolintDirective{}, false
+	}
+	return d, true
+}
+
+// suppress reports whether a directive covers analyzer name at pos.
+func (idx *nolintIndex) suppress(name string, pos token.Pos) bool {
+	tf := idx.fset.File(pos)
+	if tf == nil {
+		return false
+	}
+	for _, d := range idx.lines[tf][tf.Line(pos)] {
+		if d.all || d.names[name] {
+			return true
+		}
+	}
+	return false
+}

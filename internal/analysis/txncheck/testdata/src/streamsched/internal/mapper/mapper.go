@@ -1,0 +1,11 @@
+// Stub of the production mapper package for txncheck's BeginTask/
+// CommitTask/AbortTask tracking.
+package mapper
+
+type State struct{ live bool }
+
+func (st *State) BeginTask(t int) { st.live = true }
+
+func (st *State) CommitTask() { st.live = false }
+
+func (st *State) AbortTask() { st.live = false }

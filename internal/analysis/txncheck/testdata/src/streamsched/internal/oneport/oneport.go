@@ -1,0 +1,16 @@
+// Stub of the production oneport package: txncheck matches Begin/Commit/
+// Abort by package path, receiver type and method name, so the fixture
+// reuses the real import path with a minimal surface.
+package oneport
+
+type System struct{ open int }
+
+type Txn struct{ s *System }
+
+func (s *System) Begin() Txn { s.open++; return Txn{s} }
+
+func (t Txn) Commit() { t.s.open-- }
+
+func (t Txn) Abort() { t.s.open-- }
+
+func (t Txn) Compute(work float64) float64 { return work }

@@ -1,0 +1,12 @@
+package txncheck_test
+
+import (
+	"testing"
+
+	"streamsched/internal/analysis/analysistest"
+	"streamsched/internal/analysis/txncheck"
+)
+
+func TestTxncheck(t *testing.T) {
+	analysistest.Run(t, "testdata", txncheck.Analyzer, "txnfix")
+}

@@ -1,0 +1,205 @@
+// The `go vet -vettool` separate-compilation driver. The go command
+// invokes the tool once per package with a JSON config file describing the
+// compilation unit — source files, the import map, and the export-data
+// files of every dependency it already built — and expects:
+//
+//	-V=full    an identity line for build caching
+//	-flags     the tool's analyzer flags as JSON (we expose none)
+//	unit.cfg   run the analysis, diagnostics to stderr, exit 1 on findings
+//
+// This mirrors x/tools' unitchecker (the standard vet tool is built on it)
+// without the dependency: type information comes from the gc export data
+// the go command already produced, so a whole-module run costs one
+// typecheck per package and is cached by the go command like any build
+// step. Dependency units arrive with VetxOnly set (they exist only to
+// carry analysis facts); the streamsched analyzers use no facts, so those
+// units are answered with an empty facts file without even parsing.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// UnitConfig is the JSON compilation-unit description the go command
+// writes for a vettool (cmd/go/internal/work.vetConfig). Field names are
+// the wire contract; unused fields are kept for completeness.
+type UnitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the analyzers over the compilation unit described by
+// cfgFile and returns the process exit code: 0 clean, 1 findings or
+// failure. Diagnostics are printed to stderr in the standard
+// file:line:col: message form.
+func RunUnit(cfgFile string, analyzers []*Analyzer) int {
+	cfg, err := readUnitConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamschedlint:", err)
+		return 1
+	}
+
+	// Facts-only dependency unit: nothing to analyze, nothing to export.
+	if cfg.VetxOnly {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "streamschedlint:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "streamschedlint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	tc := &types.Config{
+		Importer:  unitImporter(cfg, fset),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(basePkgPath(cfg.ImportPath), fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "streamschedlint:", err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamschedlint:", err)
+		return 1
+	}
+
+	// The go command caches vet results through the facts file; write an
+	// empty one so clean packages are not re-analyzed every run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "streamschedlint:", err)
+			return 1
+		}
+	}
+
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	return 1
+}
+
+func readUnitConfig(cfgFile string) (*UnitConfig, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+	if !cfg.VetxOnly && len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// unitImporter resolves imports through the export-data files the go
+// command built for the unit's dependencies: import path → canonical
+// package path (ImportMap) → export data file (PackageFile), read by the
+// standard gc importer.
+func unitImporter(cfg *UnitConfig, fset *token.FileSet) types.Importer {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// VersionLine prints the -V=full identity line the go command requires
+// from a vettool: `<name> version devel buildID=<hex>`. The build ID is a
+// content hash of the executable, so the go command's vet result cache
+// invalidates exactly when the tool changes.
+func VersionLine(w io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	name := filepath.Base(exe)
+	_, err = fmt.Fprintf(w, "%s version devel buildID=%x\n", name, h.Sum(nil))
+	return err
+}

@@ -1,0 +1,77 @@
+// Shared type-resolution helpers for the streamsched analyzers.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the function or method a call expression invokes,
+// or nil for calls through function values, built-ins and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the package-level function pkgPath.name
+// (e.g. "time".Now). It matches by full package path.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Name() == name &&
+		fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// IsMethod reports whether fn is a method called name on a (possibly
+// pointer) named receiver type recvType declared in package pkgPath.
+func IsMethod(fn *types.Func, pkgPath, recvType, name string) bool {
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == recvType && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// FuncHasDirective reports whether the function declaration carries the
+// given //-style directive comment (e.g. "//streamsched:hotpath") in its
+// doc comment group.
+func FuncHasDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -113,9 +113,6 @@ type Scheduler func(ctx context.Context, g *dag.Graph, p *platform.Platform, eps
 // any other scheduler error — including ctx cancellation — aborts the
 // search and is returned as-is.
 func MinPeriod(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, sched Scheduler, tol float64) (float64, *schedule.Schedule, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if tol <= 0 {
 		tol = 1e-3
 	}

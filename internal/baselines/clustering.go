@@ -57,7 +57,7 @@ func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Sc
 			edges = append(edges, edge{int(e.From), int(e.To), e.Volume})
 		}
 	}
-	sort.Slice(edges, func(i, j int) bool {
+	sort.SliceStable(edges, func(i, j int) bool {
 		if edges[i].vol != edges[j].vol {
 			return edges[i].vol > edges[j].vol
 		}
@@ -89,10 +89,12 @@ func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Sc
 	}
 	for len(roots) > p.NumProcs() {
 		var list []int
-		for r := range roots {
-			list = append(list, r)
+		for r := 0; r < n; r++ {
+			if roots[r] {
+				list = append(list, r)
+			}
 		}
-		sort.Slice(list, func(i, j int) bool {
+		sort.SliceStable(list, func(i, j int) bool {
 			if load[list[i]] != load[list[j]] {
 				return load[list[i]] < load[list[j]]
 			}
@@ -110,10 +112,12 @@ func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Sc
 
 	// Phase 3: heaviest cluster → fastest processor.
 	var clusters []int
-	for r := range roots {
-		clusters = append(clusters, r)
+	for r := 0; r < n; r++ {
+		if roots[r] {
+			clusters = append(clusters, r)
+		}
 	}
-	sort.Slice(clusters, func(i, j int) bool {
+	sort.SliceStable(clusters, func(i, j int) bool {
 		if load[clusters[i]] != load[clusters[j]] {
 			return load[clusters[i]] > load[clusters[j]]
 		}
@@ -123,7 +127,7 @@ func Clustered(g *dag.Graph, p *platform.Platform, period float64) (*schedule.Sc
 	for u := range procBySpeed {
 		procBySpeed[u] = platform.ProcID(u)
 	}
-	sort.Slice(procBySpeed, func(i, j int) bool {
+	sort.SliceStable(procBySpeed, func(i, j int) bool {
 		si, sj := p.Speed(procBySpeed[i]), p.Speed(procBySpeed[j])
 		if si != sj {
 			return si > sj

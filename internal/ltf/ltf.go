@@ -71,9 +71,6 @@ func run(ctx context.Context, st *mapper.State, chunkSize int, better mapper.Bet
 // note). A mid-way one-to-one failure rolls the task back through the task
 // transaction's journal mark.
 func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	for !st.Done() {
 		// Cancellation is checked once per chunk: a chunk is the placement
 		// loop's unit of work, so an abandoned search (tricrit, Batch) stops

@@ -86,6 +86,10 @@ func StagePreserving(bound int) Better {
 // call.
 func (st *State) orderSources(sources []schedule.Ref) []schedule.Ref {
 	st.srcBuf = append(st.srcBuf[:0], sources...)
+	// The comparator is total (Finish, then Task, then Copy break every
+	// tie), so the unstable sort is deterministic; this runs per placement
+	// trial and the stable variant's extra element moves are measurable.
+	//nolint:determcheck // total comparator, hot path
 	slices.SortFunc(st.srcBuf, func(a, b schedule.Ref) int {
 		ra, rb := st.Sched.Replica(a), st.Sched.Replica(b)
 		switch {
@@ -104,6 +108,8 @@ func (st *State) orderSources(sources []schedule.Ref) []schedule.Ref {
 
 // TrialFinish simulates placing a replica of t on u with the given sources
 // and returns the finish time, without mutating anything.
+//
+//streamsched:hotpath
 func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule.Ref) float64 {
 	txn := st.Sys.Begin()
 	defer txn.Abort()
@@ -319,6 +325,7 @@ func (st *State) headsReverse(t dag.TaskID, copy int, u platform.ProcID, pools [
 			cands = append(cands, revCand{ref, st.singleCommFinish(ref, t, u)})
 		}
 		st.revCands = cands
+		//nolint:determcheck // total comparator (fin, Task, Copy), hot path
 		slices.SortFunc(cands, func(a, b revCand) int {
 			switch {
 			case a.fin < b.fin:

@@ -365,6 +365,8 @@ func (st *State) Feasible(t dag.TaskID, u platform.ProcID, sources []schedule.Re
 // classified: the copy-disjointness exclusion maps to ReasonNoProcessor,
 // the compute-load clause to ReasonPeriodExceeded, and the port-budget
 // clauses to ReasonPortOverload.
+//
+//streamsched:hotpath
 func (st *State) evalCandidate(t dag.TaskID, u platform.ProcID, sources []schedule.Ref, trial bool) (cand Candidate, ok bool, why infeas.Reason) {
 	if st.copyProcs.At(int(t)).Contains(int(u)) {
 		return cand, false, infeas.ReasonNoProcessor // hard: two copies of one task on one processor
@@ -382,7 +384,7 @@ func (st *State) evalCandidate(t dag.TaskID, u platform.ProcID, sources []schedu
 	for i, src := range ordered {
 		r := st.Sched.Replica(src)
 		if r == nil {
-			panic(fmt.Sprintf("mapper: source %v not placed", src))
+			panicUnplacedSource(src)
 		}
 		eta := 1
 		st.durBuf[i] = 0
@@ -434,6 +436,12 @@ func (st *State) evalCandidate(t dag.TaskID, u platform.ProcID, sources []schedu
 		cand.Finish = fin
 	}
 	return cand, true, infeas.ReasonUnknown
+}
+
+// panicUnplacedSource is evalCandidate's cold panic path: the message
+// formatting must stay out of the hot function (PR5 allocation budget).
+func panicUnplacedSource(src schedule.Ref) {
+	panic(fmt.Sprintf("mapper: source %v not placed", src))
 }
 
 // stageOf computes the pipeline stage a replica of t would get on u with the

@@ -145,6 +145,8 @@ func (s *System) Mark() Mark { return Mark(len(s.ops)) }
 // ladder rolls whole tasks back this way. Marks must unwind LIFO; a mark
 // past the journal (already rolled back, or used out of order) panics
 // rather than silently resurrecting undone journal entries.
+//
+//streamsched:hotpath
 func (s *System) Rollback(m Mark) {
 	if m < 0 || int(m) > len(s.ops) {
 		panic("oneport: rollback to a mark past the journal (non-LIFO mark use)")
@@ -296,12 +298,11 @@ func (t *Txn) checkOpen() {
 // Validate re-checks every timeline invariant; tests call it after schedule
 // construction.
 func (s *System) Validate() error {
+	names := [3]string{"comp", "send", "recv"}
 	for u := range s.comp {
-		for name, tl := range map[string]*timeline.Timeline{
-			"comp": s.comp[u], "send": s.send[u], "recv": s.recv[u],
-		} {
+		for i, tl := range [3]*timeline.Timeline{s.comp[u], s.send[u], s.recv[u]} {
 			if err := tl.Validate(); err != nil {
-				return fmt.Errorf("oneport: proc %d %s: %w", u, name, err)
+				return fmt.Errorf("oneport: proc %d %s: %w", u, names[i], err)
 			}
 		}
 	}

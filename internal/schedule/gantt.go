@@ -68,7 +68,7 @@ func (s *Schedule) CommTable() string {
 				fmt.Sprintf("%v@P%d → %v@P%d vol=%.3g", c.From, src.Proc+1, r.Ref, r.Proc+1, c.Volume)})
 		}
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].start < rows[j].start })
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].start < rows[j].start })
 	var b strings.Builder
 	for _, r := range rows {
 		fmt.Fprintf(&b, "[%8.3f,%8.3f) %s\n", r.start, r.finish, r.desc)

@@ -129,6 +129,8 @@ func (s *Schedule) StageNumbers() map[Ref]int {
 // Stages returns S, the total number of pipeline stages (max over replicas).
 func (s *Schedule) Stages() int {
 	max := 0
+	// A max over map values is order-independent.
+	//nolint:determcheck // order-independent reduction
 	for _, v := range s.StageNumbers() {
 		if v > max {
 			max = v

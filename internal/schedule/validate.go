@@ -148,7 +148,7 @@ type window struct {
 }
 
 func checkDisjoint(kind string, u int, ws []window) error {
-	sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
 	for i := 1; i < len(ws); i++ {
 		if ws[i].start < ws[i-1].end-tol {
 			return fmt.Errorf("schedule: proc %d %s overlap: %s [%.6g,%.6g) vs %s [%.6g,%.6g)",

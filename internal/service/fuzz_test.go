@@ -1,0 +1,145 @@
+package service
+
+// Native fuzz targets for the wire boundary — the only place untrusted
+// bytes enter the stack. Two properties are pinned:
+//
+//   - FuzzWireDecode: for any JSON that decodes and builds, encoding is a
+//     fixed point — decode(encode(decode(x))) re-encodes byte-identically.
+//     This is the byte-stability contract the cache and proxies rely on,
+//     extended from the structured property tests to adversarial input.
+//   - FuzzCanonicalProblemHash: the canonical problem hash never panics on
+//     any input that builds, is deterministic, and is invariant under a
+//     wire round-trip of the problem (so cache keys computed from decoded
+//     requests equal keys computed from re-encoded ones).
+//
+// Seed corpus: testdata/fuzz/<target>/. CI runs each target for a short
+// budget (make fuzz); `go test -fuzz` explores from the same seeds.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// decodeBuildable decodes a SolveRequest and builds its graph and
+// platform, reporting ok=false for input that the wire layer rejects —
+// rejection is a valid outcome for adversarial bytes, never a failure.
+func decodeBuildable(data []byte) (req SolveRequest, ok bool) {
+	if err := json.Unmarshal(data, &req); err != nil {
+		return req, false
+	}
+	return req, true
+}
+
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"v":1,"graph":{"tasks":[{"work":1},{"work":2}],"edges":[{"from":0,"to":1,"volume":1}]},"platform":{"speeds":[1,1],"bandwidth":[[0,1],[1,0]]},"options":{"period":4}}`))
+	f.Add([]byte(`{"graph":{"tasks":[{"name":"α","work":0.5}]},"platform":{"speeds":[2],"bandwidth":[[0]]}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, ok := decodeBuildable(data)
+		if !ok {
+			return
+		}
+		if g, err := req.Graph.Build(); err == nil {
+			enc1, err := json.Marshal(GraphDTO(g))
+			if err != nil {
+				t.Fatalf("marshal decoded graph: %v", err)
+			}
+			var w2 Graph
+			if err := json.Unmarshal(enc1, &w2); err != nil {
+				t.Fatalf("re-decode emitted graph: %v", err)
+			}
+			g2, err := w2.Build()
+			if err != nil {
+				t.Fatalf("re-build emitted graph: %v", err)
+			}
+			enc2, err := json.Marshal(GraphDTO(g2))
+			if err != nil {
+				t.Fatalf("re-marshal graph: %v", err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("graph encoding not a fixed point:\n first %s\nsecond %s", enc1, enc2)
+			}
+		}
+		if p, err := req.Platform.Build(); err == nil {
+			enc1, err := json.Marshal(PlatformDTO(p))
+			if err != nil {
+				t.Fatalf("marshal decoded platform: %v", err)
+			}
+			var w2 Platform
+			if err := json.Unmarshal(enc1, &w2); err != nil {
+				t.Fatalf("re-decode emitted platform: %v", err)
+			}
+			p2, err := w2.Build()
+			if err != nil {
+				t.Fatalf("re-build emitted platform: %v", err)
+			}
+			enc2, err := json.Marshal(PlatformDTO(p2))
+			if err != nil {
+				t.Fatalf("re-marshal platform: %v", err)
+			}
+			if !bytes.Equal(enc1, enc2) {
+				t.Fatalf("platform encoding not a fixed point:\n first %s\nsecond %s", enc1, enc2)
+			}
+		}
+	})
+}
+
+func FuzzCanonicalProblemHash(f *testing.F) {
+	f.Add([]byte(`{"v":1,"graph":{"name":"g","tasks":[{"work":1},{"work":2},{"work":3}],"edges":[{"from":0,"to":2},{"from":1,"to":2,"volume":2.5}]},"platform":{"speeds":[1,2],"bandwidth":[[0,3],[3,0]]},"options":{"algorithm":"ltf","eps":1,"period":9}}`))
+	f.Add([]byte(`{"graph":{"tasks":[{"work":1e300}]},"platform":{"speeds":[1e-300],"bandwidth":[[0]]},"options":{"period":0.125}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, ok := decodeBuildable(data)
+		if !ok {
+			return
+		}
+		g, err := req.Graph.Build()
+		if err != nil {
+			return
+		}
+		p, err := req.Platform.Build()
+		if err != nil {
+			return
+		}
+		s, err := req.Options.Solver()
+		if err != nil {
+			return
+		}
+		h1 := ProblemHash(g, p, s)
+		if len(h1) != 64 {
+			t.Fatalf("hash %q is not 64 hex chars", h1)
+		}
+		if h2 := ProblemHash(g, p, s); h2 != h1 {
+			t.Fatalf("hash not deterministic: %s vs %s", h1, h2)
+		}
+		// The hash is a function of the problem, not of its wire spelling:
+		// a DTO round-trip must preserve it.
+		genc, err := json.Marshal(GraphDTO(g))
+		if err != nil {
+			t.Fatalf("marshal graph: %v", err)
+		}
+		penc, err := json.Marshal(PlatformDTO(p))
+		if err != nil {
+			t.Fatalf("marshal platform: %v", err)
+		}
+		var gw Graph
+		var pw Platform
+		if err := json.Unmarshal(genc, &gw); err != nil {
+			t.Fatalf("re-decode graph: %v", err)
+		}
+		if err := json.Unmarshal(penc, &pw); err != nil {
+			t.Fatalf("re-decode platform: %v", err)
+		}
+		g2, err := gw.Build()
+		if err != nil {
+			t.Fatalf("re-build graph: %v", err)
+		}
+		p2, err := pw.Build()
+		if err != nil {
+			t.Fatalf("re-build platform: %v", err)
+		}
+		if h3 := ProblemHash(g2, p2, s); h3 != h1 {
+			t.Fatalf("hash not stable under wire round-trip: %s vs %s", h1, h3)
+		}
+	})
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 	"sort"
 
 	"streamsched/internal/dag"
@@ -288,7 +289,7 @@ func NewEngine(s *schedule.Schedule) (*Engine, error) {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
+	sort.SliceStable(order, func(a, b int) bool {
 		la, lb := e.links[order[a]], e.links[order[b]]
 		if fa, fb := repFinish[la.srcRep], repFinish[lb.srcRep]; fa != fb {
 			return fa < fb
@@ -377,9 +378,6 @@ func (e *Engine) growRing() {
 // loop with ctx.Err(). Buffers are recycled across calls; the returned
 // Result owns its slices.
 func (e *Engine) Run(ctx context.Context, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if cfg.Items <= 0 {
 		cfg = DefaultConfig(e.s)
 	}
@@ -450,6 +448,9 @@ func (e *Engine) reset(cfg Config) {
 	e.spans = nil
 	if cfg.Synchronous && !e.haveStages {
 		e.stage = make([]int32, e.nrep)
+		// Each map key writes one distinct slice index, so visit order
+		// cannot affect the result.
+		//nolint:determcheck // order-independent scatter into e.stage
 		for ref, st := range e.s.StageNumbers() {
 			e.stage[int(ref.Task)*e.epsP1+ref.Copy] = int32(st)
 		}
@@ -889,7 +890,7 @@ func (e *Engine) liveItemsAsc() []int32 {
 			items = append(items, it)
 		}
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	slices.Sort(items)
 	return items
 }
 
@@ -900,6 +901,8 @@ func (e *Engine) markDirty(u int32) { e.dirty[u>>6] |= 1 << (uint(u) & 63) }
 // dispatch starts any work the current event could have enabled: CPU
 // executions on dirty processors, then pending transfers from the candidate
 // list, in the original engine's arbitration order.
+//
+//streamsched:hotpath
 func (e *Engine) dispatch() {
 	// Cycle gates that opened by now make their processor dirty.
 	for len(e.cpuGates) > 0 && e.cpuGates[0].at <= e.now {
@@ -933,6 +936,8 @@ func (e *Engine) dispatch() {
 // cpuDispatch replicates one processor's slice of the original CPU scan:
 // wake-ups for newly gated instances (idle processors only, append order),
 // gate openings, then the instLess-minimum ready instance starts.
+//
+//streamsched:hotpath
 func (e *Engine) cpuDispatch(u int32) {
 	if e.cpuBusy[u] || e.dead(u) {
 		return
@@ -980,6 +985,8 @@ func (e *Engine) commKey(ci int32) uint64 {
 // order: dead endpoints drop (cascading), closed cycle gates wake once,
 // free port pairs grant greedily. Duplicate candidates are harmless — a
 // resolved transfer is skipped, a blocked one re-checks idempotently.
+//
+//streamsched:hotpath
 func (e *Engine) commDispatch() {
 	cs := e.candidates
 	for i := 1; i < len(cs); i++ { // insertion sort: candidate lists are tiny

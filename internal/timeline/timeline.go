@@ -112,6 +112,8 @@ func (tl *Timeline) Mark() int { return len(tl.journal) }
 // Rollback undoes every journaled reservation made since mark, most recent
 // first, in O(changes). Marks must be rolled back LIFO; a mark past the
 // journal panics rather than silently resurrecting undone entries.
+//
+//streamsched:hotpath
 func (tl *Timeline) Rollback(mark int) {
 	if mark < 0 || mark > len(tl.journal) {
 		panic("timeline: rollback to a mark past the journal (non-LIFO mark use)")
@@ -223,9 +225,11 @@ func (tl *Timeline) FitsAt(s, dur float64) bool {
 // Reserve inserts a busy interval. It returns an error if the interval
 // overlaps an existing reservation or has negative length. Zero-length
 // intervals are accepted and ignored.
+//
+//streamsched:hotpath
 func (tl *Timeline) Reserve(iv Interval) error {
 	if iv.End < iv.Start {
-		return fmt.Errorf("timeline: invalid interval [%v,%v)", iv.Start, iv.End)
+		return errInvalidInterval(iv)
 	}
 	if iv.Len() == 0 {
 		return nil
@@ -233,10 +237,10 @@ func (tl *Timeline) Reserve(iv Interval) error {
 	i := sort.Search(len(tl.busy), func(k int) bool { return tl.busy[k].Start >= iv.Start })
 	// Check neighbours for overlap, tolerating eps-sized numerical overlap.
 	if i > 0 && tl.busy[i-1].End > iv.Start+eps {
-		return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", iv.Start, iv.End, tl.busy[i-1].Start, tl.busy[i-1].End)
+		return errOverlap(iv, tl.busy[i-1])
 	}
 	if i < len(tl.busy) && tl.busy[i].Start < iv.End-eps {
-		return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", iv.Start, iv.End, tl.busy[i].Start, tl.busy[i].End)
+		return errOverlap(iv, tl.busy[i])
 	}
 	if tl.seqSrc != nil {
 		tl.journal = append(tl.journal, undoRec{prevSeq: tl.seq, idx: int32(i)})
@@ -244,6 +248,16 @@ func (tl *Timeline) Reserve(iv Interval) error {
 	tl.busy = slices.Insert(tl.busy, i, iv)
 	tl.bump()
 	return nil
+}
+
+// Cold error constructors keep message formatting out of Reserve, whose
+// per-call allocation budget the PR2 benchmarks pin.
+func errInvalidInterval(iv Interval) error {
+	return fmt.Errorf("timeline: invalid interval [%v,%v)", iv.Start, iv.End)
+}
+
+func errOverlap(iv, busy Interval) error {
+	return fmt.Errorf("timeline: [%v,%v) overlaps [%v,%v)", iv.Start, iv.End, busy.Start, busy.End)
 }
 
 // MustReserve is Reserve but panics on error; used where the caller has
