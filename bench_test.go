@@ -391,6 +391,97 @@ func BenchmarkMinPeriod(b *testing.B) {
 	}
 }
 
+// replanBench pins one (instance size × delta kind) repair scenario shared
+// by BenchmarkReplan and BenchmarkReplanCold, so the two benchmarks form a
+// true differential: same committed schedule, same post-delta platform.
+type replanBench struct {
+	name  string
+	old   *streamsched.Schedule
+	p     *streamsched.Platform
+	delta streamsched.PlatformDelta
+}
+
+// replanBenchCases builds the small (m=8) and large (m=20, paper-sized
+// stream graph) instances under forward LTF, each with a single-processor
+// loss and a speed-degrade delta.
+func replanBenchCases(b *testing.B) ([]replanBench, *streamsched.Solver) {
+	b.Helper()
+	solver, err := streamsched.NewSolver(
+		streamsched.WithAlgorithm(streamsched.LTF),
+		streamsched.WithEps(1),
+		streamsched.WithPeriod(40),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cases []replanBench
+	for _, size := range []struct {
+		name string
+		m    int
+	}{{"small", 8}, {"large", 20}} {
+		r := rng.New(11)
+		p := platform.RandomHeterogeneous(r, size.m, 0.5, 1, 0.5, 1, 100)
+		g := randgraph.Stream(r, randgraph.DefaultStreamConfig(), p)
+		old, err := solver.Solve(context.Background(), g, p)
+		if err != nil {
+			b.Fatalf("%s: committed solve: %v", size.name, err)
+		}
+		cases = append(cases,
+			replanBench{size.name + "/lostproc", old, p,
+				streamsched.PlatformDelta{Lost: []streamsched.ProcID{3}}},
+			replanBench{size.name + "/degrade", old, p,
+				streamsched.PlatformDelta{Speed: []streamsched.ProcSpeedChange{{Proc: 0, Speed: p.Speed(0) * 0.5}}}},
+		)
+	}
+	return cases, solver
+}
+
+// BenchmarkReplan measures incremental repair: replay the surviving
+// placement, journal-unwind and re-place only the evicted tasks. The
+// differential claim — repair beats the cold re-solve on small deltas,
+// in particular single-processor loss on the paper-sized instance — is
+// checked against BenchmarkReplanCold in the recorded baseline (Makefile
+// BENCH_RE; both are part of the CI perf gate).
+func BenchmarkReplan(b *testing.B) {
+	cases, solver := replanBenchCases(b)
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := solver.Replan(context.Background(), tc.old, tc.delta)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.ColdSolve {
+					b.Fatal("repair fell back to a cold solve; the benchmark measures incremental repair")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplanCold measures the alternative repair refuses to default
+// to: a full re-solve of the same instance on the same post-delta
+// platform.
+func BenchmarkReplanCold(b *testing.B) {
+	cases, solver := replanBenchCases(b)
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			newP, _, err := tc.delta.Apply(tc.p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(context.Background(), tc.old.G, newP); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkServiceSolveCached measures the scheduling service's steady
 // state: one cached /v1/solve request — decode, build, canonical hash,
 // LRU hit, pre-rendered response — through the real handler stack

@@ -4,14 +4,17 @@
 //	POST /v1/solve     one problem → schedule (200), typed infeasibility
 //	                   (409), or backpressure (429 + Retry-After)
 //	POST /v1/batch     many problems fanned through the solver worker pool
+//	POST /v1/replan    committed schedule + platform delta → incrementally
+//	                   repaired schedule with repair stats (200), typed
+//	                   infeasibility or exceeded repair budget (409)
 //	POST /v1/simulate  solve + a scenario sweep on one simulation engine
 //	GET  /healthz      liveness
 //	GET  /metrics      expvar-style counters: requests, cache hit ratio,
 //	                   queue depth, p50/p90/p99 latency
 //
 // Identical concurrent problems solve once (canonical hashing + coalescing)
-// and repeat problems are served from a bounded LRU cache; see
-// internal/service and DESIGN.md §8.
+// and repeat problems — solves and replans alike — are served from a
+// bounded LRU cache; see internal/service and DESIGN.md §8, §10.
 //
 //	streamschedd -addr :8080 -workers 8 -queue 32 -cache 1024
 package main

@@ -13,14 +13,7 @@
 // against R-LTF per instance.
 package core
 
-import (
-	"context"
-	"fmt"
-
-	"streamsched/internal/dag"
-	"streamsched/internal/platform"
-	"streamsched/internal/schedule"
-)
+import "fmt"
 
 // Algorithm selects a scheduling algorithm.
 type Algorithm int
@@ -53,89 +46,4 @@ func (a Algorithm) String() string {
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
-}
-
-// Problem is one tri-criteria scheduling instance.
-//
-// Deprecated: Problem predates the Solver API and remains only as a source
-// compatibility shim. Build a Solver with [NewSolver] — it validates options
-// as they apply, accepts a context and a latency cap, and supports the
-// Portfolio mode — and pass the graph and platform to [Solver.Solve].
-type Problem struct {
-	// Graph is the streaming application workflow.
-	Graph *dag.Graph
-	// Platform is the heterogeneous target.
-	Platform *platform.Platform
-	// Eps is ε, the number of arbitrary fail-silent/fail-stop processor
-	// failures the schedule must survive (each task runs as ε+1 replicas).
-	Eps int
-	// Period is Δ = 1/T, the required iteration period. The schedule is
-	// rejected if any processor's compute or port load exceeds it.
-	Period float64
-	// ChunkSize optionally overrides the iso-level chunk bound B (0 → m).
-	ChunkSize int
-	// DisableOneToOne forces full communication replication (ablation).
-	DisableOneToOne bool
-}
-
-// Validate checks the instance parameters.
-func (pr *Problem) Validate() error {
-	if pr.Graph == nil || pr.Platform == nil {
-		return fmt.Errorf("core: nil graph or platform")
-	}
-	if err := pr.Graph.Validate(); err != nil {
-		return err
-	}
-	if pr.Eps < 0 {
-		return fmt.Errorf("core: negative ε %d", pr.Eps)
-	}
-	if pr.Period <= 0 {
-		return fmt.Errorf("core: non-positive period %v", pr.Period)
-	}
-	return nil
-}
-
-// Solver converts the instance into an equivalent Solver for algo.
-func (pr *Problem) Solver(algo Algorithm) (*Solver, error) {
-	if err := pr.Validate(); err != nil {
-		return nil, err
-	}
-	return NewSolver(
-		WithAlgorithm(algo),
-		WithEps(pr.Eps),
-		WithPeriod(pr.Period),
-		WithChunkSize(pr.ChunkSize),
-		WithOneToOne(!pr.DisableOneToOne),
-	)
-}
-
-// Solve runs the selected algorithm on the instance.
-//
-// Deprecated: build a Solver with [NewSolver] and call
-// [Solver.Solve](ctx, g, p) — it accepts a context, a latency cap and the
-// Portfolio mode. Solve is a thin shim kept for source compatibility; it
-// solves under context.Background(). The //go:fix annotation below lets
-// modernizing tooling inline the replacement mechanically.
-//
-//go:fix inline
-func (pr *Problem) Solve(algo Algorithm) (*schedule.Schedule, error) {
-	s, err := pr.Solver(algo)
-	if err != nil {
-		return nil, err
-	}
-	return s.Solve(context.Background(), pr.Graph, pr.Platform)
-}
-
-// SolveAll runs LTF and R-LTF on the instance and returns both schedules
-// (nil where infeasible) — the comparison the paper's evaluation makes.
-//
-// Deprecated: use [SolveMany] with two requests — one WithAlgorithm(LTF),
-// one WithAlgorithm(RLTF) — or a Portfolio Solver built with [NewSolver]
-// when only the better schedule is needed.
-//
-//go:fix inline
-func (pr *Problem) SolveAll() (ltfSched, rltfSched *schedule.Schedule, ltfErr, rltfErr error) {
-	ltfSched, ltfErr = pr.Solve(LTF)
-	rltfSched, rltfErr = pr.Solve(RLTF)
-	return
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -8,16 +9,31 @@ import (
 	"streamsched/internal/platform"
 )
 
-func prob() *Problem {
+// instance builds the shared tiny test instance: a two-task chain on four
+// homogeneous processors.
+func instance() (*dag.Graph, *platform.Platform) {
 	g := dag.New("g")
 	a := g.AddTask("a", 1)
 	b := g.AddTask("b", 1)
 	g.MustAddEdge(a, b, 1)
-	return &Problem{Graph: g, Platform: platform.Homogeneous(4, 1, 1), Eps: 1, Period: 10}
+	return g, platform.Homogeneous(4, 1, 1)
+}
+
+// solve runs the instance through a Solver configured for algo with the
+// shared ε=1, Δ=10 parameters.
+func solve(t *testing.T, algo Algorithm) (*Solver, *dag.Graph, *platform.Platform) {
+	t.Helper()
+	s, err := NewSolver(WithAlgorithm(algo), WithEps(1), WithPeriod(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, p := instance()
+	return s, g, p
 }
 
 func TestSolveLTF(t *testing.T) {
-	s, err := prob().Solve(LTF)
+	sv, g, p := solve(t, LTF)
+	s, err := sv.Solve(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +46,8 @@ func TestSolveLTF(t *testing.T) {
 }
 
 func TestSolveRLTF(t *testing.T) {
-	s, err := prob().Solve(RLTF)
+	sv, g, p := solve(t, RLTF)
+	s, err := sv.Solve(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +57,8 @@ func TestSolveRLTF(t *testing.T) {
 }
 
 func TestSolveFaultFree(t *testing.T) {
-	s, err := prob().Solve(FaultFree)
+	sv, g, p := solve(t, FaultFree)
+	s, err := sv.Solve(context.Background(), g, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,30 +67,53 @@ func TestSolveFaultFree(t *testing.T) {
 	}
 }
 
-func TestSolveUnknownAlgorithm(t *testing.T) {
-	if _, err := prob().Solve(Algorithm(99)); err == nil {
+func TestSolverRejectsUnknownAlgorithm(t *testing.T) {
+	if _, err := NewSolver(WithAlgorithm(Algorithm(99)), WithPeriod(10)); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
-func TestSolveAll(t *testing.T) {
-	l, r, le, re := prob().SolveAll()
-	if le != nil || re != nil || l == nil || r == nil {
-		t.Fatalf("SolveAll: %v %v", le, re)
+func TestSolveManyBothAlgorithms(t *testing.T) {
+	g, p := instance()
+	reqs := []Request{
+		{Graph: g, Platform: p, Opts: []Option{WithAlgorithm(LTF)}},
+		{Graph: g, Platform: p, Opts: []Option{WithAlgorithm(RLTF)}},
+	}
+	results := SolveMany(context.Background(), reqs, WithEps(1), WithPeriod(10))
+	for i, r := range results {
+		if r.Err != nil || r.Schedule == nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if a, b := results[0].Schedule.Algorithm, results[1].Schedule.Algorithm; a != "LTF" || b != "R-LTF" {
+		t.Fatalf("algorithms = %q, %q", a, b)
 	}
 }
 
-func TestValidateRejectsBadInstances(t *testing.T) {
-	cases := []*Problem{
-		{},
-		{Graph: dag.New("empty"), Platform: platform.Homogeneous(2, 1, 1), Period: 1},
-		func() *Problem { p := prob(); p.Eps = -1; return p }(),
-		func() *Problem { p := prob(); p.Period = 0; return p }(),
+func TestSolverRejectsBadConfigurations(t *testing.T) {
+	cases := [][]Option{
+		{},                                  // missing period
+		{WithPeriod(0)},                     // non-positive period
+		{WithEps(-1), WithPeriod(10)},       // negative ε
+		{WithPeriod(10), WithChunkSize(-1)}, // negative chunk
 	}
-	for i, c := range cases {
-		if _, err := c.Solve(LTF); err == nil {
+	for i, opts := range cases {
+		if _, err := NewSolver(opts...); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
+	}
+}
+
+func TestSolveRejectsBadInstances(t *testing.T) {
+	sv, g, p := solve(t, LTF)
+	if _, err := sv.Solve(context.Background(), nil, p); err == nil {
+		t.Error("nil graph: expected error")
+	}
+	if _, err := sv.Solve(context.Background(), g, nil); err == nil {
+		t.Error("nil platform: expected error")
+	}
+	if _, err := sv.Solve(context.Background(), dag.New("empty"), p); err == nil {
+		t.Error("empty graph: expected error")
 	}
 }
 

@@ -1,0 +1,120 @@
+package core
+
+// Online rescheduling. Replan turns a committed schedule plus an observed
+// platform delta into a schedule for the post-delta platform, preferring
+// incremental repair (internal/repair: replay the surviving placement,
+// journal-unwind and re-place only the evicted tasks) and falling back to
+// a cold re-solve when repair fails or exceeds the configured budget.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"streamsched/internal/infeas"
+	"streamsched/internal/repair"
+	"streamsched/internal/schedule"
+)
+
+// Delta re-exports the platform change set consumed by Replan.
+type Delta = repair.Delta
+
+// RepairStats re-exports the repair statistics carried by a ReplanResult.
+type RepairStats = repair.Stats
+
+// ErrRepairBudget re-exports the typed budget-exhaustion error, returned
+// by Replan when the budget is exceeded and cold fallback is disabled.
+var ErrRepairBudget = repair.ErrBudgetExceeded
+
+// ReplanResult is a successful Replan: the schedule for the post-delta
+// platform plus how it was obtained (replayed/repaired task counts, or
+// ColdSolve when repair fell back to a full re-solve).
+type ReplanResult struct {
+	Schedule *schedule.Schedule
+	Stats    RepairStats
+}
+
+// replanCfg collects the Replan options.
+type replanCfg struct {
+	budget       int
+	coldFallback bool
+}
+
+// ReplanOption configures one Replan call.
+type ReplanOption func(*replanCfg) error
+
+// WithRepairBudget bounds the number of tasks repair may re-place through
+// the search machinery before giving up (0, the default, is unlimited).
+// An exceeded budget triggers the cold-solve fallback, or fails with
+// ErrRepairBudget when the fallback is disabled.
+func WithRepairBudget(n int) ReplanOption {
+	return func(c *replanCfg) error {
+		if n < 0 {
+			return fmt.Errorf("core: negative repair budget %d", n)
+		}
+		c.budget = n
+		return nil
+	}
+}
+
+// WithColdFallback toggles the fall-back-to-cold-solve policy (default
+// on): when repair fails — infeasible re-placement, exceeded budget, or a
+// latency cap the repaired schedule misses — Replan re-solves the instance
+// from scratch on the post-delta platform. Disabling it surfaces the
+// repair error instead, which lets callers distinguish "the old schedule
+// survived" from "we paid for a full solve".
+func WithColdFallback(on bool) ReplanOption {
+	return func(c *replanCfg) error {
+		c.coldFallback = on
+		return nil
+	}
+}
+
+// Replan schedules old's graph on the platform obtained by applying delta
+// to old's platform. The solver must agree with the committed schedule on
+// ε and the period (they define the replication degree and the feasibility
+// budgets repair re-validates); algorithm, chunking and the latency cap
+// are taken from the solver. Infeasibility — of a repair re-placement with
+// the fallback disabled, or of the cold re-solve — is reported through the
+// usual typed ErrInfeasible family; a cancelled ctx aborts with ctx.Err().
+func (s *Solver) Replan(ctx context.Context, old *schedule.Schedule, delta Delta, opts ...ReplanOption) (*ReplanResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if old == nil {
+		return nil, errors.New("core: Replan requires the committed schedule")
+	}
+	if old.Eps != s.eps || old.Period != s.period {
+		return nil, fmt.Errorf("core: solver (ε=%d, Δ=%v) does not match the committed schedule (ε=%d, Δ=%v)",
+			s.eps, s.period, old.Eps, old.Period)
+	}
+	cfg := replanCfg{coldFallback: true}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	newP, remap, err := delta.Apply(old.P)
+	if err != nil {
+		return nil, err
+	}
+	res, rerr := repair.Repair(ctx, old, newP, remap, cfg.budget)
+	if rerr == nil && s.latencyCap > 0 && res.Schedule.LatencyBound() > s.latencyCap+latencyTol {
+		rerr = infeas.Newf(ReasonLatencyExceeded, s.period,
+			"repaired latency bound %g exceeds cap %g", res.Schedule.LatencyBound(), s.latencyCap)
+	}
+	if rerr != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if !cfg.coldFallback {
+			return nil, rerr
+		}
+		sched, serr := s.Solve(ctx, old.G, newP)
+		if serr != nil {
+			return nil, serr
+		}
+		return &ReplanResult{Schedule: sched, Stats: RepairStats{ColdSolve: true}}, nil
+	}
+	return &ReplanResult{Schedule: res.Schedule, Stats: res.Stats}, nil
+}

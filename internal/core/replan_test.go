@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/repair"
+	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
+)
+
+// replanInstance builds a realistic stream instance and solves it.
+func replanInstance(t *testing.T) (*Solver, *schedule.Schedule, *platform.Platform) {
+	t.Helper()
+	r := rng.New(47)
+	p := platform.RandomHeterogeneous(r, 12, 0.5, 1, 0.5, 1, 100)
+	g := randgraph.Stream(r, randgraph.DefaultStreamConfig(), p)
+	sv, err := NewSolver(WithAlgorithm(LTF), WithEps(1), WithPeriod(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := sv.Solve(context.Background(), g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv, old, p
+}
+
+func TestReplanProcessorLoss(t *testing.T) {
+	sv, old, p := replanInstance(t)
+	res, err := sv.Replan(context.Background(), old, Delta{Lost: []platform.ProcID{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ColdSolve {
+		t.Fatalf("repair fell back to a cold solve: stats %+v", res.Stats)
+	}
+	if res.Schedule.P.NumProcs() != p.NumProcs()-1 {
+		t.Fatalf("replanned schedule has %d processors", res.Schedule.P.NumProcs())
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("replanned schedule invalid: %v", err)
+	}
+}
+
+func TestReplanBudgetFallsBackCold(t *testing.T) {
+	sv, old, _ := replanInstance(t)
+	res, err := sv.Replan(context.Background(), old, Delta{Lost: []platform.ProcID{3}}, WithRepairBudget(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.ColdSolve {
+		t.Fatalf("expected a cold-solve fallback, got stats %+v", res.Stats)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatalf("cold-solved schedule invalid: %v", err)
+	}
+}
+
+func TestReplanNoColdFallbackSurfacesBudgetError(t *testing.T) {
+	sv, old, _ := replanInstance(t)
+	_, err := sv.Replan(context.Background(), old, Delta{Lost: []platform.ProcID{3}},
+		WithRepairBudget(1), WithColdFallback(false))
+	if !errors.Is(err, ErrRepairBudget) {
+		t.Fatalf("got %v, want ErrRepairBudget", err)
+	}
+}
+
+func TestReplanGuards(t *testing.T) {
+	sv, old, _ := replanInstance(t)
+	if _, err := sv.Replan(context.Background(), nil, Delta{}); err == nil {
+		t.Error("nil schedule: expected error")
+	}
+	if _, err := sv.Replan(context.Background(), old, Delta{}, WithRepairBudget(-1)); err == nil {
+		t.Error("negative budget: expected error")
+	}
+	if _, err := sv.Replan(context.Background(), old, Delta{Lost: []platform.ProcID{99}}); err == nil {
+		t.Error("bad delta: expected error")
+	}
+	other, err := NewSolver(WithAlgorithm(LTF), WithEps(2), WithPeriod(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Replan(context.Background(), old, Delta{}); err == nil {
+		t.Error("ε mismatch: expected error")
+	}
+}
+
+func TestReplanCancelledContext(t *testing.T) {
+	sv, old, _ := replanInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sv.Replan(ctx, old, Delta{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestReplanEmptyDeltaReplaysAll(t *testing.T) {
+	sv, old, _ := replanInstance(t)
+	res, err := sv.Replan(context.Background(), old, repair.Delta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Replayed != old.G.NumTasks() || res.Stats.Repaired != 0 {
+		t.Fatalf("empty delta: stats %+v", res.Stats)
+	}
+}

@@ -11,17 +11,21 @@ import (
 	"container/list"
 	"sync"
 
+	"streamsched/internal/core"
 	"streamsched/internal/infeas"
 	"streamsched/internal/schedule"
 )
 
 // outcome is the cacheable result of solving one problem: exactly one of
-// sched and infeas is set.
+// sched and infeas is set. replan is set on replan outcomes only — the
+// repair statistics are as deterministic a function of the replan hash as
+// the schedule itself, so they cache alongside it.
 type outcome struct {
 	sched     *schedule.Schedule
 	schedJSON []byte
 	summary   *ScheduleSummary
 	infeas    *infeas.Error
+	replan    *core.RepairStats
 }
 
 // lruCache is a plain mutex-guarded LRU: a map into an access-ordered

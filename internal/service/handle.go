@@ -1,0 +1,486 @@
+package service
+
+// The in-process service API. Handle owns the full serving pipeline —
+// canonical hashing, the LRU result cache, single-flight coalescing,
+// admission (bounded queue + worker slots) and the metrics — with no HTTP
+// anywhere in sight: embedders call Solve/SolveBatch/Replan directly and
+// get the same caching, coalescing and backpressure behaviour as a remote
+// client of streamschedd. Server (server.go) is a thin HTTP adapter over a
+// Handle: it decodes wire DTOs, delegates here, and renders responses.
+//
+// Request lifecycle for Solve:
+//
+//	canonical hash → cache (hit: return) → flight Claim
+//	  follower: wait for the flight's outcome (no queue slot consumed)
+//	  leader:   start the flight — admission (bounded queue → worker
+//	            slot) → solve → cache.Put → Fulfill — in a DETACHED
+//	            goroutine under the handle's own compute budget
+//	            (MaxTimeout), then wait on it like a follower
+//
+// Detaching the computation from the leader's caller context is what
+// makes coalescing sound: a leader that gives up, or whose deadline is
+// shorter than a follower's, must not poison the followers with its
+// context error. Every caller honors its own deadline while waiting; the
+// work itself always runs to completion (within MaxTimeout) and lands in
+// the cache. Replan runs the same lifecycle keyed by ReplanHash — the
+// (problem, schedule, delta, policy) tuple — in the same cache and flight
+// map as Solve (the key spaces are disjoint by construction: distinct
+// leading magics).
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"streamsched/internal/core"
+	"streamsched/internal/dag"
+	"streamsched/internal/platform"
+	"streamsched/internal/schedule"
+)
+
+// ErrQueueFull is the admission rejection: the handle already has
+// Workers+QueueLimit work units pending. The HTTP adapter maps it to 429.
+var ErrQueueFull = errors.New("service: work queue full")
+
+// Handle is the in-process scheduling service. Build with NewHandle (or
+// New for the HTTP-serving Server). Methods are safe for concurrent use.
+type Handle struct {
+	cfg     Config
+	slots   chan struct{}
+	cache   *lruCache
+	flights *flightGroup
+	m       *metrics
+
+	// solve and replan perform one underlying computation; tests swap them
+	// to gate or count solver entry deterministically.
+	solve  func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error)
+	replan func(ctx context.Context, sv *core.Solver, old *schedule.Schedule, d core.Delta, opts ...core.ReplanOption) (*core.ReplanResult, error)
+}
+
+// NewHandle builds an in-process service handle from cfg (zero value:
+// sensible defaults).
+func NewHandle(cfg Config) *Handle {
+	cfg = cfg.withDefaults()
+	h := &Handle{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.Workers),
+		cache:   newLRUCache(cfg.CacheEntries),
+		flights: newFlightGroup(),
+		m:       newMetrics(),
+	}
+	h.solve = func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error) {
+		if err := h.debugDelay(ctx); err != nil {
+			return nil, err
+		}
+		return sv.Solve(ctx, g, p)
+	}
+	h.replan = func(ctx context.Context, sv *core.Solver, old *schedule.Schedule, d core.Delta, opts ...core.ReplanOption) (*core.ReplanResult, error) {
+		if err := h.debugDelay(ctx); err != nil {
+			return nil, err
+		}
+		return sv.Replan(ctx, old, d, opts...)
+	}
+	return h
+}
+
+// debugDelay sleeps the configured SolveDelay (load/smoke testing only).
+func (h *Handle) debugDelay(ctx context.Context) error {
+	if h.cfg.SolveDelay <= 0 {
+		return nil
+	}
+	select {
+	case <-time.After(h.cfg.SolveDelay):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Metrics returns a point-in-time snapshot of the service counters.
+func (h *Handle) Metrics() MetricsSnapshot { return h.snapshot() }
+
+// ---- public request/result types ---------------------------------------
+
+// Spec is one in-process solve request: a validated in-memory problem.
+// (Wire-facing callers decode their DTOs first; see Graph.Build,
+// Platform.Build and Options.Solver.)
+type Spec struct {
+	Graph    *dag.Graph
+	Platform *platform.Platform
+	Solver   *core.Solver
+}
+
+func (sp Spec) validate() error {
+	if sp.Graph == nil || sp.Platform == nil || sp.Solver == nil {
+		return errors.New("service: spec requires graph, platform and solver")
+	}
+	return nil
+}
+
+// ReplanSpec is one in-process replan request: a committed schedule (which
+// carries its graph and pre-delta platform), the solver to repair or
+// re-solve with, the platform delta, and the repair policy.
+type ReplanSpec struct {
+	Old    *schedule.Schedule
+	Solver *core.Solver
+	Delta  core.Delta
+	// RepairBudget bounds search re-placements (0 = unlimited).
+	RepairBudget int
+	// NoColdFallback surfaces repair failure instead of re-solving cold.
+	NoColdFallback bool
+}
+
+func (sp ReplanSpec) validate() error {
+	if sp.Old == nil || sp.Solver == nil {
+		return errors.New("service: replan spec requires the committed schedule and a solver")
+	}
+	return nil
+}
+
+// Outcome is the in-process result of Solve or Replan. Exactly one of
+// Schedule (with ScheduleJSON and Summary) and Infeasible is set.
+type Outcome struct {
+	// Hash is the canonical cache key of the request.
+	Hash string
+	// Cached reports an LRU hit; Coalesced that the call piggybacked on an
+	// identical in-flight computation.
+	Cached    bool
+	Coalesced bool
+	// Schedule is the result; ScheduleJSON its interchange rendering,
+	// marshalled once at solve time and shared by every cache hit.
+	Schedule     *schedule.Schedule
+	ScheduleJSON []byte
+	Summary      *ScheduleSummary
+	// Infeasible is the typed "no schedule exists" outcome.
+	Infeasible *Infeasible
+	// Replan carries the repair statistics of a Replan outcome.
+	Replan *core.RepairStats
+}
+
+// BatchResult pairs one batch element's outcome with its error; exactly
+// one of the two is meaningful.
+type BatchResult struct {
+	Outcome Outcome
+	Err     error
+}
+
+// publish converts an internal outcome to the public form.
+func publish(out outcome, hash string, state hitState) Outcome {
+	return Outcome{
+		Hash:         hash,
+		Cached:       state == hitCache,
+		Coalesced:    state == hitCoalesced,
+		Schedule:     out.sched,
+		ScheduleJSON: out.schedJSON,
+		Summary:      out.summary,
+		Infeasible:   out.infeas,
+		Replan:       out.replan,
+	}
+}
+
+// ---- public pipeline entry points ---------------------------------------
+
+// Solve resolves one problem through cache → coalescing → admission →
+// solver, waiting under ctx (which should carry the caller's deadline).
+// Infeasibility is an Outcome, not an error; ErrQueueFull and context
+// errors are errors.
+func (h *Handle) Solve(ctx context.Context, sp Spec) (Outcome, error) {
+	if err := sp.validate(); err != nil {
+		return Outcome{}, err
+	}
+	out, hash, state, err := h.solveProblem(ctx, sp.Graph, sp.Platform, sp.Solver)
+	if err != nil {
+		return Outcome{Hash: hash}, err
+	}
+	return publish(out, hash, state), nil
+}
+
+// Replan resolves one replan request through the same cache → coalescing →
+// admission pipeline as Solve, keyed by the canonical replan hash.
+func (h *Handle) Replan(ctx context.Context, sp ReplanSpec) (Outcome, error) {
+	if err := sp.validate(); err != nil {
+		return Outcome{}, err
+	}
+	hash, err := ReplanHash(sp)
+	if err != nil {
+		return Outcome{}, err
+	}
+	out, state, err := h.replanProblem(ctx, hash, sp)
+	if err != nil {
+		return Outcome{Hash: hash}, err
+	}
+	return publish(out, hash, state), nil
+}
+
+// SolveBatch resolves many problems, returning one result per spec in
+// order. Cache hits and coalesced joins resolve without consuming solver
+// capacity; the led solves fan out through core.Batch on the worker pool,
+// each admitting itself as its own work unit, so one batch can never
+// exceed the handle's Workers bound. A nil result error accompanies a
+// complete Outcome (possibly infeasible).
+func (h *Handle) SolveBatch(ctx context.Context, specs []Spec) []BatchResult {
+	items := make([]batchItem, len(specs))
+	var leaders []int
+	for i, sp := range specs {
+		it := &items[i]
+		if it.err = sp.validate(); it.err != nil {
+			continue
+		}
+		it.g, it.p, it.sv = sp.Graph, sp.Platform, sp.Solver
+		it.hash = ProblemHash(it.g, it.p, it.sv)
+		if out, ok := h.cache.Get(it.hash); ok {
+			h.m.cacheHits.Add(1)
+			it.out, it.state = out, hitCache
+			continue
+		}
+		f, leader := h.flights.Claim(it.hash)
+		if !leader {
+			h.m.coalesced.Add(1)
+			it.flight, it.state = f, hitCoalesced
+			continue
+		}
+		h.m.cacheMisses.Add(1)
+		it.lead = f
+		leaders = append(leaders, i)
+	}
+
+	// Start the led solves detached from this caller's context, like any
+	// flight (file header), then collect every non-cached element's flight
+	// under the caller's deadline.
+	if len(leaders) > 0 {
+		go h.runBatchFlights(leaders, items)
+	}
+	results := make([]BatchResult, len(items))
+	for i := range items {
+		it := &items[i]
+		if f := it.lead; f != nil {
+			it.out, it.err = f.Wait(ctx)
+		} else if it.flight != nil {
+			it.out, it.err = it.flight.Wait(ctx)
+		}
+		if it.err != nil {
+			results[i] = BatchResult{Outcome: Outcome{Hash: it.hash}, Err: it.err}
+			continue
+		}
+		results[i] = BatchResult{Outcome: publish(it.out, it.hash, it.state)}
+	}
+	return results
+}
+
+// ---- internal pipeline ---------------------------------------------------
+
+// admit acquires one work unit: a place within the Workers+QueueLimit
+// bound, then a worker slot. It returns the release function, ErrQueueFull
+// when the bound is exceeded, or ctx.Err() if the deadline expires while
+// queued.
+func (h *Handle) admit(ctx context.Context) (release func(), err error) {
+	limit := int64(h.cfg.Workers + h.cfg.QueueLimit)
+	if h.m.pending.Add(1) > limit {
+		h.m.pending.Add(-1)
+		h.m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	select {
+	case h.slots <- struct{}{}:
+		h.m.inFlight.Add(1)
+		return func() {
+			<-h.slots
+			h.m.inFlight.Add(-1)
+			h.m.pending.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		h.m.pending.Add(-1)
+		return nil, ctx.Err()
+	}
+}
+
+// hitState records how an outcome was obtained.
+type hitState int
+
+const (
+	hitSolved hitState = iota
+	hitCache
+	hitCoalesced
+)
+
+// solveProblem resolves one problem through cache → coalescing → admission
+// → solver. Every returned outcome has exactly one of sched/infeas set;
+// err covers everything else (queue full, deadline, solver fault). The
+// caller waits under its own ctx; the underlying computation runs
+// detached (see the file header).
+func (h *Handle) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, string, hitState, error) {
+	hash := ProblemHash(g, p, sv)
+	if out, ok := h.cache.Get(hash); ok {
+		h.m.cacheHits.Add(1)
+		return out, hash, hitCache, nil
+	}
+	f, leader := h.flights.Claim(hash)
+	if !leader {
+		h.m.coalesced.Add(1)
+		out, err := f.Wait(ctx)
+		return out, hash, hitCoalesced, err
+	}
+	h.m.cacheMisses.Add(1)
+	go h.runFlight(hash, f, g, p, sv)
+	out, err := f.Wait(ctx)
+	return out, hash, hitSolved, err
+}
+
+// replanProblem is solveProblem for a replan request, keyed by the
+// precomputed replan hash.
+func (h *Handle) replanProblem(ctx context.Context, hash string, sp ReplanSpec) (outcome, hitState, error) {
+	if out, ok := h.cache.Get(hash); ok {
+		h.m.cacheHits.Add(1)
+		return out, hitCache, nil
+	}
+	f, leader := h.flights.Claim(hash)
+	if !leader {
+		h.m.coalesced.Add(1)
+		out, err := f.Wait(ctx)
+		return out, hitCoalesced, err
+	}
+	h.m.cacheMisses.Add(1)
+	go h.runReplanFlight(hash, f, sp)
+	out, err := f.Wait(ctx)
+	return out, hitSolved, err
+}
+
+// runFlight executes one claimed flight — admission, solve, cache fill,
+// fulfillment — under the handle's own compute budget, independent of any
+// requester's context. Queue-full is decided immediately (admit rejects
+// without blocking when the bound is exceeded), so a rejected flight
+// resolves at once.
+func (h *Handle) runFlight(hash string, f *flight, g *dag.Graph, p *platform.Platform, sv *core.Solver) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
+	defer cancel()
+	out, err := h.computeFlight(ctx, hash, g, p, sv)
+	h.flights.Fulfill(hash, f, out, err)
+}
+
+// runReplanFlight is runFlight for a replan flight.
+func (h *Handle) runReplanFlight(hash string, f *flight, sp ReplanSpec) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
+	defer cancel()
+	out, err := h.computeReplanFlight(ctx, hash, sp)
+	h.flights.Fulfill(hash, f, out, err)
+}
+
+// computeFlight resolves a led flight: one last cache check — a previous
+// flight may have fulfilled and vanished between this requester's cache
+// miss and its Claim, and re-solving an already-cached problem would break
+// the "equal hashes solve once" invariant — then an admission-bounded
+// solve whose result fills the cache.
+func (h *Handle) computeFlight(ctx context.Context, hash string, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	if out, ok := h.cache.Get(hash); ok {
+		return out, nil
+	}
+	out, err := h.solveAdmitted(ctx, g, p, sv)
+	if err == nil {
+		h.cache.Put(hash, out)
+	}
+	return out, err
+}
+
+// computeReplanFlight is computeFlight for a replan flight.
+func (h *Handle) computeReplanFlight(ctx context.Context, hash string, sp ReplanSpec) (outcome, error) {
+	if out, ok := h.cache.Get(hash); ok {
+		return out, nil
+	}
+	release, err := h.admit(ctx)
+	if err != nil {
+		return outcome{}, err
+	}
+	defer release()
+	out, err := h.computeReplan(ctx, sp)
+	if err == nil {
+		h.cache.Put(hash, out)
+	}
+	return out, err
+}
+
+// compute runs the underlying solver and folds typed infeasibility into
+// the outcome (it is a result, not a failure).
+func (h *Handle) compute(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	h.m.solveCalls.Add(1)
+	sched, err := h.solve(ctx, sv, g, p)
+	if err != nil {
+		return foldInfeasible(err)
+	}
+	return renderOutcome(sched)
+}
+
+// computeReplan runs the underlying replan and folds typed infeasibility.
+// It counts as a solver invocation: the coalescing and caching invariants
+// ("equal hashes compute once") are asserted against solveCalls.
+func (h *Handle) computeReplan(ctx context.Context, sp ReplanSpec) (outcome, error) {
+	h.m.solveCalls.Add(1)
+	opts := []core.ReplanOption{core.WithRepairBudget(sp.RepairBudget), core.WithColdFallback(!sp.NoColdFallback)}
+	res, err := h.replan(ctx, sp.Solver, sp.Old, sp.Delta, opts...)
+	if err != nil {
+		return foldInfeasible(err)
+	}
+	out, err := renderOutcome(res.Schedule)
+	if err != nil {
+		return outcome{}, err
+	}
+	stats := res.Stats
+	out.replan = &stats
+	return out, nil
+}
+
+// solveAdmitted is one admission-bounded solve: acquire a work unit, run
+// the solver, fold infeasibility, render.
+func (h *Handle) solveAdmitted(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	release, err := h.admit(ctx)
+	if err != nil {
+		return outcome{}, err
+	}
+	defer release()
+	return h.compute(ctx, g, p, sv)
+}
+
+// batchItem tracks one problem of a batch through the pipeline.
+type batchItem struct {
+	g    *dag.Graph
+	p    *platform.Platform
+	sv   *core.Solver
+	hash string
+
+	out    outcome
+	state  hitState
+	err    error
+	flight *flight // non-nil: wait on a foreign in-flight solve
+	lead   *flight // non-nil: this batch owns the flight and must fulfill
+}
+
+// runBatchFlights executes a batch's led solves through core.Batch under
+// the handle's compute budget. Each problem's flight is fulfilled (and the
+// cache filled) inside the pool hook, the moment its own result lands —
+// a waiter coalesced onto problem #1 must not stall behind problem #100.
+// The hook admits every problem individually: the pool's goroutines queue
+// on the shared worker slots, they do not multiply them.
+func (h *Handle) runBatchFlights(leaders []int, items []batchItem) {
+	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
+	defer cancel()
+	reqs := make([]core.Request, len(leaders))
+	for k, i := range leaders {
+		reqs[k] = core.Request{Graph: items[i].g, Platform: items[i].p}
+	}
+	fulfilled := make([]bool, len(leaders)) // per-lane writes, no sharing
+	batch := core.Batch{Workers: h.cfg.Workers}
+	results := batch.SolveFunc(ctx, reqs, func(ctx context.Context, k int, _ core.Request) (*schedule.Schedule, error) {
+		it := &items[leaders[k]]
+		out, err := h.computeFlight(ctx, it.hash, it.g, it.p, it.sv)
+		h.flights.Fulfill(it.hash, it.lead, out, err)
+		fulfilled[k] = true
+		return nil, err // the flight already carries the outcome
+	})
+	// SolveFunc fails requests fast without running the hook once its
+	// context expires; their flights must still resolve or waiters would
+	// hang until their own deadlines.
+	for k, i := range leaders {
+		if !fulfilled[k] {
+			h.flights.Fulfill(items[i].hash, items[i].lead, outcome{}, results[k].Err)
+		}
+	}
+}

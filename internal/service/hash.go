@@ -14,6 +14,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"hash"
 	"io"
 	"math"
@@ -79,4 +80,54 @@ func ProblemHash(g *dag.Graph, p *platform.Platform, s *core.Solver) string {
 
 	ph.str(s.Fingerprint())
 	return hex.EncodeToString(ph.h.Sum(nil))
+}
+
+// ReplanHash returns the canonical hash of one replan request: the
+// underlying problem hash (graph, pre-delta platform, solver), the
+// committed schedule in its canonical interchange encoding (MarshalJSON is
+// deterministic, so equal schedules hash equal), the delta, and the repair
+// policy. The leading magic differs from ProblemHash's, so replan and
+// solve outcomes can never collide in the shared cache and flight map.
+func ReplanHash(sp ReplanSpec) (string, error) {
+	schedJSON, err := json.Marshal(sp.Old)
+	if err != nil {
+		return "", err
+	}
+	ph := &problemHasher{h: sha256.New()}
+	ph.str("streamsched-replan/v1")
+	ph.str(ProblemHash(sp.Old.G, sp.Old.P, sp.Solver))
+	ph.str(string(schedJSON))
+
+	d := sp.Delta
+	ph.u64(uint64(len(d.Lost)))
+	for _, u := range d.Lost {
+		ph.u64(uint64(u))
+	}
+	ph.u64(uint64(len(d.Speed)))
+	for _, s := range d.Speed {
+		ph.u64(uint64(s.Proc))
+		ph.f64(s.Speed)
+	}
+	ph.u64(uint64(len(d.Bandwidth)))
+	for _, b := range d.Bandwidth {
+		ph.u64(uint64(b.From))
+		ph.u64(uint64(b.To))
+		ph.f64(b.Bandwidth)
+	}
+	ph.u64(uint64(len(d.Added)))
+	for _, a := range d.Added {
+		ph.f64(a.Speed)
+		ph.u64(uint64(len(a.Links)))
+		for _, l := range a.Links {
+			ph.f64(l)
+		}
+	}
+
+	ph.u64(uint64(sp.RepairBudget))
+	if sp.NoColdFallback {
+		ph.u64(1)
+	} else {
+		ph.u64(0)
+	}
+	return hex.EncodeToString(ph.h.Sum(nil)), nil
 }

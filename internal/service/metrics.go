@@ -62,7 +62,7 @@ type metrics struct {
 	start time.Time
 
 	// Per-endpoint request counts.
-	reqSolve, reqBatch, reqSimulate, reqHealthz, reqMetrics atomic.Int64
+	reqSolve, reqBatch, reqReplan, reqSimulate, reqHealthz, reqMetrics atomic.Int64
 
 	// Response counts by HTTP status.
 	respMu sync.Mutex
@@ -137,8 +137,8 @@ type MetricsSnapshot struct {
 }
 
 // snapshot assembles the /metrics document.
-func (s *Server) snapshot() MetricsSnapshot {
-	m := s.m
+func (h *Handle) snapshot() MetricsSnapshot {
+	m := h.m
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	ratio := 0.0
 	if hits+misses > 0 {
@@ -161,6 +161,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 		Requests: map[string]int64{
 			"solve":    m.reqSolve.Load(),
 			"batch":    m.reqBatch.Load(),
+			"replan":   m.reqReplan.Load(),
 			"simulate": m.reqSimulate.Load(),
 			"healthz":  m.reqHealthz.Load(),
 			"metrics":  m.reqMetrics.Load(),
@@ -173,13 +174,13 @@ func (s *Server) snapshot() MetricsSnapshot {
 			Hits:     hits,
 			Misses:   misses,
 			HitRatio: ratio,
-			Entries:  s.cache.Len(),
-			Capacity: s.cfg.CacheEntries,
+			Entries:  h.cache.Len(),
+			Capacity: h.cfg.CacheEntries,
 		},
 		Queue: QueueStats{
 			Depth:    depth,
 			InFlight: inFlight,
-			Capacity: s.cfg.Workers + s.cfg.QueueLimit,
+			Capacity: h.cfg.Workers + h.cfg.QueueLimit,
 			Rejected: m.rejected.Load(),
 		},
 		LatencyMs: LatencyStats{Count: cnt, P50: p50, P90: p90, P99: p99, Max: max},

@@ -1,31 +1,18 @@
 package service
 
-// The HTTP server: routing, admission and the solve/batch/simulate
-// pipelines.
-//
-// Request lifecycle for /v1/solve:
-//
-//	decode → canonical hash → cache (hit: respond) → flight Claim
-//	  follower: wait for the flight's outcome (no queue slot consumed)
-//	  leader:   start the flight — admission (bounded queue → worker
-//	            slot) → solve → cache.Put → Fulfill — in a DETACHED
-//	            goroutine under the server's own compute budget
-//	            (MaxTimeout), then wait on it like a follower
-//
-// Detaching the computation from the leader's request context is what
-// makes coalescing sound: a leader whose client disconnects, or whose
-// deadline is shorter than a follower's, must not poison the followers
-// with its context error. Every requester honors its own deadline while
-// waiting; the work itself always runs to completion (within MaxTimeout)
-// and lands in the cache.
+// The HTTP adapter: routing, wire decoding and response rendering over the
+// in-process Handle (handle.go), which owns the whole pipeline — hashing,
+// cache, coalescing, admission, metrics. Nothing here computes; every
+// handler decodes its DTOs, pre-validates what must become a 400, delegates
+// to the Handle, and renders the outcome.
 //
 // Backpressure policy. Admission counts work units — individual solves
 // that must actually compute (a batch's problems are each their own
-// unit, so one batch cannot exceed the Workers bound by fanning out) and
-// simulate sweeps. At most Workers units execute concurrently and at
-// most QueueLimit more may wait; a unit beyond that bound is rejected
-// immediately with 429 and a Retry-After hint — the client, not the
-// server, owns the retry budget. Cache hits and coalesced followers
+// unit, so one batch cannot exceed the Workers bound by fanning out),
+// replans, and simulate sweeps. At most Workers units execute concurrently
+// and at most QueueLimit more may wait; a unit beyond that bound is
+// rejected immediately with 429 and a Retry-After hint — the client, not
+// the server, owns the retry budget. Cache hits and coalesced followers
 // bypass admission entirely: they consume no solver capacity, so
 // rejecting them would only waste work already done. Per-request
 // deadlines (TimeoutMs, clamped to MaxTimeout, default
@@ -49,8 +36,8 @@ import (
 	"streamsched/internal/sim"
 )
 
-// Config parameterizes a Server. The zero value is usable: every field
-// falls back to the documented default.
+// Config parameterizes a Handle (and therefore a Server). The zero value
+// is usable: every field falls back to the documented default.
 type Config struct {
 	// Workers bounds the concurrently executing work units (≤0 → GOMAXPROCS).
 	Workers int
@@ -74,9 +61,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// RetryAfter is the hint attached to 429 responses (≤0 → 1s).
 	RetryAfter time.Duration
-	// SolveDelay artificially delays every underlying solve. It exists for
-	// load and smoke testing (deterministic 429/coalescing scenarios);
-	// production configs leave it zero.
+	// SolveDelay artificially delays every underlying solve and replan. It
+	// exists for load and smoke testing (deterministic 429/coalescing
+	// scenarios); production configs leave it zero.
 	SolveDelay time.Duration
 }
 
@@ -110,44 +97,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// errQueueFull is the admission rejection; it maps to 429.
-var errQueueFull = errors.New("service: work queue full")
-
-// Server implements the scheduling service. Build with New, mount
-// Handler() on an http.Server.
+// Server is the HTTP adapter over an in-process Handle. Build with New,
+// mount Handler() on an http.Server. The embedded Handle is exported:
+// hybrid embedders can serve HTTP and call the in-process API against the
+// same cache and admission bounds.
 type Server struct {
-	cfg     Config
-	slots   chan struct{}
-	cache   *lruCache
-	flights *flightGroup
-	m       *metrics
-
-	// solve performs one underlying solve; tests swap it to gate or count
-	// solver entry deterministically.
-	solve func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error)
+	*Handle
 }
 
-// New builds a Server from cfg (zero value: sensible defaults).
+// New builds a Server (and its Handle) from cfg.
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:     cfg,
-		slots:   make(chan struct{}, cfg.Workers),
-		cache:   newLRUCache(cfg.CacheEntries),
-		flights: newFlightGroup(),
-		m:       newMetrics(),
-	}
-	s.solve = func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error) {
-		if cfg.SolveDelay > 0 {
-			select {
-			case <-time.After(cfg.SolveDelay):
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			}
-		}
-		return sv.Solve(ctx, g, p)
-	}
-	return s
+	return &Server{Handle: NewHandle(cfg)}
 }
 
 // Handler returns the service's HTTP routing table.
@@ -155,109 +115,11 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/replan", s.handleReplan)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
-}
-
-// Metrics returns a point-in-time snapshot of the service counters.
-func (s *Server) Metrics() MetricsSnapshot { return s.snapshot() }
-
-// admit acquires one work unit: a place within the Workers+QueueLimit
-// bound, then a worker slot. It returns the release function, errQueueFull
-// when the bound is exceeded, or ctx.Err() if the deadline expires while
-// queued.
-func (s *Server) admit(ctx context.Context) (release func(), err error) {
-	limit := int64(s.cfg.Workers + s.cfg.QueueLimit)
-	if s.m.pending.Add(1) > limit {
-		s.m.pending.Add(-1)
-		s.m.rejected.Add(1)
-		return nil, errQueueFull
-	}
-	select {
-	case s.slots <- struct{}{}:
-		s.m.inFlight.Add(1)
-		return func() {
-			<-s.slots
-			s.m.inFlight.Add(-1)
-			s.m.pending.Add(-1)
-		}, nil
-	case <-ctx.Done():
-		s.m.pending.Add(-1)
-		return nil, ctx.Err()
-	}
-}
-
-// hitState records how a solve outcome was obtained.
-type hitState int
-
-const (
-	hitSolved hitState = iota
-	hitCache
-	hitCoalesced
-)
-
-// solveProblem resolves one problem through cache → coalescing → admission
-// → solver. Every returned outcome has exactly one of sched/infeas set;
-// err covers everything else (queue full, deadline, solver fault). The
-// caller waits under its own ctx; the underlying computation runs
-// detached (see the file header).
-func (s *Server) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, string, hitState, error) {
-	hash := ProblemHash(g, p, sv)
-	if out, ok := s.cache.Get(hash); ok {
-		s.m.cacheHits.Add(1)
-		return out, hash, hitCache, nil
-	}
-	f, leader := s.flights.Claim(hash)
-	if !leader {
-		s.m.coalesced.Add(1)
-		out, err := f.Wait(ctx)
-		return out, hash, hitCoalesced, err
-	}
-	s.m.cacheMisses.Add(1)
-	go s.runFlight(hash, f, g, p, sv)
-	out, err := f.Wait(ctx)
-	return out, hash, hitSolved, err
-}
-
-// runFlight executes one claimed flight — admission, solve, cache fill,
-// fulfillment — under the server's own compute budget, independent of any
-// requester's context. Queue-full is decided immediately (admit rejects
-// without blocking when the bound is exceeded), so a rejected flight
-// resolves at once.
-func (s *Server) runFlight(hash string, f *flight, g *dag.Graph, p *platform.Platform, sv *core.Solver) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
-	defer cancel()
-	out, err := s.computeFlight(ctx, hash, g, p, sv)
-	s.flights.Fulfill(hash, f, out, err)
-}
-
-// computeFlight resolves a led flight: one last cache check — a previous
-// flight may have fulfilled and vanished between this requester's cache
-// miss and its Claim, and re-solving an already-cached problem would break
-// the "equal hashes solve once" invariant — then an admission-bounded
-// solve whose result fills the cache.
-func (s *Server) computeFlight(ctx context.Context, hash string, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
-	if out, ok := s.cache.Get(hash); ok {
-		return out, nil
-	}
-	out, err := s.solveAdmitted(ctx, g, p, sv)
-	if err == nil {
-		s.cache.Put(hash, out)
-	}
-	return out, err
-}
-
-// compute runs the underlying solver and folds typed infeasibility into
-// the outcome (it is a result, not a failure).
-func (s *Server) compute(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
-	s.m.solveCalls.Add(1)
-	sched, err := s.solve(ctx, sv, g, p)
-	if err != nil {
-		return foldInfeasible(err)
-	}
-	return renderOutcome(sched)
 }
 
 // foldInfeasible converts an infeasibility error into a cacheable outcome;
@@ -314,8 +176,13 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 // errorStatus maps a pipeline error to its HTTP status.
 func errorStatus(err error) int {
 	switch {
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, core.ErrRepairBudget):
+		// The caller disabled the cold fallback and the repair budget was
+		// exceeded: no result under the requested policy — a conflict with
+		// the request's constraints, not a server fault.
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -333,13 +200,18 @@ const statusClientClosedRequest = 499
 // writeError renders a pipeline error in a SolveResponse envelope,
 // attaching Retry-After to 429s.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
-	s.writeJSON(w, s.errorHeaders(w, err), SolveResponse{V: Version, Error: err.Error()})
+	s.writeJSON(w, s.errorHeaders(w, err), SolveResponse{SchemaVersion: Version, Error: err.Error()})
 }
 
 // writeBatchError is writeError in the BatchResponse envelope, so batch
 // clients decode every /v1/batch body into one documented type.
 func (s *Server) writeBatchError(w http.ResponseWriter, err error) {
-	s.writeJSON(w, s.errorHeaders(w, err), BatchResponse{V: Version, Error: err.Error()})
+	s.writeJSON(w, s.errorHeaders(w, err), BatchResponse{SchemaVersion: Version, Error: err.Error()})
+}
+
+// writeReplanError is writeError in the ReplanResponse envelope.
+func (s *Server) writeReplanError(w http.ResponseWriter, err error) {
+	s.writeJSON(w, s.errorHeaders(w, err), ReplanResponse{SchemaVersion: Version, Error: err.Error()})
 }
 
 // errorHeaders maps the error to its status and sets error-specific
@@ -361,8 +233,8 @@ func retryAfterSeconds(d time.Duration) int {
 }
 
 // decodeRequest parses the body into dst, enforcing method and size; the
-// caller checks the decoded wire version with checkVersion. It reports
-// (status, error) on failure, (0, nil) on success.
+// caller checks the decoded schema version with checkSchemaVersion. It
+// reports (status, error) on failure, (0, nil) on success.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -378,14 +250,6 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, dst any) 
 		return http.StatusBadRequest, fmt.Errorf("service: invalid JSON: %w", err)
 	}
 	return 0, nil
-}
-
-// checkVersion accepts the current wire version and 0 (omitted field).
-func checkVersion(v int) error {
-	if v != 0 && v != Version {
-		return fmt.Errorf("service: unsupported wire version %d (want %d)", v, Version)
-	}
-	return nil
 }
 
 // buildProblem decodes one (graph, platform, options) triple.
@@ -414,54 +278,52 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	var req SolveRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
-		s.writeJSON(w, status, SolveResponse{V: Version, Error: err.Error()})
+		s.writeJSON(w, status, SolveResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
-	if err := checkVersion(req.V); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, SolveResponse{V: Version, Error: err.Error()})
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, SolveResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
 	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, SolveResponse{V: Version, Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, SolveResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
-	out, hash, state, err := s.solveProblem(ctx, g, p, sv)
+	out, err := s.Handle.Solve(ctx, Spec{Graph: g, Platform: p, Solver: sv})
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	resp := SolveResponse{
-		V:         Version,
-		Hash:      hash,
-		Cached:    state == hitCache,
-		Coalesced: state == hitCoalesced,
-	}
-	if out.infeas != nil {
-		resp.Infeasible = out.infeas
-		s.writeJSON(w, http.StatusConflict, resp)
-		return
-	}
-	resp.Schedule = out.schedJSON
-	resp.Summary = out.summary
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, solveStatus(out), solveResponse(out))
 }
 
-// batchItem tracks one problem of a batch through the pipeline.
-type batchItem struct {
-	g    *dag.Graph
-	p    *platform.Platform
-	sv   *core.Solver
-	hash string
+// solveResponse renders one Outcome in the SolveResponse envelope.
+func solveResponse(out Outcome) SolveResponse {
+	resp := SolveResponse{
+		SchemaVersion: Version,
+		Hash:          out.Hash,
+		Cached:        out.Cached,
+		Coalesced:     out.Coalesced,
+	}
+	if out.Infeasible != nil {
+		resp.Infeasible = out.Infeasible
+		return resp
+	}
+	resp.Schedule = out.ScheduleJSON
+	resp.Summary = out.Summary
+	return resp
+}
 
-	out    outcome
-	state  hitState
-	err    error
-	flight *flight // non-nil: wait on a foreign in-flight solve
-	lead   *flight // non-nil: this batch owns the flight and must fulfill
+// solveStatus maps an Outcome to its HTTP status.
+func solveStatus(out Outcome) int {
+	if out.Infeasible != nil {
+		return http.StatusConflict
+	}
+	return http.StatusOK
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -471,72 +333,47 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	var req BatchRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
-		s.writeJSON(w, status, BatchResponse{V: Version, Error: err.Error()})
+		s.writeJSON(w, status, BatchResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
-	if err := checkVersion(req.V); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, BatchResponse{V: Version, Error: err.Error()})
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, BatchResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	if len(req.Problems) == 0 {
-		s.writeJSON(w, http.StatusBadRequest, BatchResponse{V: Version, Error: "service: batch has no problems"})
+		s.writeJSON(w, http.StatusBadRequest, BatchResponse{SchemaVersion: Version, Error: "service: batch has no problems"})
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
-	// Pass 1: decode and triage every problem — cache hit, foreign flight
-	// to join, or a solve this batch leads.
-	items := make([]batchItem, len(req.Problems))
-	var leaders []int
+	// Decode every problem; undecodable ones get their error slot and the
+	// rest go through the in-process batch pipeline.
+	decodeErrs := make([]error, len(req.Problems))
+	specs := make([]Spec, 0, len(req.Problems))
+	specIdx := make([]int, 0, len(req.Problems))
 	for i, bp := range req.Problems {
-		it := &items[i]
 		opts := req.Options
 		if bp.Options != nil {
 			opts = *bp.Options
 		}
-		it.g, it.p, it.sv, it.err = buildProblem(bp.Graph, bp.Platform, opts)
-		if it.err != nil {
+		g, p, sv, err := buildProblem(bp.Graph, bp.Platform, opts)
+		if err != nil {
+			decodeErrs[i] = err
 			continue
 		}
-		it.hash = ProblemHash(it.g, it.p, it.sv)
-		if out, ok := s.cache.Get(it.hash); ok {
-			s.m.cacheHits.Add(1)
-			it.out, it.state = out, hitCache
-			continue
-		}
-		f, leader := s.flights.Claim(it.hash)
-		if !leader {
-			s.m.coalesced.Add(1)
-			it.flight, it.state = f, hitCoalesced
-			continue
-		}
-		s.m.cacheMisses.Add(1)
-		it.lead = f
-		leaders = append(leaders, i)
+		specs = append(specs, Spec{Graph: g, Platform: p, Solver: sv})
+		specIdx = append(specIdx, i)
 	}
-
-	// Pass 2: start the led solves through core.Batch, detached from this
-	// request's context like any flight (file header). The pool fans the
-	// problems out, but each problem admits itself as its own work unit,
-	// so concurrency stays inside the global Workers bound no matter how
-	// many batches are in flight: one batch's problems trickle through
-	// the shared queue like any other units (at most the pool's worker
-	// count pending at once), while competing traffic beyond the
-	// admission bound — other batches included — is rejected per unit.
-	if len(leaders) > 0 {
-		go s.runBatchFlights(leaders, items)
-	}
-
-	// Pass 3: collect every non-cached problem's flight — the ones this
-	// batch leads and the foreign ones — under the request's deadline.
-	for i := range items {
-		it := &items[i]
-		if f := it.lead; f != nil {
-			it.out, it.err = f.Wait(ctx)
-		} else if it.flight != nil {
-			it.out, it.err = it.flight.Wait(ctx)
+	batchResults := s.Handle.SolveBatch(ctx, specs)
+	results := make([]BatchResult, len(req.Problems))
+	for i, err := range decodeErrs {
+		if err != nil {
+			results[i] = BatchResult{Err: err}
 		}
+	}
+	for k, i := range specIdx {
+		results[i] = batchResults[k]
 	}
 
 	// A batch whose every problem was rejected by admission is a rejected
@@ -544,81 +381,105 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// queue-full errors. Mixed outcomes keep the 200 envelope with
 	// per-problem errors — cached results must not be discarded.
 	allRejected := true
-	for i := range items {
-		if !errors.Is(items[i].err, errQueueFull) {
+	for i := range results {
+		if !errors.Is(results[i].Err, ErrQueueFull) {
 			allRejected = false
 			break
 		}
 	}
-	if allRejected && len(items) > 0 {
-		s.writeBatchError(w, errQueueFull)
+	if allRejected && len(results) > 0 {
+		s.writeBatchError(w, ErrQueueFull)
 		return
 	}
 
-	resp := BatchResponse{V: Version, Results: make([]SolveResponse, len(items))}
-	for i := range items {
-		it := &items[i]
-		sr := SolveResponse{
-			V:         Version,
-			Hash:      it.hash,
-			Cached:    it.state == hitCache,
-			Coalesced: it.state == hitCoalesced,
+	resp := BatchResponse{SchemaVersion: Version, Results: make([]SolveResponse, len(results))}
+	for i := range results {
+		if err := results[i].Err; err != nil {
+			resp.Results[i] = SolveResponse{SchemaVersion: Version, Hash: results[i].Outcome.Hash, Error: err.Error()}
+			continue
 		}
-		switch {
-		case it.err != nil:
-			sr.Error = it.err.Error()
-		case it.out.infeas != nil:
-			sr.Infeasible = it.out.infeas
-		default:
-			sr.Schedule = it.out.schedJSON
-			sr.Summary = it.out.summary
-		}
-		resp.Results[i] = sr
+		resp.Results[i] = solveResponse(results[i].Outcome)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// runBatchFlights executes a batch's led solves through core.Batch under
-// the server's compute budget. Each problem's flight is fulfilled (and the
-// cache filled) inside the pool hook, the moment its own result lands —
-// a waiter coalesced onto problem #1 must not stall behind problem #100.
-// The hook admits every problem individually: the pool's goroutines queue
-// on the shared worker slots, they do not multiply them.
-func (s *Server) runBatchFlights(leaders []int, items []batchItem) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaxTimeout)
-	defer cancel()
-	reqs := make([]core.Request, len(leaders))
-	for k, i := range leaders {
-		reqs[k] = core.Request{Graph: items[i].g, Platform: items[i].p}
-	}
-	fulfilled := make([]bool, len(leaders)) // per-lane writes, no sharing
-	batch := core.Batch{Workers: s.cfg.Workers}
-	results := batch.SolveFunc(ctx, reqs, func(ctx context.Context, k int, _ core.Request) (*schedule.Schedule, error) {
-		it := &items[leaders[k]]
-		out, err := s.computeFlight(ctx, it.hash, it.g, it.p, it.sv)
-		s.flights.Fulfill(it.hash, it.lead, out, err)
-		fulfilled[k] = true
-		return nil, err // the flight already carries the outcome
-	})
-	// SolveFunc fails requests fast without running the hook once its
-	// context expires; their flights must still resolve or waiters would
-	// hang until their own deadlines.
-	for k, i := range leaders {
-		if !fulfilled[k] {
-			s.flights.Fulfill(items[i].hash, items[i].lead, outcome{}, results[k].Err)
-		}
-	}
-}
+func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	s.m.reqReplan.Add(1)
+	start := time.Now()
+	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 
-// solveAdmitted is one admission-bounded solve: acquire a work unit, run
-// the solver, fold infeasibility, render.
-func (s *Server) solveAdmitted(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
-	release, err := s.admit(ctx)
-	if err != nil {
-		return outcome{}, err
+	var req ReplanRequest
+	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		s.writeJSON(w, status, ReplanResponse{SchemaVersion: Version, Error: err.Error()})
+		return
 	}
-	defer release()
-	return s.compute(ctx, g, p, sv)
+	badRequest := func(err error) {
+		s.writeJSON(w, http.StatusBadRequest, ReplanResponse{SchemaVersion: Version, Error: err.Error()})
+	}
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		badRequest(err)
+		return
+	}
+	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
+	if err != nil {
+		badRequest(err)
+		return
+	}
+	if len(req.Schedule) == 0 {
+		badRequest(errors.New("service: replan requires the committed schedule"))
+		return
+	}
+	old, err := schedule.LoadJSON(req.Schedule, g, p)
+	if err != nil {
+		badRequest(fmt.Errorf("service: decoding schedule: %w", err))
+		return
+	}
+	// The committed schedule must agree with the solver options on the
+	// replication degree and the period; a mismatch is a client error, not
+	// a computation to admit.
+	if old.Eps != req.Options.Eps || old.Period != req.Options.Period {
+		badRequest(fmt.Errorf("service: options (eps=%d, period=%v) do not match the schedule (eps=%d, period=%v)",
+			req.Options.Eps, req.Options.Period, old.Eps, old.Period))
+		return
+	}
+	if req.RepairBudget < 0 {
+		badRequest(fmt.Errorf("service: negative repair budget %d", req.RepairBudget))
+		return
+	}
+	delta := req.Delta.Build()
+	if _, _, err := delta.Apply(p); err != nil {
+		badRequest(err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	out, err := s.Handle.Replan(ctx, ReplanSpec{
+		Old:            old,
+		Solver:         sv,
+		Delta:          delta,
+		RepairBudget:   req.RepairBudget,
+		NoColdFallback: req.NoColdFallback,
+	})
+	if err != nil {
+		s.writeReplanError(w, err)
+		return
+	}
+	resp := ReplanResponse{
+		SchemaVersion: Version,
+		Hash:          out.Hash,
+		Cached:        out.Cached,
+		Coalesced:     out.Coalesced,
+	}
+	if out.Infeasible != nil {
+		resp.Infeasible = out.Infeasible
+		s.writeJSON(w, http.StatusConflict, resp)
+		return
+	}
+	resp.Schedule = out.ScheduleJSON
+	resp.Summary = out.Summary
+	resp.Replan = replanStatsDTO(out.Replan)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -628,16 +489,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	var req SimulateRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
-		s.writeJSON(w, status, SimulateResponse{V: Version, Error: err.Error()})
+		s.writeJSON(w, status, SimulateResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
-	if err := checkVersion(req.V); err != nil {
-		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{V: Version, Error: err.Error()})
+	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
 	if err != nil {
-		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{V: Version, Error: err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	scenarios := req.Scenarios
@@ -648,7 +509,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		for _, u := range sc.CrashProcs {
 			if u < 0 || u >= p.NumProcs() {
 				s.writeJSON(w, http.StatusBadRequest, SimulateResponse{
-					V: Version, Error: fmt.Sprintf("service: crash processor %d out of range [0,%d)", u, p.NumProcs()),
+					SchemaVersion: Version, Error: fmt.Sprintf("service: crash processor %d out of range [0,%d)", u, p.NumProcs()),
 				})
 				return
 			}
@@ -667,10 +528,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := SimulateResponse{
-		V:         Version,
-		Hash:      hash,
-		Cached:    state == hitCache,
-		Coalesced: state == hitCoalesced,
+		SchemaVersion: Version,
+		Hash:          hash,
+		Cached:        state == hitCache,
+		Coalesced:     state == hitCoalesced,
 	}
 	if out.infeas != nil {
 		resp.Infeasible = out.infeas

@@ -469,7 +469,7 @@ func TestSolveRejectsMalformedRequests(t *testing.T) {
 	defer ts.Close()
 
 	cases := map[string]any{
-		"bad version": SolveRequest{V: 99, Graph: feasibleRequest(2).Graph,
+		"bad version": SolveRequest{SchemaVersion: 99, Graph: feasibleRequest(2).Graph,
 			Platform: feasibleRequest(2).Platform, Options: Options{Period: 40}},
 		"no period":  SolveRequest{Graph: feasibleRequest(2).Graph, Platform: feasibleRequest(2).Platform},
 		"empty":      SolveRequest{},

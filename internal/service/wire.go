@@ -6,8 +6,10 @@
 // request/latency metrics (metrics.go). cmd/streamschedd serves the HTTP
 // surface; the façade re-exports the client-side types.
 //
-// Wire contract. Every request carries a schema version "v" (0 is read as
-// the current Version, so hand-written payloads may omit it). Graphs,
+// Wire contract. Every request carries an explicit "schemaVersion" (0 is
+// read as the current Version, so hand-written payloads may omit it; an
+// unsupported version is rejected at decode time with a stable reason
+// token, before any work is admitted). Graphs,
 // platforms and solver options travel as explicit DTOs — never as Go-side
 // gob or reflection formats — so non-Go clients can produce them. Schedules
 // travel in the schedule package's own JSON interchange format, embedded as
@@ -26,11 +28,28 @@ import (
 	"streamsched/internal/dag"
 	"streamsched/internal/infeas"
 	"streamsched/internal/platform"
+	"streamsched/internal/repair"
 	"streamsched/internal/schedule"
 )
 
 // Version is the wire schema version accepted and emitted by this build.
 const Version = 1
+
+// ReasonUnsupportedSchema is the stable leading token of the error message
+// rejecting an unsupported schema version; clients match on the prefix,
+// not the prose.
+const ReasonUnsupportedSchema = "unsupported-schema-version"
+
+// checkSchemaVersion validates a decoded request's schema version: 0
+// (omitted) and the current Version are accepted, anything else is
+// rejected with a message starting with ReasonUnsupportedSchema. The HTTP
+// adapter maps the rejection to 400.
+func checkSchemaVersion(v int) error {
+	if v != 0 && v != Version {
+		return fmt.Errorf("%s: schema version %d not supported (this build speaks %d)", ReasonUnsupportedSchema, v, Version)
+	}
+	return nil
+}
 
 // Infeasible is the wire form of a classified infeasibility; it aliases
 // infeas.Error, whose JSON encoding is the wire contract (reason tokens,
@@ -215,10 +234,10 @@ func (o Options) Solver() (*core.Solver, error) {
 
 // SolveRequest is the POST /v1/solve payload: one problem.
 type SolveRequest struct {
-	V        int      `json:"v"`
-	Graph    Graph    `json:"graph"`
-	Platform Platform `json:"platform"`
-	Options  Options  `json:"options"`
+	SchemaVersion int      `json:"schemaVersion"`
+	Graph         Graph    `json:"graph"`
+	Platform      Platform `json:"platform"`
+	Options       Options  `json:"options"`
 	// TimeoutMs bounds the request's end-to-end service time, queueing
 	// included (0 → the server's default deadline).
 	TimeoutMs int `json:"timeoutMs,omitempty"`
@@ -238,7 +257,7 @@ type ScheduleSummary struct {
 // batch response. Exactly one of Schedule (with Summary), Infeasible and
 // Error is populated.
 type SolveResponse struct {
-	V int `json:"v"`
+	SchemaVersion int `json:"schemaVersion"`
 	// Hash is the canonical problem hash — the cache key; clients can use
 	// it to correlate retries and batch elements.
 	Hash string `json:"hash,omitempty"`
@@ -266,8 +285,8 @@ type BatchProblem struct {
 // BatchRequest is the POST /v1/batch payload: many problems fanned through
 // core.Batch on the server's worker pool.
 type BatchRequest struct {
-	V        int            `json:"v"`
-	Problems []BatchProblem `json:"problems"`
+	SchemaVersion int            `json:"schemaVersion"`
+	Problems      []BatchProblem `json:"problems"`
 	// Options is the batch-wide default applied to problems without one.
 	Options   Options `json:"options"`
 	TimeoutMs int     `json:"timeoutMs,omitempty"`
@@ -277,9 +296,9 @@ type BatchRequest struct {
 // Request-level failures (malformed JSON, unsupported version, empty
 // batch, whole-batch rejection) set Error and leave Results empty.
 type BatchResponse struct {
-	V       int             `json:"v"`
-	Results []SolveResponse `json:"results,omitempty"`
-	Error   string          `json:"error,omitempty"`
+	SchemaVersion int             `json:"schemaVersion"`
+	Results       []SolveResponse `json:"results,omitempty"`
+	Error         string          `json:"error,omitempty"`
 }
 
 // Scenario configures one simulation run of a solved schedule. The zero
@@ -311,10 +330,10 @@ type ScenarioResult struct {
 // (through the same cache/coalescing path as /v1/solve), then sweep the
 // scenarios on one reused simulation engine.
 type SimulateRequest struct {
-	V        int      `json:"v"`
-	Graph    Graph    `json:"graph"`
-	Platform Platform `json:"platform"`
-	Options  Options  `json:"options"`
+	SchemaVersion int      `json:"schemaVersion"`
+	Graph         Graph    `json:"graph"`
+	Platform      Platform `json:"platform"`
+	Options       Options  `json:"options"`
 	// Scenarios lists the runs; empty runs one default scenario.
 	Scenarios []Scenario `json:"scenarios,omitempty"`
 	TimeoutMs int        `json:"timeoutMs,omitempty"`
@@ -323,14 +342,14 @@ type SimulateRequest struct {
 // SimulateResponse reports the solve outcome and the per-scenario
 // measurements.
 type SimulateResponse struct {
-	V          int              `json:"v"`
-	Hash       string           `json:"hash,omitempty"`
-	Cached     bool             `json:"cached,omitempty"`
-	Coalesced  bool             `json:"coalesced,omitempty"`
-	Summary    *ScheduleSummary `json:"summary,omitempty"`
-	Infeasible *Infeasible      `json:"infeasible,omitempty"`
-	Scenarios  []ScenarioResult `json:"scenarios,omitempty"`
-	Error      string           `json:"error,omitempty"`
+	SchemaVersion int              `json:"schemaVersion"`
+	Hash          string           `json:"hash,omitempty"`
+	Cached        bool             `json:"cached,omitempty"`
+	Coalesced     bool             `json:"coalesced,omitempty"`
+	Summary       *ScheduleSummary `json:"summary,omitempty"`
+	Infeasible    *Infeasible      `json:"infeasible,omitempty"`
+	Scenarios     []ScenarioResult `json:"scenarios,omitempty"`
+	Error         string           `json:"error,omitempty"`
 }
 
 // summarize extracts the headline metrics.
@@ -350,4 +369,117 @@ func jsonFloat(x float64) *float64 {
 		return nil
 	}
 	return &x
+}
+
+// ProcSpeed is one wire processor-speed change.
+type ProcSpeed struct {
+	Proc  int     `json:"proc"`
+	Speed float64 `json:"speed"`
+}
+
+// LinkBandwidth is one wire directed-link bandwidth change.
+type LinkBandwidth struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Bandwidth float64 `json:"bandwidth"`
+}
+
+// NewProc is one wire added processor: its speed and its symmetric link
+// bandwidths to the surviving pre-delta processors (one per survivor, in
+// pre-delta order with lost processors skipped) and then to the previously
+// added processors of the same delta.
+type NewProc struct {
+	Speed float64   `json:"speed"`
+	Links []float64 `json:"links"`
+}
+
+// PlatformDelta is the wire form of a platform change set: lost
+// processors, speed changes, bandwidth changes, added processors. All
+// processor identifiers are pre-delta. The empty delta is valid (a replay
+// of the committed schedule).
+type PlatformDelta struct {
+	Lost      []int           `json:"lost,omitempty"`
+	Speed     []ProcSpeed     `json:"speed,omitempty"`
+	Bandwidth []LinkBandwidth `json:"bandwidth,omitempty"`
+	Added     []NewProc       `json:"added,omitempty"`
+}
+
+// Build converts the wire delta to the in-memory change set. Semantic
+// validation (range checks, duplicates, positivity) happens in
+// Delta.Apply, which the server runs before admitting the replan.
+func (w PlatformDelta) Build() core.Delta {
+	var d core.Delta
+	for _, u := range w.Lost {
+		d.Lost = append(d.Lost, platform.ProcID(u))
+	}
+	for _, s := range w.Speed {
+		d.Speed = append(d.Speed, repair.SpeedChange{Proc: platform.ProcID(s.Proc), Speed: s.Speed})
+	}
+	for _, b := range w.Bandwidth {
+		d.Bandwidth = append(d.Bandwidth, repair.BandwidthChange{
+			From: platform.ProcID(b.From), To: platform.ProcID(b.To), Bandwidth: b.Bandwidth,
+		})
+	}
+	for _, a := range w.Added {
+		d.Added = append(d.Added, repair.AddedProc{Speed: a.Speed, Links: append([]float64(nil), a.Links...)})
+	}
+	return d
+}
+
+// ReplanStats is the wire form of the repair statistics: how much of the
+// committed schedule survived the delta.
+type ReplanStats struct {
+	Replayed  int  `json:"replayed"`
+	Preserved int  `json:"preserved"`
+	Repaired  int  `json:"repaired"`
+	ColdSolve bool `json:"coldSolve,omitempty"`
+}
+
+// replanStatsDTO converts in-memory repair statistics to the wire form.
+func replanStatsDTO(s *core.RepairStats) *ReplanStats {
+	if s == nil {
+		return nil
+	}
+	return &ReplanStats{Replayed: s.Replayed, Preserved: s.Preserved, Repaired: s.Repaired, ColdSolve: s.ColdSolve}
+}
+
+// ReplanRequest is the POST /v1/replan payload: the problem (graph,
+// pre-delta platform, solver options matching the committed schedule), the
+// committed schedule in interchange form, the platform delta, and the
+// repair policy.
+type ReplanRequest struct {
+	SchemaVersion int      `json:"schemaVersion"`
+	Graph         Graph    `json:"graph"`
+	Platform      Platform `json:"platform"`
+	Options       Options  `json:"options"`
+	// Schedule is the committed schedule (schedule.MarshalJSON interchange
+	// format) to repair; it must decode against Graph and Platform and
+	// agree with Options on eps and period.
+	Schedule json.RawMessage `json:"schedule"`
+	Delta    PlatformDelta   `json:"delta"`
+	// RepairBudget bounds the tasks repair may re-place through the search
+	// machinery (0 = unlimited).
+	RepairBudget int `json:"repairBudget,omitempty"`
+	// NoColdFallback surfaces repair failure (HTTP 409) instead of
+	// re-solving from scratch.
+	NoColdFallback bool `json:"noColdFallback,omitempty"`
+	TimeoutMs      int  `json:"timeoutMs,omitempty"`
+}
+
+// ReplanResponse is the /v1/replan result. Exactly one of Schedule (with
+// Summary and Replan), Infeasible and Error is populated.
+type ReplanResponse struct {
+	SchemaVersion int    `json:"schemaVersion"`
+	Hash          string `json:"hash,omitempty"`
+	Cached        bool   `json:"cached,omitempty"`
+	Coalesced     bool   `json:"coalesced,omitempty"`
+	// Schedule is the repaired (or cold-resolved) schedule for the
+	// post-delta platform.
+	Schedule json.RawMessage  `json:"schedule,omitempty"`
+	Summary  *ScheduleSummary `json:"summary,omitempty"`
+	// Replan reports how the schedule was obtained: replayed / preserved /
+	// searched task counts, or ColdSolve.
+	Replan     *ReplanStats `json:"replan,omitempty"`
+	Infeasible *Infeasible  `json:"infeasible,omitempty"`
+	Error      string       `json:"error,omitempty"`
 }

@@ -11,6 +11,9 @@ import (
 	"context"
 	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"streamsched/internal/core"
@@ -271,5 +274,139 @@ func TestPlatformBuildRejectsMalformedInput(t *testing.T) {
 		if _, err := w.Build(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestSchemaVersionPolicy pins the decode-time schema check: omitted (0)
+// and current versions pass, anything else fails with the stable reason
+// token as the message prefix.
+func TestSchemaVersionPolicy(t *testing.T) {
+	for _, v := range []int{0, Version} {
+		if err := checkSchemaVersion(v); err != nil {
+			t.Errorf("version %d rejected: %v", v, err)
+		}
+	}
+	for _, v := range []int{-1, 2, 99} {
+		err := checkSchemaVersion(v)
+		if err == nil {
+			t.Errorf("version %d accepted", v)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), ReasonUnsupportedSchema) {
+			t.Errorf("version %d error %q does not start with %q", v, err.Error(), ReasonUnsupportedSchema)
+		}
+	}
+}
+
+// TestSchemaVersionOnEveryEndpoint: all four /v1 POST endpoints reject an
+// unknown major version with 400 and the stable token, and every response
+// envelope echoes the build's version.
+func TestSchemaVersionOnEveryEndpoint(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, path := range []string{"/v1/solve", "/v1/batch", "/v1/replan", "/v1/simulate"} {
+		resp, data := postJSON(t, ts.Client(), ts.URL+path, map[string]any{"schemaVersion": 99})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+		var envelope struct {
+			SchemaVersion int    `json:"schemaVersion"`
+			Error         string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &envelope); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if !strings.HasPrefix(envelope.Error, ReasonUnsupportedSchema) {
+			t.Errorf("%s: error %q does not start with %q", path, envelope.Error, ReasonUnsupportedSchema)
+		}
+		if envelope.SchemaVersion != Version {
+			t.Errorf("%s: response schemaVersion %d, want %d", path, envelope.SchemaVersion, Version)
+		}
+	}
+}
+
+// TestSchemaVersionRoundTripByteStable: the version field survives an
+// encode→decode→encode cycle on every request/response DTO, and a request
+// marshalled with the current Version re-encodes byte-identically — the
+// version is part of the byte-stable wire contract.
+func TestSchemaVersionRoundTripByteStable(t *testing.T) {
+	docs := []any{
+		&SolveRequest{SchemaVersion: Version, Options: Options{Period: 10}},
+		&SolveResponse{SchemaVersion: Version},
+		&BatchRequest{SchemaVersion: Version},
+		&BatchResponse{SchemaVersion: Version},
+		&ReplanRequest{SchemaVersion: Version},
+		&ReplanResponse{SchemaVersion: Version},
+		&SimulateRequest{SchemaVersion: Version},
+		&SimulateResponse{SchemaVersion: Version},
+	}
+	for _, doc := range docs {
+		enc, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(enc, []byte(`"schemaVersion":1`)) {
+			t.Errorf("%T encoding %s does not carry schemaVersion", doc, enc)
+		}
+		var probe map[string]any
+		if err := json.Unmarshal(enc, &probe); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := probe["schemaVersion"].(float64); !ok || int(v) != Version {
+			t.Errorf("%T: decoded schemaVersion %v", doc, probe["schemaVersion"])
+		}
+		if _, ok := probe["v"]; ok {
+			t.Errorf("%T still encodes the legacy \"v\" field", doc)
+		}
+		re, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Errorf("%T: re-encoding not byte-stable", doc)
+		}
+	}
+}
+
+// TestPlatformDeltaRoundTripByteStable: the wire delta re-encodes
+// byte-identically and Build reproduces the in-memory change set.
+func TestPlatformDeltaRoundTripByteStable(t *testing.T) {
+	w := PlatformDelta{
+		Lost:      []int{2},
+		Speed:     []ProcSpeed{{Proc: 0, Speed: 1.5}},
+		Bandwidth: []LinkBandwidth{{From: 0, To: 1, Bandwidth: 25}},
+		Added:     []NewProc{{Speed: 2, Links: []float64{5, 5, 5}}},
+	}
+	enc, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlatformDelta
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	re, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatalf("delta re-encoding not byte-stable:\n%s\nvs\n%s", enc, re)
+	}
+	d := back.Build()
+	if len(d.Lost) != 1 || d.Lost[0] != 2 ||
+		len(d.Speed) != 1 || d.Speed[0].Proc != 0 || d.Speed[0].Speed != 1.5 ||
+		len(d.Bandwidth) != 1 || d.Bandwidth[0].Bandwidth != 25 ||
+		len(d.Added) != 1 || len(d.Added[0].Links) != 3 {
+		t.Fatalf("Build lost information: %+v", d)
+	}
+	// The empty delta is valid wire ({}) and builds the empty change set.
+	var empty PlatformDelta
+	if err := json.Unmarshal([]byte(`{}`), &empty); err != nil {
+		t.Fatal(err)
+	}
+	if !empty.Build().Empty() {
+		t.Fatal("empty wire delta is not the empty change set")
 	}
 }

@@ -1,0 +1,121 @@
+package streamsched_test
+
+// Differential goldens for incremental repair. Each case takes the pinned
+// het_stream golden instance, applies a platform delta, repairs through
+// Solver.Replan, and pins the repaired schedule byte-for-byte (repair is
+// deterministic: replay order, ladder rungs and search tie-breaks are all
+// fixed). Two differential properties ride along: the repaired schedule
+// validates under the post-delta platform, and its latency bound stays
+// within 2× of a cold solve on the same platform — repair trades some
+// schedule quality for incrementality, but not unboundedly. Regenerate
+// with
+//
+//	go test -run TestGoldenRepairDifferentials -update-golden .
+//
+// only when an intentional repair-algorithm change lands.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamsched"
+	"streamsched/internal/platform"
+	"streamsched/internal/randgraph"
+	"streamsched/internal/rng"
+)
+
+// repairGoldenInstance rebuilds the het_stream golden instance (seed 31,
+// m = 12) used by TestGoldenSchedules.
+func repairGoldenInstance() (*streamsched.Graph, *streamsched.Platform) {
+	r := rng.New(31)
+	p := platform.RandomHeterogeneous(r, 12, 0.5, 1, 0.5, 1, 100)
+	cfg := randgraph.DefaultStreamConfig()
+	cfg.MinTasks, cfg.MaxTasks = 30, 40
+	return randgraph.Stream(r, cfg, p), p
+}
+
+func TestGoldenRepairDifferentials(t *testing.T) {
+	g, p := repairGoldenInstance()
+	links := make([]float64, p.NumProcs())
+	for i := range links {
+		links[i] = 100
+	}
+	deltas := []struct {
+		name  string
+		delta streamsched.PlatformDelta
+	}{
+		{"lostproc", streamsched.PlatformDelta{Lost: []streamsched.ProcID{3}}},
+		{"degrade", streamsched.PlatformDelta{
+			Speed:     []streamsched.ProcSpeedChange{{Proc: 0, Speed: p.Speed(0) * 0.5}},
+			Bandwidth: []streamsched.LinkBandwidthChange{{From: 0, To: 1, Bandwidth: 10}, {From: 1, To: 0, Bandwidth: 10}},
+		}},
+		{"addproc", streamsched.PlatformDelta{Added: []streamsched.AddedProc{{Speed: 1, Links: links}}}},
+	}
+	for _, algo := range []struct {
+		name string
+		a    streamsched.Algorithm
+	}{{"ltf", streamsched.LTF}, {"rltf", streamsched.RLTF}} {
+		solver, err := streamsched.NewSolver(
+			streamsched.WithAlgorithm(algo.a),
+			streamsched.WithEps(1),
+			streamsched.WithPeriod(40),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old, err := solver.Solve(context.Background(), g, p)
+		if err != nil {
+			t.Fatalf("%s: solving the committed schedule: %v", algo.name, err)
+		}
+		for _, dc := range deltas {
+			t.Run(algo.name+"_"+dc.name, func(t *testing.T) {
+				res, err := solver.Replan(context.Background(), old, dc.delta)
+				if err != nil {
+					t.Fatalf("replan: %v", err)
+				}
+				if res.Stats.ColdSolve {
+					t.Fatal("repair fell back to a cold solve; the differential golden pins incremental repair")
+				}
+				if err := res.Schedule.Validate(); err != nil {
+					t.Fatalf("repaired schedule invalid under the post-delta platform: %v", err)
+				}
+
+				// Bounded gap vs a cold solve on the post-delta platform.
+				newP, _, err := dc.delta.Apply(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := solver.Solve(context.Background(), g, newP)
+				if err != nil {
+					t.Fatalf("cold solve on the post-delta platform: %v", err)
+				}
+				if rb, cb := res.Schedule.LatencyBound(), cold.LatencyBound(); rb > 2*cb {
+					t.Fatalf("repaired latency bound %g exceeds 2× the cold bound %g", rb, cb)
+				}
+
+				got, err := json.Marshal(res.Schedule)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				path := filepath.Join("testdata", "golden", "repair_"+algo.name+"_"+dc.name+".json")
+				if *updateGolden {
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (run with -update-golden): %v", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("repaired schedule diverges from golden %s (%d vs %d bytes)", path, len(got), len(want))
+				}
+			})
+		}
+	}
+}

@@ -93,15 +93,57 @@ jq -e '.infeasible.reason == "period-exceeded"' "$workdir/infeasible_resp.json" 
 	exit 1
 }
 
-# 5. Metrics report the cache hit and the rejection.
+# 5. Replan the solved schedule after a platform delta: 200 with repair
+# stats, then an instant cached 200, then a 400 with the stable reason
+# token for an unsupported schema version.
+jq -s '{graph: .[0].graph, platform: .[0].platform, options: .[0].options,
+	schedule: .[1].schedule, delta: {speed: [{proc: 1, speed: 2}]}}' \
+	"$workdir/feasible.json" "$workdir/first.json" >"$workdir/replan.json"
+got=$(curl -s -o "$workdir/replan_resp.json" -w '%{http_code}' -X POST \
+	-H 'Content-Type: application/json' --data-binary @"$workdir/replan.json" "$BASE/v1/replan")
+[ "$got" = 200 ] || {
+	echo "FAIL: replan returned $got, want 200" >&2
+	exit 1
+}
+jq -e '.replan and .schedule' "$workdir/replan_resp.json" >/dev/null || {
+	echo "FAIL: replan response missing repair stats or schedule" >&2
+	exit 1
+}
+got=$(curl -s -o "$workdir/replan_cached.json" -w '%{http_code}' -X POST \
+	-H 'Content-Type: application/json' --data-binary @"$workdir/replan.json" "$BASE/v1/replan")
+[ "$got" = 200 ] || {
+	echo "FAIL: repeat replan returned $got, want 200" >&2
+	exit 1
+}
+jq -e '.cached == true' "$workdir/replan_cached.json" >/dev/null || {
+	echo "FAIL: repeat replan not served from cache" >&2
+	exit 1
+}
+jq '. + {schemaVersion: 99}' "$workdir/replan.json" >"$workdir/replan_badver.json"
+got=$(curl -s -o "$workdir/replan_badver_resp.json" -w '%{http_code}' -X POST \
+	-H 'Content-Type: application/json' --data-binary @"$workdir/replan_badver.json" "$BASE/v1/replan")
+[ "$got" = 400 ] || {
+	echo "FAIL: bad-version replan returned $got, want 400" >&2
+	exit 1
+}
+jq -e '.error | startswith("unsupported-schema-version")' "$workdir/replan_badver_resp.json" >/dev/null || {
+	echo "FAIL: bad-version replan missing the stable reason token" >&2
+	exit 1
+}
+
+# 6. Metrics report the cache hits (solve + replan) and the rejection.
 curl -fsS "$BASE/metrics" >"$workdir/metrics.json"
-jq -e '.cache.hits == 1' "$workdir/metrics.json" >/dev/null || {
-	echo "FAIL: /metrics does not report the cache hit" >&2
+jq -e '.cache.hits == 2' "$workdir/metrics.json" >/dev/null || {
+	echo "FAIL: /metrics does not report the cache hits" >&2
 	exit 1
 }
 jq -e '.queue.rejected == 1' "$workdir/metrics.json" >/dev/null || {
 	echo "FAIL: /metrics does not report the 429 rejection" >&2
 	exit 1
 }
+jq -e '.requests.replan == 3' "$workdir/metrics.json" >/dev/null || {
+	echo "FAIL: /metrics does not count the replan requests" >&2
+	exit 1
+}
 
-echo "service smoke OK: 200, cached 200, 409 (period-exceeded), 429 (+Retry-After), metrics consistent"
+echo "service smoke OK: 200, cached 200, 409 (period-exceeded), 429 (+Retry-After), replan 200/cached/400, metrics consistent"

@@ -139,35 +139,6 @@ func TestFacadeSolveManyMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestFacadeDeprecatedProblemShim(t *testing.T) {
-	// The deprecated Problem.Solve path must produce the same schedule as
-	// the Solver it wraps.
-	g := streamsched.Chain(4, 1, 0.1)
-	p := streamsched.Homogeneous(4, 1, 10)
-	prob := &streamsched.Problem{Graph: g, Platform: p, Eps: 1, Period: 10}
-	old, err := prob.Solve(streamsched.RLTF)
-	if err != nil {
-		t.Fatal(err)
-	}
-	solver, err := streamsched.NewSolver(
-		streamsched.WithAlgorithm(streamsched.RLTF),
-		streamsched.WithEps(1),
-		streamsched.WithPeriod(10),
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	neu, err := solver.Solve(context.Background(), g, p)
-	if err != nil {
-		t.Fatal(err)
-	}
-	oj, _ := old.MarshalJSON()
-	nj, _ := neu.MarshalJSON()
-	if !bytes.Equal(oj, nj) {
-		t.Fatal("Problem.Solve shim diverges from Solver.Solve")
-	}
-}
-
 func TestFacadePortfolio(t *testing.T) {
 	p := streamsched.RandomPlatform(5, 12, 0.5, 1, 0.5, 1)
 	g := streamsched.RandomStream(9, 1.0, p)

@@ -49,6 +49,7 @@ import (
 	"streamsched/internal/dag"
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
+	"streamsched/internal/repair"
 	"streamsched/internal/rng"
 	"streamsched/internal/schedule"
 	"streamsched/internal/service"
@@ -85,11 +86,6 @@ type (
 	Solver = core.Solver
 	// SolverOption configures a Solver (see the With... constructors).
 	SolverOption = core.Option
-	// Problem is a tri-criteria scheduling instance.
-	//
-	// Deprecated: build a Solver with NewSolver; Problem.Solve remains as
-	// a thin shim.
-	Problem = core.Problem
 	// Algorithm selects LTF, RLTF, FaultFree or Portfolio.
 	Algorithm = core.Algorithm
 	// Schedule is a replicated pipelined mapping with derived metrics.
@@ -165,6 +161,43 @@ func WithOneToOne(on bool) SolverOption { return core.WithOneToOne(on) }
 // WithLatencyCap rejects schedules whose latency bound (2S−1)·Δ exceeds
 // cap (≤ 0 disables, the default).
 func WithLatencyCap(cap float64) SolverOption { return core.WithLatencyCap(cap) }
+
+// Online rescheduling. Solver.Replan(ctx, old, delta, ...ReplanOption)
+// repairs a committed schedule after a platform delta — processors lost or
+// added, speeds or link bandwidths changed — by replaying the surviving
+// placement and re-placing only the evicted tasks through the journaled
+// task transactions, falling back to a cold re-solve when repair fails
+// (DESIGN.md §10).
+type (
+	// PlatformDelta is one observed platform change set (lost/added
+	// processors, speed and bandwidth changes), applied by Replan.
+	PlatformDelta = core.Delta
+	// ProcSpeedChange sets one processor's speed within a delta.
+	ProcSpeedChange = repair.SpeedChange
+	// LinkBandwidthChange sets one directed link's bandwidth within a delta.
+	LinkBandwidthChange = repair.BandwidthChange
+	// AddedProc describes one processor joining the platform within a delta.
+	AddedProc = repair.AddedProc
+	// ReplanResult is a successful Replan: the post-delta schedule plus the
+	// repair statistics.
+	ReplanResult = core.ReplanResult
+	// RepairStats quantifies how much of the old schedule survived.
+	RepairStats = core.RepairStats
+	// ReplanOption configures one Replan call.
+	ReplanOption = core.ReplanOption
+)
+
+// ErrRepairBudget reports an exceeded repair budget when the cold-solve
+// fallback is disabled.
+var ErrRepairBudget = core.ErrRepairBudget
+
+// WithRepairBudget bounds the tasks repair may re-place by search before
+// falling back to a cold solve (0, the default, is unlimited).
+func WithRepairBudget(n int) ReplanOption { return core.WithRepairBudget(n) }
+
+// WithColdFallback toggles Replan's fall-back-to-cold-solve policy
+// (default on).
+func WithColdFallback(on bool) ReplanOption { return core.WithColdFallback(on) }
 
 // Batch solving.
 type (
@@ -319,19 +352,36 @@ func MinProcessors(ctx context.Context, g *Graph, p *Platform, eps int, period f
 }
 
 // Scheduling service. cmd/streamschedd serves the whole pipeline over
-// HTTP/JSON — POST /v1/solve, /v1/batch, /v1/simulate plus /healthz and
-// /metrics — with canonical problem hashing, a coalescing LRU result cache
-// and bounded-queue backpressure (DESIGN.md §8). The wire types are
-// re-exported here so clients build requests and decode responses with the
-// same definitions the daemon uses; examples/service is a complete client.
+// HTTP/JSON — POST /v1/solve, /v1/batch, /v1/replan, /v1/simulate plus
+// /healthz and /metrics — with canonical problem hashing, a coalescing LRU
+// result cache and bounded-queue backpressure (DESIGN.md §8). The same
+// pipeline is available in-process, without HTTP, through ServiceHandle.
+// The wire types are re-exported here so clients build requests and decode
+// responses with the same definitions the daemon uses; examples/service is
+// a complete client.
 type (
 	// Service is the embeddable HTTP scheduling service; mount
-	// Service.Handler() on any http.Server. Build with NewService.
+	// Service.Handler() on any http.Server. Build with NewService. It
+	// embeds a ServiceHandle, so hybrid embedders can serve HTTP and call
+	// the in-process API against the same cache and admission bounds.
 	Service = service.Server
 	// ServiceConfig bounds the service: workers, queue, cache, deadlines.
 	ServiceConfig = service.Config
 	// ServiceMetrics is the GET /metrics document.
 	ServiceMetrics = service.MetricsSnapshot
+
+	// ServiceHandle is the in-process service API: Solve, SolveBatch and
+	// Replan through the same caching, coalescing and backpressure pipeline
+	// as the HTTP surface, on in-memory types. Build with NewServiceHandle.
+	ServiceHandle = service.Handle
+	// ServiceSpec is one in-process solve request.
+	ServiceSpec = service.Spec
+	// ServiceReplanSpec is one in-process replan request.
+	ServiceReplanSpec = service.ReplanSpec
+	// ServiceOutcome is the in-process result of a Solve or Replan.
+	ServiceOutcome = service.Outcome
+	// ServiceBatchResult pairs one batch element's outcome with its error.
+	ServiceBatchResult = service.BatchResult
 
 	// WireGraph/WirePlatform/WireOptions describe one problem on the wire.
 	WireGraph    = service.Graph
@@ -347,6 +397,14 @@ type (
 	WireBatchRequest  = service.BatchRequest
 	WireBatchProblem  = service.BatchProblem
 	WireBatchResponse = service.BatchResponse
+	// WireReplan types repair a committed schedule after a platform delta.
+	WireReplanRequest  = service.ReplanRequest
+	WireReplanResponse = service.ReplanResponse
+	WirePlatformDelta  = service.PlatformDelta
+	WireProcSpeed      = service.ProcSpeed
+	WireLinkBandwidth  = service.LinkBandwidth
+	WireNewProc        = service.NewProc
+	WireReplanStats    = service.ReplanStats
 	// WireSimulate types solve and sweep simulation scenarios.
 	WireSimulateRequest  = service.SimulateRequest
 	WireSimulateResponse = service.SimulateResponse
@@ -356,9 +414,17 @@ type (
 	WireInfeasible = service.Infeasible
 )
 
+// ErrServiceQueueFull is the service's admission rejection: the handle
+// already has Workers+QueueLimit work units pending (HTTP 429).
+var ErrServiceQueueFull = service.ErrQueueFull
+
 // NewService builds the HTTP scheduling service (zero config: GOMAXPROCS
 // workers, 4× queue, 1024-entry cache, 30s deadline).
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// NewServiceHandle builds the in-process scheduling service — the same
+// pipeline NewService serves over HTTP, minus the HTTP.
+func NewServiceHandle(cfg ServiceConfig) *ServiceHandle { return service.NewHandle(cfg) }
 
 // NewWireGraph converts a graph to its wire form.
 func NewWireGraph(g *Graph) WireGraph { return service.GraphDTO(g) }
