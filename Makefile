@@ -6,7 +6,7 @@ BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkReplan|BenchmarkSim|BenchmarkTim
 BENCHTIME ?= 5x
 COUNT ?= 3
 
-.PHONY: all build fmt vet lint fuzz test test-full cover bench bench-record bench-compare bench-trend baseline serve smoke ci
+.PHONY: all build fmt vet lint fuzz test test-full cover bench bench-record bench-compare bench-trend baseline serve smoke chaos ci
 
 all: build
 
@@ -43,6 +43,7 @@ fuzz:
 	$(GO) test -run Fuzz ./internal/service/
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime $(FUZZTIME) ./internal/service/
 	$(GO) test -run '^$$' -fuzz FuzzCanonicalProblemHash -fuzztime $(FUZZTIME) ./internal/service/
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime $(FUZZTIME) ./internal/service/
 
 # test mirrors the CI test job (race + short). test-full runs the slow
 # experiment sweeps too.
@@ -92,4 +93,12 @@ serve:
 smoke:
 	bash scripts/service-smoke.sh
 
-ci: build lint test smoke bench-compare
+# chaos is the crash-tolerance gate (DESIGN.md §11): the fault-injection
+# and drain tests under the race detector — including the kill -9
+# warm-restart e2e, which -short skips — plus the chaos smoke against a
+# real daemon. Same steps as the ci.yml chaos job.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestInjected|TestBatchFollower|TestDrainUnderLoad|TestReadyz|TestFaultSite|TestSnapshot' ./internal/service/
+	bash scripts/service-smoke.sh --chaos
+
+ci: build lint test smoke chaos bench-compare

@@ -9,14 +9,23 @@
 //	                   infeasibility or exceeded repair budget (409)
 //	POST /v1/simulate  solve + a scenario sweep on one simulation engine
 //	GET  /healthz      liveness
+//	GET  /readyz       readiness: 503 during warm start and drain
 //	GET  /metrics      expvar-style counters: requests, cache hit ratio,
-//	                   queue depth, p50/p90/p99 latency
+//	                   queue depth, p50/p90/p99 latency, panics, snapshots
 //
 // Identical concurrent problems solve once (canonical hashing + coalescing)
 // and repeat problems — solves and replans alike — are served from a
 // bounded LRU cache; see internal/service and DESIGN.md §8, §10.
 //
-//	streamschedd -addr :8080 -workers 8 -queue 32 -cache 1024
+// With -snapshot the cache survives restarts: it is spilled to the given
+// path periodically and on graceful shutdown, and replayed on boot, so a
+// restarted daemon serves repeat traffic as cache hits (DESIGN.md §11).
+// SIGTERM/SIGINT triggers the graceful drain: readiness drops, new work is
+// rejected with 503 + Retry-After, in-flight flights finish under the
+// -max-timeout budget, the cache is spilled, and the listener closes.
+//
+//	streamschedd -addr :8080 -workers 8 -queue 32 -cache 1024 \
+//	    -snapshot /var/lib/streamsched/cache.snap
 package main
 
 import (
@@ -28,13 +37,22 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"streamsched/internal/faultinject"
 	"streamsched/internal/service"
 )
 
+// faultSpecs collects repeatable -fault flags.
+type faultSpecs []string
+
+func (f *faultSpecs) String() string     { return strings.Join(*f, ",") }
+func (f *faultSpecs) Set(s string) error { *f = append(*f, s); return nil }
+
 func main() {
+	var faults faultSpecs
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		workers    = flag.Int("workers", 0, "concurrent solve/simulate work units (0: GOMAXPROCS)")
@@ -44,20 +62,34 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 5*time.Minute, "ceiling on client-requested deadlines and per-flight compute budget")
 		retry      = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum request body bytes")
+		snapshot   = flag.String("snapshot", "", "cache snapshot path: spill on shutdown and periodically, replay on boot (empty: disabled)")
+		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "background cache spill period (requires -snapshot; <0: drain-only spill)")
 		// -debug-solve-delay exists for smoke and load testing: it makes
 		// queue-full (429) and coalescing windows deterministic.
 		solveDelay = flag.Duration("debug-solve-delay", 0, "artificial delay per underlying solve (testing only)")
 	)
+	flag.Var(&faults, "fault", "arm a fault-injection site, site=policy (repeatable; policies: always[:param], nth:N[:param], prob:P:SEED[:param]) — chaos testing only")
 	flag.Parse()
 
+	if len(faults) > 0 {
+		if err := faultinject.ParseSpec(strings.Join(faults, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "streamschedd:", err)
+			os.Exit(2)
+		}
+		log.Printf("streamschedd: fault injection armed: %s", faults.String())
+	}
+
 	cfg := service.Config{
-		Workers:        *workers,
-		CacheEntries:   *cache,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		RetryAfter:     *retry,
-		MaxBodyBytes:   *maxBody,
-		SolveDelay:     *solveDelay,
+		Workers:          *workers,
+		CacheEntries:     *cache,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		RetryAfter:       *retry,
+		MaxBodyBytes:     *maxBody,
+		SolveDelay:       *solveDelay,
+		SnapshotPath:     *snapshot,
+		SnapshotInterval: *snapEvery,
+		Logf:             log.Printf,
 	}
 	switch {
 	case *queue == 0:
@@ -76,6 +108,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Warm start concurrently with the listener coming up: /readyz reports
+	// 503 until the replay lands, but requests that do arrive are served.
+	go func() {
+		start := time.Now()
+		replayed, skipped, err := srv.WarmStart()
+		if err != nil {
+			log.Printf("streamschedd: warm start: %v (continuing cold)", err)
+		}
+		if *snapshot != "" {
+			log.Printf("streamschedd: warm start: %d entries replayed, %d skipped in %s", replayed, skipped, time.Since(start).Round(time.Millisecond))
+		}
+	}()
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("streamschedd: listening on %s", *addr)
@@ -89,12 +134,32 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("streamschedd: shutting down")
+		// Graceful drain: stop admission first (readiness drops, new work
+		// gets 503 + Retry-After), let in-flight flights finish under the
+		// compute budget, spill the cache, then close the listener.
+		log.Printf("streamschedd: drain: admission stopped")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
+		rep := srv.Drain(drainCtx)
+		cancel()
+		if rep.FlightsTimedOut {
+			log.Printf("streamschedd: drain: flight wait timed out after %s; abandoning stragglers", rep.Flights.Round(time.Millisecond))
+		} else {
+			log.Printf("streamschedd: drain: in-flight work finished in %s", rep.Flights.Round(time.Millisecond))
+		}
+		if *snapshot != "" {
+			if rep.SnapshotErr != nil {
+				log.Printf("streamschedd: drain: cache spill failed: %v", rep.SnapshotErr)
+			} else {
+				log.Printf("streamschedd: drain: spilled %d cache entries in %s", rep.SnapshotEntries, rep.Snapshot.Round(time.Millisecond))
+			}
+		}
+		start := time.Now()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "streamschedd: shutdown:", err)
 			os.Exit(1)
 		}
+		log.Printf("streamschedd: drain: listener closed in %s", time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -3,6 +3,16 @@
 // service distinguishes), runs a crash-scenario sweep through
 // POST /v1/simulate, and reads the cache/queue counters from GET /metrics.
 //
+// Retry budget contract. The server owns the hints, the client owns the
+// budget: post retries retryable failures — 429 queue-full, 503 drain (a
+// replica shutting down or warming up), and transient connection errors
+// (a replica mid-restart) — at most maxAttempts times, sleeping a capped
+// exponential backoff with full jitter between attempts. A Retry-After
+// header, when present, is the floor of that sleep, never the whole
+// policy: jittered backoff is what keeps a fleet of retrying clients from
+// re-converging on the same instant. Anything else (400, 409, 500) is not
+// retried — it will not get better by asking again.
+//
 // Start a daemon first, then point the client at it:
 //
 //	go run ./cmd/streamschedd -addr :8080 &
@@ -14,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"strconv"
@@ -89,28 +100,41 @@ func main() {
 		metrics.SolveCalls, metrics.Cache.HitRatio, metrics.Queue.Rejected)
 }
 
-// post sends one JSON request, retrying once on 429 after the server's
-// Retry-After hint — the client-side half of the backpressure contract.
+// Retry policy knobs (see the file header for the contract).
+const (
+	maxAttempts = 6
+	baseBackoff = 250 * time.Millisecond
+	maxBackoff  = 8 * time.Second
+)
+
+// post sends one JSON request under the retry budget: 429, 503 and
+// connection errors retry with capped exponential backoff and full
+// jitter, honoring Retry-After as a floor; other statuses return at once.
 func post(url string, body, out any) int {
 	enc, err := json.Marshal(body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "encode:", err)
 		os.Exit(1)
 	}
-	for attempt := 0; ; attempt++ {
+	for attempt := 1; ; attempt++ {
 		resp, err := http.Post(url, "application/json", bytes.NewReader(enc))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "post:", err)
-			os.Exit(1)
+			// Connection-level failure: the replica may be mid-restart.
+			if attempt == maxAttempts {
+				fmt.Fprintln(os.Stderr, "post:", err)
+				os.Exit(1)
+			}
+			wait := backoff(attempt, 0)
+			fmt.Printf("connect failed (%v); retrying in %s\n", err, wait.Round(time.Millisecond))
+			time.Sleep(wait)
+			continue
 		}
-		if resp.StatusCode == http.StatusTooManyRequests && attempt == 0 {
+		if (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) && attempt < maxAttempts {
 			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 			resp.Body.Close()
-			if secs < 1 {
-				secs = 1
-			}
-			fmt.Printf("server busy; retrying in %ds\n", secs)
-			time.Sleep(time.Duration(secs) * time.Second)
+			wait := backoff(attempt, time.Duration(secs)*time.Second)
+			fmt.Printf("server busy (HTTP %d); retrying in %s\n", resp.StatusCode, wait.Round(time.Millisecond))
+			time.Sleep(wait)
 			continue
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
@@ -121,4 +145,19 @@ func post(url string, body, out any) int {
 		}
 		return resp.StatusCode
 	}
+}
+
+// backoff returns the sleep before retry #attempt: full jitter over an
+// exponentially growing, capped window, floored by the server's
+// Retry-After hint when one was given.
+func backoff(attempt int, retryAfter time.Duration) time.Duration {
+	window := baseBackoff << (attempt - 1)
+	if window > maxBackoff {
+		window = maxBackoff
+	}
+	wait := time.Duration(rand.Int64N(int64(window) + 1))
+	if wait < retryAfter {
+		wait = retryAfter
+	}
+	return wait
 }

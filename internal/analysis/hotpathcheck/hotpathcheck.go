@@ -14,7 +14,10 @@
 //   - function literals that capture enclosing variables — captured
 //     closures escape to the heap; hoist the state or pass it explicitly.
 //     Literals passed directly to sort.Search are exempt: the callback
-//     provably does not escape it.
+//     provably does not escape it,
+//   - any call into internal/faultinject — fault-injection sites belong on
+//     cold paths only (DESIGN.md §11): disarmed they still cost an atomic
+//     load, and the hot path is budgeted tighter than that.
 //
 // The marker is a doc-comment directive:
 //
@@ -72,11 +75,19 @@ func checkScope(pass *analysis.Pass, fd *ast.FuncDecl, body *ast.BlockStmt, sig 
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if fn := analysis.CalleeFunc(info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-				pass.Reportf(n.Pos(),
-					"fmt.%s in hotpath function %s: formatting allocates; build the message in a cold helper",
-					fn.Name(), fd.Name.Name)
-				return true // args are doomed anyway; skip boxing noise
+			if fn := analysis.CalleeFunc(info, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt":
+					pass.Reportf(n.Pos(),
+						"fmt.%s in hotpath function %s: formatting allocates; build the message in a cold helper",
+						fn.Name(), fd.Name.Name)
+					return true // args are doomed anyway; skip boxing noise
+				case "streamsched/internal/faultinject":
+					pass.Reportf(n.Pos(),
+						"faultinject.%s in hotpath function %s: fault sites belong on cold paths only",
+						fn.Name(), fd.Name.Name)
+					return true
+				}
 			}
 			checkCallBoxing(pass, fd, n)
 		case *ast.FuncLit:

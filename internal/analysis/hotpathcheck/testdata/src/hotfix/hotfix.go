@@ -5,6 +5,8 @@ package hotfix
 import (
 	"fmt"
 	"sort"
+
+	"streamsched/internal/faultinject"
 )
 
 type item struct{ v int }
@@ -97,6 +99,18 @@ func hotClosureNoCaptureOK(xs []int) int {
 //streamsched:hotpath
 func hotSortSearchOK(xs []int, target int) int {
 	return sort.Search(len(xs), func(k int) bool { return xs[k] >= target })
+}
+
+// Unmarked functions may place fault sites.
+func coldFault() bool {
+	return faultinject.Fire("hotfix.cold.site")
+}
+
+//streamsched:hotpath
+func hotFault() {
+	if faultinject.Fire("hotfix.hot.site") { // want `faultinject.Fire in hotpath function hotFault: fault sites belong on cold paths only`
+		_ = faultinject.Param("hotfix.hot.site") // want `faultinject.Param in hotpath function hotFault`
+	}
 }
 
 //streamsched:hotpath

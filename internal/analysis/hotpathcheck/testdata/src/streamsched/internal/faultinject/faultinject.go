@@ -1,0 +1,8 @@
+// Stub of streamsched/internal/faultinject for the hotpathcheck fixture:
+// the analyzer matches the callee's package path, so the fixture only
+// needs the signatures it calls.
+package faultinject
+
+func Fire(name string) bool { _ = name; return false }
+
+func Param(name string) string { _ = name; return "" }

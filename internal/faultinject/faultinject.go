@@ -1,0 +1,258 @@
+// Package faultinject is a deterministic fault-injection registry for
+// crash and chaos testing. Production code declares named sites — fixed
+// points where a fault may be induced — and the test (or a daemon flag)
+// arms a subset of them with a trigger policy:
+//
+//	faultinject.Enable("service.flight.panic", faultinject.Nth(1))
+//	...
+//	if faultinject.Fire("service.flight.panic") {
+//		panic("faultinject: service.flight.panic")
+//	}
+//
+// Determinism is the point: a chaos test that cannot reproduce its fault
+// schedule cannot pin anything. Every policy is a pure function of its
+// configuration and the site's call number — Nth fires on exactly the n-th
+// call, Prob draws from a splitmix64 stream fixed by its seed (internal/rng,
+// never math/rand), Always fires unconditionally — so a failing run replays
+// bit-for-bit.
+//
+// Disarmed (no site enabled anywhere in the process) Fire is a single
+// atomic load and returns false; sites therefore cost nothing in
+// production. They are still forbidden inside //streamsched:hotpath
+// functions — even one atomic load per candidate evaluation is measurable
+// — which hotpathcheck enforces statically (DESIGN.md §9, §11): inject at
+// the cold call site around the hot loop instead.
+//
+// The registry is process-global because the faults it models are process
+// -global (a daemon flag arms sites before any request runs). Tests that
+// arm sites must Reset in cleanup and must not run in parallel with other
+// users of the same site.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"streamsched/internal/rng"
+)
+
+// Mode selects a site's trigger policy.
+type Mode int
+
+const (
+	// ModeAlways fires on every call.
+	ModeAlways Mode = iota
+	// ModeNth fires on exactly the n-th call to the site (1-based), once.
+	ModeNth
+	// ModeProb fires with probability P per call, drawn from a splitmix64
+	// stream seeded at Enable time: the firing pattern is a deterministic
+	// function of (P, Seed, call number).
+	ModeProb
+)
+
+// Policy decides, call by call, whether an armed site fires.
+type Policy struct {
+	Mode Mode
+	// N is the 1-based firing call for ModeNth.
+	N uint64
+	// P and Seed parameterize ModeProb.
+	P    float64
+	Seed uint64
+	// Param is an optional argument the site interprets (for example the
+	// sleep duration of an induced-slow-solve site).
+	Param string
+}
+
+// Always returns the fire-on-every-call policy.
+func Always() Policy { return Policy{Mode: ModeAlways} }
+
+// Nth returns the fire-on-exactly-the-nth-call policy (1-based).
+func Nth(n uint64) Policy { return Policy{Mode: ModeNth, N: n} }
+
+// Prob returns the fire-with-probability-p policy over a stream fixed by
+// seed.
+func Prob(p float64, seed uint64) Policy { return Policy{Mode: ModeProb, P: p, Seed: seed} }
+
+// WithParam attaches a site-interpreted parameter to the policy.
+func (p Policy) WithParam(param string) Policy {
+	p.Param = param
+	return p
+}
+
+// site is one armed site's state.
+type site struct {
+	policy Policy
+	calls  uint64
+	fired  uint64
+	rand   *rng.Source
+}
+
+var (
+	mu    sync.Mutex
+	sites = map[string]*site{}
+	// armed caches len(sites) so the disarmed fast path of Fire is one
+	// atomic load with no lock and no map access.
+	armed atomic.Int32
+)
+
+// Fire reports whether the named site should inject its fault on this
+// call, advancing the site's call counter. When no site is enabled
+// anywhere in the process it is a single atomic load returning false.
+func Fire(name string) bool {
+	if armed.Load() == 0 {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	s := sites[name]
+	if s == nil {
+		return false
+	}
+	s.calls++
+	hit := false
+	switch s.policy.Mode {
+	case ModeAlways:
+		hit = true
+	case ModeNth:
+		hit = s.calls == s.policy.N
+	case ModeProb:
+		hit = s.rand.Float64() < s.policy.P
+	}
+	if hit {
+		s.fired++
+	}
+	return hit
+}
+
+// Param returns the armed site's policy parameter, or "" when the site is
+// not enabled.
+func Param(name string) string {
+	if armed.Load() == 0 {
+		return ""
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.policy.Param
+	}
+	return ""
+}
+
+// Enable arms name with policy p, replacing any previous policy and
+// resetting the site's counters.
+func Enable(name string, p Policy) {
+	mu.Lock()
+	defer mu.Unlock()
+	sites[name] = &site{policy: p, rand: rng.New(p.Seed)}
+	armed.Store(int32(len(sites)))
+}
+
+// Disable disarms name; Fire on it returns false again.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(sites, name)
+	armed.Store(int32(len(sites)))
+}
+
+// Reset disarms every site. Tests that Enable must defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	sites = map[string]*site{}
+	armed.Store(0)
+}
+
+// Calls returns how many times Fire has been consulted for an armed site
+// (0 when disarmed).
+func Calls(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.calls
+	}
+	return 0
+}
+
+// Fired returns how many times the site actually fired.
+func Fired(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if s := sites[name]; s != nil {
+		return s.fired
+	}
+	return 0
+}
+
+// ParsePolicy parses the textual policy grammar used by daemon flags:
+//
+//	always[:param]
+//	nth:N[:param]
+//	prob:P:SEED[:param]
+func ParsePolicy(s string) (Policy, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "always":
+		p := Always()
+		if len(parts) > 1 {
+			p.Param = strings.Join(parts[1:], ":")
+		}
+		return p, nil
+	case "nth":
+		if len(parts) < 2 {
+			return Policy{}, fmt.Errorf("faultinject: nth policy needs a call number: %q", s)
+		}
+		n, err := strconv.ParseUint(parts[1], 10, 64)
+		if err != nil || n == 0 {
+			return Policy{}, fmt.Errorf("faultinject: bad nth call number %q", parts[1])
+		}
+		p := Nth(n)
+		if len(parts) > 2 {
+			p.Param = strings.Join(parts[2:], ":")
+		}
+		return p, nil
+	case "prob":
+		if len(parts) < 3 {
+			return Policy{}, fmt.Errorf("faultinject: prob policy needs probability and seed: %q", s)
+		}
+		pr, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || pr < 0 || pr > 1 {
+			return Policy{}, fmt.Errorf("faultinject: bad probability %q", parts[1])
+		}
+		seed, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return Policy{}, fmt.Errorf("faultinject: bad seed %q", parts[2])
+		}
+		p := Prob(pr, seed)
+		if len(parts) > 3 {
+			p.Param = strings.Join(parts[3:], ":")
+		}
+		return p, nil
+	default:
+		return Policy{}, fmt.Errorf("faultinject: unknown policy %q (want always, nth:N or prob:P:SEED)", s)
+	}
+}
+
+// ParseSpec parses and enables one or more comma-separated site=policy
+// entries, e.g. "service.flight.panic=nth:1,service.flight.slow=always:250ms".
+func ParseSpec(spec string) error {
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, pol, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("faultinject: bad spec entry %q (want site=policy)", entry)
+		}
+		p, err := ParsePolicy(pol)
+		if err != nil {
+			return err
+		}
+		Enable(name, p)
+	}
+	return nil
+}

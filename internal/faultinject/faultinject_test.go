@@ -1,0 +1,157 @@
+package faultinject
+
+import "testing"
+
+func TestDisarmedNeverFires(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if Fire("nowhere") {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if Calls("nowhere") != 0 {
+		t.Fatal("disarmed site counted calls")
+	}
+	if Param("nowhere") != "" {
+		t.Fatal("disarmed site has a param")
+	}
+}
+
+func TestAlways(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("a", Always())
+	for i := 0; i < 5; i++ {
+		if !Fire("a") {
+			t.Fatalf("always policy did not fire on call %d", i+1)
+		}
+	}
+	if Fired("a") != 5 || Calls("a") != 5 {
+		t.Fatalf("fired=%d calls=%d, want 5/5", Fired("a"), Calls("a"))
+	}
+	// Other sites stay disarmed.
+	if Fire("b") {
+		t.Fatal("unarmed sibling site fired")
+	}
+}
+
+func TestNthFiresExactlyOnce(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("n", Nth(3))
+	var pattern []bool
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, Fire("n"))
+	}
+	want := []bool{false, false, true, false, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("nth:3 pattern %v, want %v", pattern, want)
+		}
+	}
+	if Fired("n") != 1 {
+		t.Fatalf("nth fired %d times, want 1", Fired("n"))
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	run := func() []bool {
+		Enable("p", Prob(0.5, 42))
+		var seq []bool
+		for i := 0; i < 64; i++ {
+			seq = append(seq, Fire("p"))
+		}
+		return seq
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prob sequence not reproducible at call %d", i+1)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times; expected a mix", fired, len(a))
+	}
+}
+
+func TestEnableResetsCounters(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Enable("n", Nth(1))
+	if !Fire("n") {
+		t.Fatal("nth:1 did not fire on first call")
+	}
+	Enable("n", Nth(1)) // re-arm: counters reset
+	if !Fire("n") {
+		t.Fatal("re-armed nth:1 did not fire on first call")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		bad  bool
+	}{
+		{in: "always", want: Always()},
+		{in: "always:250ms", want: Always().WithParam("250ms")},
+		{in: "nth:3", want: Nth(3)},
+		{in: "nth:2:boom", want: Nth(2).WithParam("boom")},
+		{in: "prob:0.25:7", want: Prob(0.25, 7)},
+		{in: "prob:0.25:7:slow", want: Prob(0.25, 7).WithParam("slow")},
+		{in: "nth", bad: true},
+		{in: "nth:0", bad: true},
+		{in: "nth:x", bad: true},
+		{in: "prob:2:1", bad: true},
+		{in: "prob:0.5", bad: true},
+		{in: "sometimes", bad: true},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParsePolicy(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ParseSpec("a=always, b=nth:2 ,c=prob:1:9:zzz"); err != nil {
+		t.Fatal(err)
+	}
+	if !Fire("a") {
+		t.Fatal("site a not armed")
+	}
+	if Fire("b") { // nth:2 — first call must not fire
+		t.Fatal("site b fired on first call")
+	}
+	if !Fire("b") {
+		t.Fatal("site b did not fire on second call")
+	}
+	if Param("c") != "zzz" {
+		t.Fatalf("site c param %q, want zzz", Param("c"))
+	}
+	if err := ParseSpec("broken"); err == nil {
+		t.Fatal("bad spec accepted")
+	}
+	if err := ParseSpec("x=nonsense"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

@@ -81,6 +81,19 @@ func (c *lruCache) Put(key string, out outcome) {
 	}
 }
 
+// entries returns the cached (key, outcome) pairs, least recently used
+// first — the spill order that lets a snapshot replay reproduce the
+// recency order with plain Puts (persist.go).
+func (c *lruCache) entries() []lruEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*lruEntry))
+	}
+	return out
+}
+
 // Len reports the current entry count.
 func (c *lruCache) Len() int {
 	c.mu.Lock()

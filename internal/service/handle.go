@@ -30,10 +30,13 @@ package service
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamsched/internal/core"
 	"streamsched/internal/dag"
+	"streamsched/internal/faultinject"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
@@ -51,6 +54,23 @@ type Handle struct {
 	flights *flightGroup
 	m       *metrics
 
+	// Lifecycle (lifecycle.go). life holds lifeStarting/lifeReady/
+	// lifeDraining; drainMu synchronizes flight registration against the
+	// drain transition, and flightWG is the set of registered flights a
+	// drain waits out.
+	life     atomic.Int32
+	drainMu  sync.RWMutex
+	flightWG sync.WaitGroup
+
+	// Snapshot machinery (persist.go, lifecycle.go). snapMu serializes
+	// spills; snapStop/snapDone bracket the background ticker goroutine.
+	snapMu    sync.Mutex
+	loopOnce  sync.Once
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	drainOnce sync.Once
+	drainRep  DrainReport
+
 	// solve and replan perform one underlying computation; tests swap them
 	// to gate or count solver entry deterministically.
 	solve  func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error)
@@ -67,6 +87,11 @@ func NewHandle(cfg Config) *Handle {
 		cache:   newLRUCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		m:       newMetrics(),
+	}
+	if cfg.SnapshotPath == "" {
+		// No warm start to wait for: born ready. With a snapshot path the
+		// handle starts in lifeStarting and WarmStart flips it.
+		h.life.Store(lifeReady)
 	}
 	h.solve = func(ctx context.Context, sv *core.Solver, g *dag.Graph, p *platform.Platform) (*schedule.Schedule, error) {
 		if err := h.debugDelay(ctx); err != nil {
@@ -185,6 +210,9 @@ func publish(out outcome, hash string, state hitState) Outcome {
 // Infeasibility is an Outcome, not an error; ErrQueueFull and context
 // errors are errors.
 func (h *Handle) Solve(ctx context.Context, sp Spec) (Outcome, error) {
+	if h.Draining() {
+		return Outcome{}, ErrDraining
+	}
 	if err := sp.validate(); err != nil {
 		return Outcome{}, err
 	}
@@ -198,6 +226,9 @@ func (h *Handle) Solve(ctx context.Context, sp Spec) (Outcome, error) {
 // Replan resolves one replan request through the same cache → coalescing →
 // admission pipeline as Solve, keyed by the canonical replan hash.
 func (h *Handle) Replan(ctx context.Context, sp ReplanSpec) (Outcome, error) {
+	if h.Draining() {
+		return Outcome{}, ErrDraining
+	}
 	if err := sp.validate(); err != nil {
 		return Outcome{}, err
 	}
@@ -219,6 +250,13 @@ func (h *Handle) Replan(ctx context.Context, sp ReplanSpec) (Outcome, error) {
 // exceed the handle's Workers bound. A nil result error accompanies a
 // complete Outcome (possibly infeasible).
 func (h *Handle) SolveBatch(ctx context.Context, specs []Spec) []BatchResult {
+	if h.Draining() {
+		results := make([]BatchResult, len(specs))
+		for i := range results {
+			results[i] = BatchResult{Err: ErrDraining}
+		}
+		return results
+	}
 	items := make([]batchItem, len(specs))
 	var leaders []int
 	for i, sp := range specs {
@@ -233,7 +271,11 @@ func (h *Handle) SolveBatch(ctx context.Context, specs []Spec) []BatchResult {
 			it.out, it.state = out, hitCache
 			continue
 		}
-		f, leader := h.flights.Claim(it.hash)
+		f, leader, err := h.claimFlight(it.hash)
+		if err != nil {
+			it.err = err
+			continue
+		}
 		if !leader {
 			h.m.coalesced.Add(1)
 			it.flight, it.state = f, hitCoalesced
@@ -257,6 +299,11 @@ func (h *Handle) SolveBatch(ctx context.Context, specs []Spec) []BatchResult {
 			it.out, it.err = f.Wait(ctx)
 		} else if it.flight != nil {
 			it.out, it.err = it.flight.Wait(ctx)
+			if errors.Is(it.err, ErrInternalPanic) {
+				// The foreign flight this item coalesced onto panicked;
+				// retry through the full pipeline like any follower.
+				it.out, _, it.state, it.err = h.solveProblem(ctx, it.g, it.p, it.sv)
+			}
 		}
 		if it.err != nil {
 			results[i] = BatchResult{Outcome: Outcome{Hash: it.hash}, Err: it.err}
@@ -274,6 +321,10 @@ func (h *Handle) SolveBatch(ctx context.Context, specs []Spec) []BatchResult {
 // when the bound is exceeded, or ctx.Err() if the deadline expires while
 // queued.
 func (h *Handle) admit(ctx context.Context) (release func(), err error) {
+	if faultinject.Fire(SiteAdmitReject) {
+		h.m.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
 	limit := int64(h.cfg.Workers + h.cfg.QueueLimit)
 	if h.m.pending.Add(1) > limit {
 		h.m.pending.Add(-1)
@@ -305,44 +356,63 @@ const (
 
 // solveProblem resolves one problem through cache → coalescing → admission
 // → solver. Every returned outcome has exactly one of sched/infeas set;
-// err covers everything else (queue full, deadline, solver fault). The
-// caller waits under its own ctx; the underlying computation runs
-// detached (see the file header).
+// err covers everything else (queue full, deadline, draining, solver
+// fault). The caller waits under its own ctx; the underlying computation
+// runs detached (see the file header). A follower whose leader's flight
+// panicked re-enters the pipeline — the panic is the leader's failure, not
+// the problem's — bounded by maxPanicRetries so a deterministically
+// panicking computation still surfaces.
 func (h *Handle) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, string, hitState, error) {
 	hash := ProblemHash(g, p, sv)
-	if out, ok := h.cache.Get(hash); ok {
-		h.m.cacheHits.Add(1)
-		return out, hash, hitCache, nil
-	}
-	f, leader := h.flights.Claim(hash)
-	if !leader {
+	for attempt := 0; ; attempt++ {
+		if out, ok := h.cache.Get(hash); ok {
+			h.m.cacheHits.Add(1)
+			return out, hash, hitCache, nil
+		}
+		f, leader, err := h.claimFlight(hash)
+		if err != nil {
+			return outcome{}, hash, hitSolved, err
+		}
+		if leader {
+			h.m.cacheMisses.Add(1)
+			go h.runFlight(hash, f, g, p, sv)
+			out, err := f.Wait(ctx)
+			return out, hash, hitSolved, err
+		}
 		h.m.coalesced.Add(1)
 		out, err := f.Wait(ctx)
+		if errors.Is(err, ErrInternalPanic) && attempt < maxPanicRetries {
+			continue
+		}
 		return out, hash, hitCoalesced, err
 	}
-	h.m.cacheMisses.Add(1)
-	go h.runFlight(hash, f, g, p, sv)
-	out, err := f.Wait(ctx)
-	return out, hash, hitSolved, err
 }
 
 // replanProblem is solveProblem for a replan request, keyed by the
 // precomputed replan hash.
 func (h *Handle) replanProblem(ctx context.Context, hash string, sp ReplanSpec) (outcome, hitState, error) {
-	if out, ok := h.cache.Get(hash); ok {
-		h.m.cacheHits.Add(1)
-		return out, hitCache, nil
-	}
-	f, leader := h.flights.Claim(hash)
-	if !leader {
+	for attempt := 0; ; attempt++ {
+		if out, ok := h.cache.Get(hash); ok {
+			h.m.cacheHits.Add(1)
+			return out, hitCache, nil
+		}
+		f, leader, err := h.claimFlight(hash)
+		if err != nil {
+			return outcome{}, hitSolved, err
+		}
+		if leader {
+			h.m.cacheMisses.Add(1)
+			go h.runReplanFlight(hash, f, sp)
+			out, err := f.Wait(ctx)
+			return out, hitSolved, err
+		}
 		h.m.coalesced.Add(1)
 		out, err := f.Wait(ctx)
+		if errors.Is(err, ErrInternalPanic) && attempt < maxPanicRetries {
+			continue
+		}
 		return out, hitCoalesced, err
 	}
-	h.m.cacheMisses.Add(1)
-	go h.runReplanFlight(hash, f, sp)
-	out, err := f.Wait(ctx)
-	return out, hitSolved, err
 }
 
 // runFlight executes one claimed flight — admission, solve, cache fill,
@@ -351,18 +421,39 @@ func (h *Handle) replanProblem(ctx context.Context, hash string, sp ReplanSpec) 
 // without blocking when the bound is exceeded), so a rejected flight
 // resolves at once.
 func (h *Handle) runFlight(hash string, f *flight, g *dag.Graph, p *platform.Platform, sv *core.Solver) {
+	// Registered before Fulfill's work so it runs after it: when the drain
+	// WaitGroup clears, every flight's outcome is committed to the cache.
+	defer h.flightWG.Done()
 	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
 	defer cancel()
-	out, err := h.computeFlight(ctx, hash, g, p, sv)
+	out, err := h.computeFlightSafe(ctx, hash, g, p, sv)
 	h.flights.Fulfill(hash, f, out, err)
 }
 
 // runReplanFlight is runFlight for a replan flight.
 func (h *Handle) runReplanFlight(hash string, f *flight, sp ReplanSpec) {
+	defer h.flightWG.Done()
 	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
 	defer cancel()
-	out, err := h.computeReplanFlight(ctx, hash, sp)
+	out, err := h.computeReplanFlightSafe(ctx, hash, sp)
 	h.flights.Fulfill(hash, f, out, err)
+}
+
+// computeFlightSafe is computeFlight behind the panic isolation boundary:
+// a panic anywhere below (solver fault or injected) unwinds the admission
+// defers, becomes an ErrInternalPanic error for the flight's waiters, and
+// never reaches the detached goroutine's top — where it would kill the
+// process, not a request.
+func (h *Handle) computeFlightSafe(ctx context.Context, hash string, g *dag.Graph, p *platform.Platform, sv *core.Solver) (out outcome, err error) {
+	defer h.recoverFault(&err)
+	return h.computeFlight(ctx, hash, g, p, sv)
+}
+
+// computeReplanFlightSafe is the panic isolation boundary of a replan
+// flight.
+func (h *Handle) computeReplanFlightSafe(ctx context.Context, hash string, sp ReplanSpec) (out outcome, err error) {
+	defer h.recoverFault(&err)
+	return h.computeReplanFlight(ctx, hash, sp)
 }
 
 // computeFlight resolves a led flight: one last cache check — a previous
@@ -401,6 +492,9 @@ func (h *Handle) computeReplanFlight(ctx context.Context, hash string, sp Replan
 // compute runs the underlying solver and folds typed infeasibility into
 // the outcome (it is a result, not a failure).
 func (h *Handle) compute(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
+	if err := h.injectFlightFaults(ctx); err != nil {
+		return outcome{}, err
+	}
 	h.m.solveCalls.Add(1)
 	sched, err := h.solve(ctx, sv, g, p)
 	if err != nil {
@@ -413,6 +507,9 @@ func (h *Handle) compute(ctx context.Context, g *dag.Graph, p *platform.Platform
 // It counts as a solver invocation: the coalescing and caching invariants
 // ("equal hashes compute once") are asserted against solveCalls.
 func (h *Handle) computeReplan(ctx context.Context, sp ReplanSpec) (outcome, error) {
+	if err := h.injectFlightFaults(ctx); err != nil {
+		return outcome{}, err
+	}
 	h.m.solveCalls.Add(1)
 	opts := []core.ReplanOption{core.WithRepairBudget(sp.RepairBudget), core.WithColdFallback(!sp.NoColdFallback)}
 	res, err := h.replan(ctx, sp.Solver, sp.Old, sp.Delta, opts...)
@@ -460,6 +557,13 @@ type batchItem struct {
 // The hook admits every problem individually: the pool's goroutines queue
 // on the shared worker slots, they do not multiply them.
 func (h *Handle) runBatchFlights(leaders []int, items []batchItem) {
+	// One WaitGroup registration per led flight (claimFlight); all of them
+	// resolve — including the leftover loop below — before this returns.
+	defer func() {
+		for range leaders {
+			h.flightWG.Done()
+		}
+	}()
 	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
 	defer cancel()
 	reqs := make([]core.Request, len(leaders))
@@ -470,7 +574,7 @@ func (h *Handle) runBatchFlights(leaders []int, items []batchItem) {
 	batch := core.Batch{Workers: h.cfg.Workers}
 	results := batch.SolveFunc(ctx, reqs, func(ctx context.Context, k int, _ core.Request) (*schedule.Schedule, error) {
 		it := &items[leaders[k]]
-		out, err := h.computeFlight(ctx, it.hash, it.g, it.p, it.sv)
+		out, err := h.computeFlightSafe(ctx, it.hash, it.g, it.p, it.sv)
 		h.flights.Fulfill(it.hash, it.lead, out, err)
 		fulfilled[k] = true
 		return nil, err // the flight already carries the outcome

@@ -76,6 +76,12 @@ type metrics struct {
 	coalesced   atomic.Int64 // requests that piggybacked on a flight
 	rejected    atomic.Int64 // 429s issued by admission
 
+	// Robustness counters (DESIGN.md §11).
+	panics           atomic.Int64 // flight panics recovered to 500s
+	snapshotWrites   atomic.Int64 // cache spills committed to disk
+	snapshotReplayed atomic.Int64 // entries restored by warm start
+	snapshotSkipped  atomic.Int64 // snapshot entries rejected during replay
+
 	// Queue gauges: pending counts admitted work units (waiting +
 	// executing); inFlight counts units holding a worker slot.
 	pending  atomic.Int64
@@ -131,9 +137,16 @@ type MetricsSnapshot struct {
 	SolveCalls    int64            `json:"solveCalls"`
 	SimRuns       int64            `json:"simRuns"`
 	Coalesced     int64            `json:"coalesced"`
-	Cache         CacheStats       `json:"cache"`
-	Queue         QueueStats       `json:"queue"`
-	LatencyMs     LatencyStats     `json:"latencyMs"`
+	// Robustness counters: recovered flight panics, snapshot spill/replay
+	// activity, and whether the handle is draining (shutting down).
+	Panics           int64        `json:"panics"`
+	SnapshotWrites   int64        `json:"snapshotWrites"`
+	SnapshotReplayed int64        `json:"snapshotReplayed"`
+	SnapshotSkipped  int64        `json:"snapshotSkipped"`
+	Draining         bool         `json:"draining"`
+	Cache            CacheStats   `json:"cache"`
+	Queue            QueueStats   `json:"queue"`
+	LatencyMs        LatencyStats `json:"latencyMs"`
 }
 
 // snapshot assembles the /metrics document.
@@ -166,10 +179,15 @@ func (h *Handle) snapshot() MetricsSnapshot {
 			"healthz":  m.reqHealthz.Load(),
 			"metrics":  m.reqMetrics.Load(),
 		},
-		Responses:  resp,
-		SolveCalls: m.solveCalls.Load(),
-		SimRuns:    m.simRuns.Load(),
-		Coalesced:  m.coalesced.Load(),
+		Responses:        resp,
+		SolveCalls:       m.solveCalls.Load(),
+		SimRuns:          m.simRuns.Load(),
+		Coalesced:        m.coalesced.Load(),
+		Panics:           m.panics.Load(),
+		SnapshotWrites:   m.snapshotWrites.Load(),
+		SnapshotReplayed: m.snapshotReplayed.Load(),
+		SnapshotSkipped:  m.snapshotSkipped.Load(),
+		Draining:         h.Draining(),
 		Cache: CacheStats{
 			Hits:     hits,
 			Misses:   misses,

@@ -65,6 +65,16 @@ type Config struct {
 	// exists for load and smoke testing (deterministic 429/coalescing
 	// scenarios); production configs leave it zero.
 	SolveDelay time.Duration
+	// SnapshotPath enables persistent cache spill + warm start (DESIGN.md
+	// §11): the LRU is written here on drain and every SnapshotInterval,
+	// and replayed by WarmStart. Empty disables persistence.
+	SnapshotPath string
+	// SnapshotInterval is the background spill period (0 → 30s when
+	// SnapshotPath is set; <0 → periodic spill disabled, drain still spills).
+	SnapshotInterval time.Duration
+	// Logf receives operational log lines (background snapshot failures);
+	// nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.SnapshotPath != "" && c.SnapshotInterval == 0 {
+		c.SnapshotInterval = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	return c
 }
 
@@ -110,7 +126,11 @@ func New(cfg Config) *Server {
 	return &Server{Handle: NewHandle(cfg)}
 }
 
-// Handler returns the service's HTTP routing table.
+// Handler returns the service's HTTP routing table, wrapped in the
+// last-resort panic recovery middleware: a panic that escapes a handler
+// goroutine (as opposed to a detached flight, which computeFlightSafe
+// isolates) becomes a 500 with the stable "internal-panic" token instead
+// of net/http's connection reset.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/solve", s.handleSolve)
@@ -118,8 +138,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/replan", s.handleReplan)
 	mux.HandleFunc("/v1/simulate", s.handleSimulate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware is the handler-goroutine panic boundary. The 500 is
+// best-effort: if the handler already wrote a header the rendered body is
+// garbage appended to a half response, but the process survives — which is
+// the point.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Add(1)
+				s.writeJSON(w, http.StatusInternalServerError, SolveResponse{
+					SchemaVersion: Version,
+					Error:         fmt.Sprintf("%v: %v", ErrInternalPanic, rec),
+				})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // foldInfeasible converts an infeasibility error into a cacheable outcome;
@@ -178,6 +218,8 @@ func errorStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrRepairBudget):
 		// The caller disabled the cold fallback and the repair budget was
 		// exceeded: no result under the requested policy — a conflict with
@@ -218,7 +260,9 @@ func (s *Server) writeReplanError(w http.ResponseWriter, err error) {
 // headers on the way.
 func (s *Server) errorHeaders(w http.ResponseWriter, err error) int {
 	status := errorStatus(err)
-	if status == http.StatusTooManyRequests {
+	// 429 (queue full) and 503 (draining) both mean "come back later";
+	// Retry-After carries the hint either way.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.RetryAfter)))
 	}
 	return status
@@ -518,6 +562,10 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
+	if s.Draining() {
+		s.writeError(w, ErrDraining)
+		return
+	}
 	// Solve through the shared cache/coalescing path (same hash space as
 	// /v1/solve), then run the sweep as its own admitted work unit. The
 	// two acquisitions are sequential, never nested, so a Workers=1 server
@@ -540,6 +588,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Summary = out.summary
 
+	sched := out.sched
+	if sched == nil {
+		// The outcome was restored from a snapshot, which keeps only the
+		// rendered bytes (persist.go); rebuild the in-memory schedule from
+		// them against this request's decoded problem — an identical hash
+		// means an identical problem.
+		sched, err = schedule.LoadJSON(out.schedJSON, g, p)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+
 	release, err := s.admit(ctx)
 	if err != nil {
 		s.writeError(w, err)
@@ -549,14 +610,14 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	// One engine for the whole sweep: the derived schedule tables and the
 	// simulation state buffers are built once and reused per scenario.
-	eng, err := sim.NewEngine(out.sched)
+	eng, err := sim.NewEngine(sched)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	resp.Scenarios = make([]ScenarioResult, 0, len(scenarios))
 	for _, sc := range scenarios {
-		res, err := s.runScenario(ctx, eng, out.sched, sc)
+		res, err := s.runScenario(ctx, eng, sched, sc)
 		if err != nil {
 			s.writeError(w, err)
 			return
@@ -604,6 +665,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":        "ok",
 		"uptimeSeconds": time.Since(s.m.start).Seconds(),
 	})
+}
+
+// handleReadyz is readiness, distinct from /healthz liveness: it reports
+// 503 while the warm-start replay runs and again once a drain begins, so
+// a load balancer routes around a booting or terminating replica that is
+// nonetheless alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	status := http.StatusOK
+	state := "ready"
+	switch s.life.Load() {
+	case lifeStarting:
+		status, state = http.StatusServiceUnavailable, "starting"
+	case lifeDraining:
+		status, state = http.StatusServiceUnavailable, "draining"
+	}
+	s.writeJSON(w, status, map[string]any{"status": state})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -405,7 +405,10 @@ func TestLeaderRechecksCacheAfterClaim(t *testing.T) {
 		t.Error("re-solved a problem that was already cached")
 		return nil, context.Canceled
 	}
-	f, leader := srv.flights.Claim(hash)
+	f, leader, err := srv.claimFlight(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !leader {
 		t.Fatal("flight unexpectedly in progress")
 	}

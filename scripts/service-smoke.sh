@@ -5,6 +5,14 @@
 # 429+Retry-After (queue full) — and check /healthz and the /metrics
 # counters. Used by `make smoke` and the ci.yml service-smoke job, which
 # must stay in lockstep.
+#
+# With --chaos the script runs the crash-tolerance smoke instead
+# (DESIGN.md §11): kill -9 a daemon mid-traffic and verify the restart
+# serves previously-solved problems from the replayed snapshot
+# byte-identically with zero solver calls; arm a fault-injection panic and
+# verify the 500 internal-panic contract; SIGTERM and verify the graceful
+# drain spills the cache. Used by `make chaos-smoke` and the ci.yml chaos
+# job.
 set -euo pipefail
 
 ADDR=${ADDR:-127.0.0.1:18080}
@@ -20,6 +28,135 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$workdir/streamschedd" ./cmd/streamschedd
+
+if [ "${1:-}" = "--chaos" ]; then
+	SNAP="$workdir/cache.snap"
+
+	cat >"$workdir/feasible.json" <<'EOF'
+{"graph":{"name":"smoke","tasks":[{"name":"a","work":2},{"name":"b","work":3}],"edges":[{"from":0,"to":1,"volume":1}]},"platform":{"speeds":[1,1],"bandwidth":[[0,10],[10,0]]},"options":{"eps":1,"period":20}}
+EOF
+	cat >"$workdir/other.json" <<'EOF'
+{"graph":{"name":"smoke2","tasks":[{"name":"a","work":4},{"name":"b","work":5}],"edges":[{"from":0,"to":1,"volume":1}]},"platform":{"speeds":[1,1],"bandwidth":[[0,10],[10,0]]},"options":{"eps":1,"period":20}}
+EOF
+	cat >"$workdir/third.json" <<'EOF'
+{"graph":{"name":"smoke3","tasks":[{"name":"a","work":6},{"name":"b","work":7}],"edges":[{"from":0,"to":1,"volume":1}]},"platform":{"speeds":[1,1],"bandwidth":[[0,10],[10,0]]},"options":{"eps":1,"period":20}}
+EOF
+
+	start_daemon() { # start_daemon [extra flags...] — waits for readiness
+		"$workdir/streamschedd" -addr "$ADDR" -snapshot "$SNAP" -snapshot-interval 200ms "$@" &
+		DPID=$!
+		for _ in $(seq 1 100); do
+			[ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")" = 200 ] && return 0
+			sleep 0.1
+		done
+		echo "FAIL: daemon never became ready" >&2
+		exit 1
+	}
+
+	solve() { # solve <payload> <body-out> — prints the HTTP status
+		curl -s -o "$2" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+			--data-binary @"$1" "$BASE/v1/solve"
+	}
+
+	metric() { curl -fsS "$BASE/metrics" | jq -r "$1"; }
+
+	# 1. Prime two problems, and record a cache-hit response as the
+	# byte-identical baseline for the warm restart.
+	start_daemon
+	for p in feasible other; do
+		got=$(solve "$workdir/$p.json" "$workdir/chaos_$p.json")
+		[ "$got" = 200 ] || {
+			echo "FAIL: priming solve ($p) returned $got, want 200" >&2
+			exit 1
+		}
+	done
+	got=$(solve "$workdir/feasible.json" "$workdir/prehit.json")
+	[ "$got" = 200 ] || {
+		echo "FAIL: pre-kill repeat solve returned $got, want 200" >&2
+		exit 1
+	}
+	jq -e '.cached == true' "$workdir/prehit.json" >/dev/null || {
+		echo "FAIL: pre-kill repeat solve not served from cache" >&2
+		exit 1
+	}
+
+	# 2. Wait for two completed background spills after the solves — the
+	# second must have started after both entries were committed.
+	w=$(metric .snapshotWrites)
+	for _ in $(seq 1 100); do
+		[ "$(metric .snapshotWrites)" -ge $((w + 2)) ] && break
+		sleep 0.1
+	done
+	[ "$(metric .snapshotWrites)" -ge $((w + 2)) ] || {
+		echo "FAIL: background snapshot never covered the primed solves" >&2
+		exit 1
+	}
+
+	# 3. kill -9 — no drain, no final spill — then restart from the snapshot.
+	kill -9 "$DPID" 2>/dev/null
+	wait "$DPID" 2>/dev/null || true
+	DPID=
+	start_daemon
+	[ "$(metric .snapshotReplayed)" = 2 ] || {
+		echo "FAIL: restart replayed $(metric .snapshotReplayed) entries, want 2" >&2
+		exit 1
+	}
+	got=$(solve "$workdir/feasible.json" "$workdir/posthit.json")
+	[ "$got" = 200 ] || {
+		echo "FAIL: post-restart solve returned $got, want 200" >&2
+		exit 1
+	}
+	cmp -s "$workdir/prehit.json" "$workdir/posthit.json" || {
+		echo "FAIL: cache-hit response not byte-identical across kill -9 restart" >&2
+		exit 1
+	}
+	[ "$(metric .solveCalls)" = 0 ] || {
+		echo "FAIL: restarted daemon made $(metric .solveCalls) solver calls for a solved problem" >&2
+		exit 1
+	}
+	kill -9 "$DPID" 2>/dev/null
+	wait "$DPID" 2>/dev/null || true
+	DPID=
+
+	# 4. Injected leader panic: 500 with the stable internal-panic token,
+	# counted in /metrics, and a clean 200 on retry.
+	rm -f "$SNAP"
+	start_daemon -fault 'service.flight.panic=nth:1'
+	got=$(solve "$workdir/third.json" "$workdir/panic.json")
+	[ "$got" = 500 ] || {
+		echo "FAIL: injected panic returned $got, want 500" >&2
+		exit 1
+	}
+	jq -e '.error | startswith("internal-panic")' "$workdir/panic.json" >/dev/null || {
+		echo "FAIL: 500 response missing the internal-panic token" >&2
+		exit 1
+	}
+	got=$(solve "$workdir/third.json" "$workdir/panic_retry.json")
+	[ "$got" = 200 ] || {
+		echo "FAIL: post-panic retry returned $got, want 200" >&2
+		exit 1
+	}
+	[ "$(metric .panics)" = 1 ] || {
+		echo "FAIL: panics counter is $(metric .panics), want 1" >&2
+		exit 1
+	}
+
+	# 5. Graceful drain: SIGTERM exits cleanly and spills the cache.
+	kill "$DPID"
+	wait "$DPID" || {
+		echo "FAIL: daemon exited non-zero on SIGTERM" >&2
+		exit 1
+	}
+	DPID=
+	[ -s "$SNAP" ] || {
+		echo "FAIL: graceful drain left no snapshot" >&2
+		exit 1
+	}
+
+	echo "service chaos smoke OK: kill -9 warm restart (byte-identical hit, 0 solver calls), panic isolation (500 internal-panic, counted), SIGTERM drain spill"
+	exit 0
+fi
+
 "$workdir/streamschedd" -addr "$ADDR" -workers 1 -queue 0 -debug-solve-delay "$DELAY" &
 DPID=$!
 

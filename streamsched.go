@@ -382,6 +382,9 @@ type (
 	ServiceOutcome = service.Outcome
 	// ServiceBatchResult pairs one batch element's outcome with its error.
 	ServiceBatchResult = service.BatchResult
+	// ServiceDrainReport summarizes a graceful drain: flights waited for,
+	// timeouts, and the final cache spill (DESIGN.md §11).
+	ServiceDrainReport = service.DrainReport
 
 	// WireGraph/WirePlatform/WireOptions describe one problem on the wire.
 	WireGraph    = service.Graph
@@ -417,6 +420,16 @@ type (
 // ErrServiceQueueFull is the service's admission rejection: the handle
 // already has Workers+QueueLimit work units pending (HTTP 429).
 var ErrServiceQueueFull = service.ErrQueueFull
+
+// ErrServiceDraining is returned for work submitted after Drain began:
+// the handle is spilling its cache and shutting down (HTTP 503 +
+// Retry-After; see DESIGN.md §11).
+var ErrServiceDraining = service.ErrDraining
+
+// ErrServiceInternalPanic wraps a panic recovered from a solve or replan
+// flight; coalesced followers retry past it and the process survives
+// (HTTP 500 with the stable "internal-panic" token).
+var ErrServiceInternalPanic = service.ErrInternalPanic
 
 // NewService builds the HTTP scheduling service (zero config: GOMAXPROCS
 // workers, 4× queue, 1024-entry cache, 30s deadline).
