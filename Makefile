@@ -2,7 +2,7 @@
 # so a green `make ci` predicts a green CI run.
 
 GO ?= go
-BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkReplan|BenchmarkSim|BenchmarkTimelineReserve|BenchmarkServiceSolveCached|BenchmarkSnapshotRestore|BenchmarkTxnRollback|BenchmarkHeadsAvailCache
+BENCH_RE ?= BenchmarkLTF|BenchmarkRLTF|BenchmarkReplan|BenchmarkSim|BenchmarkTimelineReserve|BenchmarkServiceSolveCached|BenchmarkServiceSolveTraced|BenchmarkSnapshotRestore|BenchmarkTxnRollback|BenchmarkHeadsAvailCache
 BENCHTIME ?= 5x
 COUNT ?= 3
 

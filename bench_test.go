@@ -528,3 +528,46 @@ func BenchmarkServiceSolveCached(b *testing.B) {
 		b.Fatalf("cache failed: %d solver calls for %d requests", m.SolveCalls, b.N*reqsPerOp+1)
 	}
 }
+
+// BenchmarkServiceSolveTraced is BenchmarkServiceSolveCached with
+// per-request tracing enabled: the same cached request now opens a trace,
+// threads spans through hash/cache/render, feeds the stage latency rings
+// and lands in the /debug/traces ring. The delta against Cached is the
+// whole observability tax (DESIGN.md §12). Defined after Cached on
+// purpose: benchmarks run in definition order and obs arming is
+// process-global and monotone, so the disabled-path bench must run first.
+func BenchmarkServiceSolveTraced(b *testing.B) {
+	srv := streamsched.NewService(streamsched.ServiceConfig{Tracing: true})
+	handler := srv.Handler()
+	payload, err := json.Marshal(streamsched.WireSolveRequest{
+		Graph:    streamsched.NewWireGraph(streamsched.Fig2Graph()),
+		Platform: streamsched.NewWirePlatform(platform.Homogeneous(6, 1, 10)),
+		Options:  streamsched.WireOptions{Eps: 1, Period: 40},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func() int {
+		req := httptest.NewRequest(http.MethodPost, "/v1/solve", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Header().Get("X-Trace-Id") == "" {
+			b.Fatal("traced response without X-Trace-Id")
+		}
+		return rec.Code
+	}
+	if code := post(); code != http.StatusOK { // warm the cache
+		b.Fatalf("warm-up solve: HTTP %d", code)
+	}
+	const reqsPerOp = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < reqsPerOp; j++ {
+			if code := post(); code != http.StatusOK {
+				b.Fatalf("cached solve: HTTP %d", code)
+			}
+		}
+	}
+}

@@ -10,12 +10,26 @@
 //	POST /v1/simulate  solve + a scenario sweep on one simulation engine
 //	GET  /healthz      liveness
 //	GET  /readyz       readiness: 503 during warm start and drain
-//	GET  /metrics      expvar-style counters: requests, cache hit ratio,
-//	                   queue depth, p50/p90/p99 latency, panics, snapshots
+//	GET  /metrics      counters: requests, cache hit ratio, queue depth,
+//	                   p50/p90/p99 latency, panics, snapshots — JSON by
+//	                   default, Prometheus text with ?format=prometheus or
+//	                   an Accept: text/plain scrape
+//	GET  /debug/traces recent request traces: span-tree JSON, or the Chrome
+//	                   trace-event form with ?format=chrome
 //
 // Identical concurrent problems solve once (canonical hashing + coalescing)
 // and repeat problems — solves and replans alike — are served from a
 // bounded LRU cache; see internal/service and DESIGN.md §8, §10.
+//
+// Observability (DESIGN.md §12). Tracing is on by default (-trace=false
+// disables it): every request carries an X-Trace-Id response header,
+// ?debug=timing adds a Server-Timing stage breakdown, recent API traces
+// are retained for /debug/traces (-trace-ring bounds the window), and the
+// daemon logs one structured JSON line per request to stderr. Operational
+// log lines are structured JSON too (log/slog). -pprof mounts the
+// net/http/pprof handlers under /debug/pprof/ — off by default because
+// profile endpoints expose process internals and cost CPU when scraped;
+// enable it on instances you are actively profiling, behind network ACLs.
 //
 // With -snapshot the cache survives restarts: it is spilled to the given
 // path periodically and on graceful shutdown, and replayed on boot, so a
@@ -33,8 +47,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +79,9 @@ func main() {
 		maxBody    = flag.Int64("max-body", 16<<20, "maximum request body bytes")
 		snapshot   = flag.String("snapshot", "", "cache snapshot path: spill on shutdown and periodically, replay on boot (empty: disabled)")
 		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "background cache spill period (requires -snapshot; <0: drain-only spill)")
+		tracing    = flag.Bool("trace", true, "per-request tracing: X-Trace-Id, /debug/traces, stage latency metrics, request logs")
+		traceRing  = flag.Int("trace-ring", 128, "recent traces retained for /debug/traces (requires -trace)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (costs CPU when scraped; keep behind ACLs)")
 		// -debug-solve-delay exists for smoke and load testing: it makes
 		// queue-full (429) and coalescing windows deterministic.
 		solveDelay = flag.Duration("debug-solve-delay", 0, "artificial delay per underlying solve (testing only)")
@@ -71,12 +89,14 @@ func main() {
 	flag.Var(&faults, "fault", "arm a fault-injection site, site=policy (repeatable; policies: always[:param], nth:N[:param], prob:P:SEED[:param]) — chaos testing only")
 	flag.Parse()
 
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
 	if len(faults) > 0 {
 		if err := faultinject.ParseSpec(strings.Join(faults, ",")); err != nil {
 			fmt.Fprintln(os.Stderr, "streamschedd:", err)
 			os.Exit(2)
 		}
-		log.Printf("streamschedd: fault injection armed: %s", faults.String())
+		logger.Warn("fault injection armed", "spec", faults.String())
 	}
 
 	cfg := service.Config{
@@ -89,7 +109,32 @@ func main() {
 		SolveDelay:       *solveDelay,
 		SnapshotPath:     *snapshot,
 		SnapshotInterval: *snapEvery,
-		Logf:             log.Printf,
+		Tracing:          *tracing,
+		TraceRingSize:    *traceRing,
+		Logf: func(format string, args ...any) {
+			logger.Warn(fmt.Sprintf(format, args...))
+		},
+	}
+	if *tracing {
+		cfg.RequestLog = func(e service.RequestLogEntry) {
+			attrs := []any{
+				"traceId", e.TraceID,
+				"method", e.Method,
+				"path", e.Path,
+				"status", e.Status,
+				"durationMs", e.DurationMs,
+			}
+			if e.Hash != "" {
+				attrs = append(attrs, "hash", e.Hash)
+			}
+			if e.Outcome != "" {
+				attrs = append(attrs, "outcome", e.Outcome)
+			}
+			if len(e.Stages) > 0 {
+				attrs = append(attrs, "stagesMs", e.Stages)
+			}
+			logger.Info("request", attrs...)
+		}
 	}
 	switch {
 	case *queue == 0:
@@ -99,9 +144,25 @@ func main() {
 	}
 	srv := service.New(cfg)
 
+	handler := srv.Handler()
+	if *pprofOn {
+		// Wrap the service handler rather than registering on it: the pprof
+		// handlers must bypass the tracing/recovery middlewares (a CPU
+		// profile lasting 30s would pin a trace open the whole time).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "prefix", "/debug/pprof/")
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -114,16 +175,17 @@ func main() {
 		start := time.Now()
 		replayed, skipped, err := srv.WarmStart()
 		if err != nil {
-			log.Printf("streamschedd: warm start: %v (continuing cold)", err)
+			logger.Error("warm start failed; continuing cold", "err", err)
 		}
 		if *snapshot != "" {
-			log.Printf("streamschedd: warm start: %d entries replayed, %d skipped in %s", replayed, skipped, time.Since(start).Round(time.Millisecond))
+			logger.Info("warm start", "replayed", replayed, "skipped", skipped,
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
 		}
 	}()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("streamschedd: listening on %s", *addr)
+		logger.Info("listening", "addr", *addr, "tracing", *tracing)
 		errc <- hs.ListenAndServe()
 	}()
 
@@ -137,20 +199,23 @@ func main() {
 		// Graceful drain: stop admission first (readiness drops, new work
 		// gets 503 + Retry-After), let in-flight flights finish under the
 		// compute budget, spill the cache, then close the listener.
-		log.Printf("streamschedd: drain: admission stopped")
+		logger.Info("drain: admission stopped")
 		drainCtx, cancel := context.WithTimeout(context.Background(), *maxTimeout)
 		rep := srv.Drain(drainCtx)
 		cancel()
 		if rep.FlightsTimedOut {
-			log.Printf("streamschedd: drain: flight wait timed out after %s; abandoning stragglers", rep.Flights.Round(time.Millisecond))
+			logger.Warn("drain: flight wait timed out; abandoning stragglers",
+				"waited", rep.Flights.Round(time.Millisecond).String())
 		} else {
-			log.Printf("streamschedd: drain: in-flight work finished in %s", rep.Flights.Round(time.Millisecond))
+			logger.Info("drain: in-flight work finished",
+				"elapsed", rep.Flights.Round(time.Millisecond).String())
 		}
 		if *snapshot != "" {
 			if rep.SnapshotErr != nil {
-				log.Printf("streamschedd: drain: cache spill failed: %v", rep.SnapshotErr)
+				logger.Error("drain: cache spill failed", "err", rep.SnapshotErr)
 			} else {
-				log.Printf("streamschedd: drain: spilled %d cache entries in %s", rep.SnapshotEntries, rep.Snapshot.Round(time.Millisecond))
+				logger.Info("drain: cache spilled", "entries", rep.SnapshotEntries,
+					"elapsed", rep.Snapshot.Round(time.Millisecond).String())
 			}
 		}
 		start := time.Now()
@@ -160,6 +225,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, "streamschedd: shutdown:", err)
 			os.Exit(1)
 		}
-		log.Printf("streamschedd: drain: listener closed in %s", time.Since(start).Round(time.Millisecond))
+		logger.Info("drain: listener closed", "elapsed", time.Since(start).Round(time.Millisecond).String())
 	}
 }

@@ -129,22 +129,38 @@ func post(url string, body, out any) int {
 			time.Sleep(wait)
 			continue
 		}
+		// The daemon stamps every response with its trace ID; quoting it in
+		// failure and retry logs is what lets an operator pull the exact
+		// server-side trace (GET /debug/traces) for this attempt.
+		traceID := resp.Header.Get("X-Trace-Id")
 		if (resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable) && attempt < maxAttempts {
 			secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
 			resp.Body.Close()
 			wait := backoff(attempt, time.Duration(secs)*time.Second)
-			fmt.Printf("server busy (HTTP %d); retrying in %s\n", resp.StatusCode, wait.Round(time.Millisecond))
+			fmt.Printf("server busy (HTTP %d, trace %s); retrying in %s\n", resp.StatusCode, orDash(traceID), wait.Round(time.Millisecond))
 			time.Sleep(wait)
 			continue
 		}
 		err = json.NewDecoder(resp.Body).Decode(out)
 		resp.Body.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "decode:", err)
+			fmt.Fprintf(os.Stderr, "decode (trace %s): %v\n", orDash(traceID), err)
 			os.Exit(1)
+		}
+		if resp.StatusCode >= 400 {
+			fmt.Printf("request failed (HTTP %d, trace %s)\n", resp.StatusCode, orDash(traceID))
 		}
 		return resp.StatusCode
 	}
+}
+
+// orDash renders a possibly-absent trace ID (the daemon may run with
+// -trace=false) without an empty hole in the log line.
+func orDash(id string) string {
+	if id == "" {
+		return "-"
+	}
+	return id
 }
 
 // backoff returns the sleep before retry #attempt: full jitter over an

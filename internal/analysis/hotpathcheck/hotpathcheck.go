@@ -17,7 +17,11 @@
 //     provably does not escape it,
 //   - any call into internal/faultinject — fault-injection sites belong on
 //     cold paths only (DESIGN.md §11): disarmed they still cost an atomic
-//     load, and the hot path is budgeted tighter than that.
+//     load, and the hot path is budgeted tighter than that,
+//   - any call into internal/obs except obs.Enabled — tracing spans and
+//     events are calls (and, armed, allocations); hot-path instrumentation
+//     is plain counter increments (mapper.PhaseCounters, DESIGN.md §12),
+//     folded into spans by the cold callers that own them.
 //
 // The marker is a doc-comment directive:
 //
@@ -87,6 +91,19 @@ func checkScope(pass *analysis.Pass, fd *ast.FuncDecl, body *ast.BlockStmt, sig 
 						"faultinject.%s in hotpath function %s: fault sites belong on cold paths only",
 						fn.Name(), fd.Name.Name)
 					return true
+				case "streamsched/internal/obs":
+					// Tracing belongs one level up: span open/close and event
+					// emission are calls (and, armed, allocations) the hot
+					// path cannot afford. Enabled() alone is exempt — it is
+					// the documented one-atomic-load guard. Plain counter
+					// increments (mapper.PhaseCounters) are the sanctioned
+					// in-hotpath instrumentation.
+					if fn.Name() != "Enabled" {
+						pass.Reportf(n.Pos(),
+							"obs.%s in hotpath function %s: tracing belongs on cold paths; increment a phase counter instead",
+							fn.Name(), fd.Name.Name)
+						return true
+					}
 				}
 			}
 			checkCallBoxing(pass, fd, n)

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"streamsched/internal/faultinject"
+	"streamsched/internal/obs"
 )
 
 type item struct{ v int }
@@ -111,6 +112,24 @@ func hotFault() {
 	if faultinject.Fire("hotfix.hot.site") { // want `faultinject.Fire in hotpath function hotFault: fault sites belong on cold paths only`
 		_ = faultinject.Param("hotfix.hot.site") // want `faultinject.Param in hotpath function hotFault`
 	}
+}
+
+// Unmarked functions may open spans.
+func coldSpan(sp obs.SpanRef) {
+	cs := sp.Child("cold")
+	cs.End()
+}
+
+type phases struct{ trials int64 }
+
+//streamsched:hotpath
+func hotSpan(sp obs.SpanRef, ph *phases) {
+	ph.trials++ // plain counter increment: the sanctioned hot-path instrumentation
+	if !obs.Enabled() {
+		return // the one-atomic-load guard is exempt
+	}
+	cs := sp.Child("hot") // want `obs.Child in hotpath function hotSpan: tracing belongs on cold paths`
+	cs.End()              // want `obs.End in hotpath function hotSpan`
 }
 
 //streamsched:hotpath

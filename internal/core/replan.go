@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"streamsched/internal/infeas"
+	"streamsched/internal/obs"
 	"streamsched/internal/repair"
 	"streamsched/internal/schedule"
 )
@@ -109,6 +110,9 @@ func (s *Solver) Replan(ctx context.Context, old *schedule.Schedule, delta Delta
 		}
 		if !cfg.coldFallback {
 			return nil, rerr
+		}
+		if sp := obs.FromContext(ctx); sp.Active() {
+			sp.Event("cold-fallback", map[string]any{"cause": rerr.Error()})
 		}
 		sched, serr := s.Solve(ctx, old.G, newP)
 		if serr != nil {

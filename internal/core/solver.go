@@ -11,6 +11,7 @@ import (
 	"streamsched/internal/dag"
 	"streamsched/internal/infeas"
 	"streamsched/internal/ltf"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/rltf"
 	"streamsched/internal/schedule"
@@ -186,6 +187,10 @@ func (s *Solver) Solve(ctx context.Context, g *dag.Graph, p *platform.Platform) 
 	// Graph validation is left to mapper.New on every algorithm path —
 	// validating here too would double (triple, under Portfolio) an
 	// O(V+E) pass the searches repeat per probe.
+	if sp := obs.FromContext(ctx); sp.Active() {
+		sp.SetArg("algo", s.algo.String())
+		sp.SetArg("eps", s.eps)
+	}
 	var (
 		sched *schedule.Schedule
 		err   error

@@ -16,6 +16,7 @@ import (
 
 	"streamsched/internal/dag"
 	"streamsched/internal/mapper"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
@@ -47,10 +48,29 @@ func Schedule(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, 
 	if b <= 0 {
 		b = p.NumProcs()
 	}
-	if err := run(ctx, st, b, mapper.MinFinish); err != nil {
+	sp := obs.FromContext(ctx).Child("ltf")
+	err = run(obs.ContextWith(ctx, sp), st, b, mapper.MinFinish)
+	EndPhaseSpan(sp, st, err)
+	if err != nil {
 		return nil, err
 	}
 	return st.Sched, nil
+}
+
+// EndPhaseSpan attaches the construction's phase counters (and the error,
+// if any) to an algorithm-level trace span and closes it. No-op on an
+// inactive span. Shared with rltf.
+func EndPhaseSpan(sp obs.SpanRef, st *mapper.State, err error) {
+	if sp.Active() {
+		sp.SetArg("trials", st.Phases.Trials)
+		sp.SetArg("placements", st.Phases.Placements)
+		sp.SetArg("rollbacks", st.Phases.Rollbacks)
+		sp.SetArg("fallbacks", st.Phases.Fallbacks)
+		if err != nil {
+			sp.SetArg("err", err.Error())
+		}
+	}
+	sp.End()
 }
 
 // run executes the chunked replica-placement loop shared with R-LTF (which
@@ -71,6 +91,10 @@ func run(ctx context.Context, st *mapper.State, chunkSize int, better mapper.Bet
 // note). A mid-way one-to-one failure rolls the task back through the task
 // transaction's journal mark.
 func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor func(dag.TaskID) mapper.Better) error {
+	// Tracing is per chunk, not per placement: a chunk is the coarsest unit
+	// that still shows where a construction spent its time, and the span is
+	// inactive (pure no-op) unless the request is traced.
+	sp := obs.FromContext(ctx)
 	for !st.Done() {
 		// Cancellation is checked once per chunk: a chunk is the placement
 		// loop's unit of work, so an abandoned search (tricrit, Batch) stops
@@ -82,13 +106,19 @@ func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor fun
 		if len(chunk) == 0 {
 			return fmt.Errorf("ltf: no ready task but %s", "unscheduled tasks remain (graph not acyclic?)")
 		}
+		cs := sp.Child("chunk")
+		if cs.Active() {
+			cs.SetArg("tasks", len(chunk))
+		}
 		if st.ReverseMode {
 			for _, t := range chunk {
-				if err := placeTaskAllOrNothing(st, t, betterFor(t)); err != nil {
+				if err := placeTaskAllOrNothing(st, t, betterFor(t), cs); err != nil {
+					cs.End()
 					return err
 				}
 			}
 			st.MarkScheduled(chunk)
+			cs.End()
 			continue
 		}
 		pools := make([][][]schedule.Ref, len(chunk))
@@ -106,11 +136,13 @@ func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor fun
 					continue
 				}
 				if err := st.Fallback(t, n, better); err != nil {
+					cs.End()
 					return err
 				}
 			}
 		}
 		st.MarkScheduled(chunk)
+		cs.End()
 	}
 	return nil
 }
@@ -122,7 +154,7 @@ func runWith(ctx context.Context, st *mapper.State, chunkSize int, betterFor fun
 // only then the all-fallback placement with its (ε+1)²-per-edge
 // communications. Each failed rung rolls back through the task transaction
 // (journaled undo, O(changes)).
-func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better) error {
+func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better, sp obs.SpanRef) error {
 	if !st.OneToOneOff && st.Theta(st.Pools(t)) >= st.Eps+1 {
 		for rung := 0; rung < 2; rung++ {
 			b := better
@@ -143,6 +175,9 @@ func placeTaskAllOrNothing(st *mapper.State, t dag.TaskID, better mapper.Better)
 				return nil
 			}
 			st.AbortTask()
+			if sp.Active() {
+				sp.Event("rollback", map[string]any{"task": int(t), "rung": rung})
+			}
 		}
 	}
 	for n := 0; n <= st.Eps; n++ {

@@ -131,6 +131,7 @@ func (st *State) TrialFinish(t dag.TaskID, u platform.ProcID, sources []schedule
 // updated. It returns the placed replica. Reliability bookkeeping is the
 // caller's job (commitChain/commitFallback).
 func (st *State) CommitPlace(t dag.TaskID, copy int, u platform.ProcID, sources []schedule.Ref) *schedule.Replica {
+	st.Phases.Placements++
 	ref := schedule.Ref{Task: t, Copy: copy}
 	txn := st.Sys.Begin()
 	ready := 0.0
@@ -550,6 +551,7 @@ func (st *State) Fallback(t dag.TaskID, copy int, better Better) error {
 		}
 		return infeas.AtTask(reason, t, copy, st.Period)
 	}
+	st.Phases.Fallbacks++
 	st.CommitPlace(t, copy, best.Proc, best.Sources)
 	if st.ReverseMode {
 		st.commitReverse(t, copy, best.Proc, nil)
@@ -600,6 +602,7 @@ func (st *State) AbortTask() {
 		panic("mapper: AbortTask without a live task transaction")
 	}
 	st.snapLive = false
+	st.Phases.Rollbacks++
 	st.Sys.Rollback(st.snapMark)
 	copy(st.Sigma, st.snapSigma)
 	copy(st.CIn, st.snapCIn)

@@ -50,6 +50,25 @@ type suppPair struct {
 	Copy int16
 }
 
+// PhaseCounters tallies solver-internal placement activity for
+// observability: the algorithm layers (ltf/rltf/repair) attach a final
+// snapshot to their trace span (internal/obs, DESIGN.md §12). Plain
+// non-atomic fields on purpose — a State is mutated by one goroutine by
+// construction, and the hottest site (evalCandidate) affords a plain
+// increment but not an atomic or a function call.
+type PhaseCounters struct {
+	// Trials counts candidate placements evaluated (evalCandidate).
+	Trials int64
+	// Placements counts replicas committed (CommitPlace).
+	Placements int64
+	// Rollbacks counts task transactions unwound (AbortTask), i.e. retry
+	// ladder rungs abandoned with a journal rollback.
+	Rollbacks int64
+	// Fallbacks counts replicas committed via full communication
+	// replication (Fallback).
+	Fallbacks int64
+}
+
 // State carries one in-progress schedule construction.
 type State struct {
 	G      *dag.Graph
@@ -84,6 +103,9 @@ type State struct {
 	// one string allocation per committed transfer and the final schedule
 	// carries its own naming.
 	DebugTags bool
+	// Phases accumulates placement-phase counters for observability; read
+	// by the algorithm layer when closing its trace span.
+	Phases PhaseCounters
 
 	// claims holds the vulnerability set of every replica (t, c) at span
 	// index refIdx(t,c): the processors whose failure can invalidate the
@@ -368,6 +390,7 @@ func (st *State) Feasible(t dag.TaskID, u platform.ProcID, sources []schedule.Re
 //
 //streamsched:hotpath
 func (st *State) evalCandidate(t dag.TaskID, u platform.ProcID, sources []schedule.Ref, trial bool) (cand Candidate, ok bool, why infeas.Reason) {
+	st.Phases.Trials++
 	if st.copyProcs.At(int(t)).Contains(int(u)) {
 		return cand, false, infeas.ReasonNoProcessor // hard: two copies of one task on one processor
 	}

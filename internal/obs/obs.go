@@ -1,0 +1,422 @@
+// Package obs is the request-tracing and solver-instrumentation layer:
+// per-request span trees with stable trace IDs, carried through the
+// serving pipeline by context, exported as JSON or Chrome trace events
+// (via internal/trace) and retained in a bounded in-memory ring for
+// GET /debug/traces.
+//
+// Zero-cost-when-disabled contract (the faultinject pattern, DESIGN.md
+// §11/§12): the process-wide arming counter gates every entry point.
+// While no traced handle exists anywhere in the process, FromContext is a
+// single atomic load returning the inactive SpanRef, and every SpanRef
+// method on an inactive ref is a nil check — no clock read, no context
+// walk, no allocation. Instrumented code therefore threads SpanRefs
+// unconditionally; only arming makes them do anything. Tracing calls are
+// still forbidden inside //streamsched:hotpath functions (hotpathcheck
+// enforces it; obs.Enabled is the one allowed guard): even the atomic
+// load is too much for the per-candidate placement loop, so solver
+// instrumentation lives at chunk and phase granularity, and the hot path
+// contributes plain counter increments (mapper.PhaseCounters) that cost
+// an add, not a call.
+//
+// Time inside a trace is wall-clock and never feeds back into any
+// computation, so the determinism invariant of the solving packages
+// (determcheck) is untouched: deterministic packages may *call* obs —
+// the clock reads happen here, attached to observability output only.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamsched/internal/trace"
+)
+
+// armed counts the tracing consumers in the process (service handles with
+// Config.Tracing, tests). The disarmed fast path of FromContext is one
+// atomic load.
+var armed atomic.Int32
+
+// Enabled reports whether any tracing consumer is armed. It is the one
+// obs call permitted inside //streamsched:hotpath functions: a single
+// atomic load, for sites that must guard a block of cold bookkeeping.
+func Enabled() bool { return armed.Load() != 0 }
+
+// Enable arms tracing process-wide (reference-counted). Service handles
+// built with Config.Tracing call it once at construction; tests pair it
+// with Disable in cleanup.
+func Enable() { armed.Add(1) }
+
+// Disable releases one Enable.
+func Disable() { armed.Add(-1) }
+
+// idCounter seeds the fallback trace-ID stream if crypto/rand fails.
+var idCounter atomic.Uint64
+
+// newID returns a 16-hex-char random trace ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], idCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// span is one node of a trace's span tree. Start/End are offsets from the
+// trace's Begin; parent indexes the spans slice (-1 for the root).
+type span struct {
+	name    string
+	parent  int32
+	start   time.Duration
+	end     time.Duration
+	open    bool
+	instant bool
+	args    map[string]any
+}
+
+// Trace is one request's (or one background activity's) span tree. All
+// mutation goes through the mutex, so a detached flight may keep closing
+// spans after the requester's trace was finished and served — late writes
+// are recorded, never raced.
+type Trace struct {
+	// ID is the 16-hex-char trace identifier (the X-Trace-Id value).
+	ID string
+	// Name labels the trace (the request route, "snapshot", "drain").
+	Name string
+	// Begin anchors every span offset.
+	Begin time.Time
+
+	mu     sync.Mutex
+	spans  []span
+	total  time.Duration
+	status int
+	done   bool
+}
+
+// NewTrace starts a trace with a root span named name.
+func NewTrace(name string) *Trace {
+	t := &Trace{ID: newID(), Name: name, Begin: time.Now()}
+	t.spans = append(t.spans, span{name: name, parent: -1, open: true})
+	return t
+}
+
+// Root returns the root SpanRef.
+func (t *Trace) Root() SpanRef { return SpanRef{tr: t, id: 0} }
+
+// Finish closes the root span, records the outcome status and freezes the
+// total duration. Child spans still open (an abandoned flight running past
+// its waiters) stay open and are exported with zero duration until their
+// owners close them.
+func (t *Trace) Finish(status int) {
+	now := time.Since(t.Begin)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	t.status = status
+	t.total = now
+	if t.spans[0].open {
+		t.spans[0].open = false
+		t.spans[0].end = now
+	}
+}
+
+// DurationMs reports the frozen total duration of a finished trace in
+// milliseconds (0 until Finish).
+func (t *Trace) DurationMs() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return float64(t.total) / float64(time.Millisecond)
+}
+
+// SpanRef addresses one span of one trace. The zero value is inactive:
+// every method is a nil-check no-op, which is what instrumented code holds
+// while tracing is disabled.
+type SpanRef struct {
+	tr *Trace
+	id int32
+}
+
+// Active reports whether the ref addresses a live trace. Use it to guard
+// argument assembly that would otherwise allocate for nobody.
+func (s SpanRef) Active() bool { return s.tr != nil }
+
+// Child opens a sub-span. Inactive refs return inactive children.
+func (s SpanRef) Child(name string) SpanRef {
+	if s.tr == nil {
+		return SpanRef{}
+	}
+	start := time.Since(s.tr.Begin)
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.tr.spans = append(s.tr.spans, span{name: name, parent: s.id, start: start, open: true})
+	return SpanRef{tr: s.tr, id: int32(len(s.tr.spans) - 1)}
+}
+
+// End closes the span. Closing twice keeps the first end time.
+func (s SpanRef) End() {
+	if s.tr == nil {
+		return
+	}
+	end := time.Since(s.tr.Begin)
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if sp := &s.tr.spans[s.id]; sp.open {
+		sp.open = false
+		sp.end = end
+	}
+}
+
+// Event records an instant (zero-duration) child span. Guard the args
+// map construction with Active when it would allocate.
+func (s SpanRef) Event(name string, args map[string]any) {
+	if s.tr == nil {
+		return
+	}
+	at := time.Since(s.tr.Begin)
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	s.tr.spans = append(s.tr.spans, span{
+		name: name, parent: s.id, start: at, end: at, instant: true, args: args,
+	})
+}
+
+// SetArg attaches one key/value to the span.
+func (s SpanRef) SetArg(key string, v any) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	sp := &s.tr.spans[s.id]
+	if sp.args == nil {
+		sp.args = make(map[string]any, 4)
+	}
+	sp.args[key] = v
+}
+
+// ---- export ------------------------------------------------------------
+
+// SpanJSON is one exported span of a TraceJSON document.
+type SpanJSON struct {
+	Name string `json:"name"`
+	// Parent is the index of the parent span in Spans, -1 for the root.
+	Parent  int32          `json:"parent"`
+	StartUs float64        `json:"startUs"`
+	DurUs   float64        `json:"durUs"`
+	Open    bool           `json:"open,omitempty"`
+	Instant bool           `json:"instant,omitempty"`
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// TraceJSON is the GET /debug/traces document for one trace.
+type TraceJSON struct {
+	ID         string     `json:"id"`
+	Name       string     `json:"name"`
+	Start      time.Time  `json:"start"`
+	DurationMs float64    `json:"durationMs"`
+	Status     int        `json:"status,omitempty"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// Snapshot exports the trace's current state as its JSON document.
+func (t *Trace) Snapshot() TraceJSON {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	doc := TraceJSON{
+		ID:         t.ID,
+		Name:       t.Name,
+		Start:      t.Begin,
+		DurationMs: float64(t.total) / float64(time.Millisecond),
+		Status:     t.status,
+		Spans:      make([]SpanJSON, len(t.spans)),
+	}
+	for i, sp := range t.spans {
+		js := SpanJSON{
+			Name:    sp.name,
+			Parent:  sp.parent,
+			StartUs: float64(sp.start) / float64(time.Microsecond),
+			Open:    sp.open,
+			Instant: sp.instant,
+		}
+		if !sp.open {
+			js.DurUs = float64(sp.end-sp.start) / float64(time.Microsecond)
+		}
+		if len(sp.args) > 0 {
+			js.Args = make(map[string]any, len(sp.args))
+			for k, v := range sp.args {
+				js.Args[k] = v
+			}
+		}
+		doc.Spans[i] = js
+	}
+	return doc
+}
+
+// ChromeSpans converts the trace into internal/trace spans for Chrome
+// trace-event export: one lane per trace, timestamps in microseconds,
+// instant spans as instant events. Open spans are exported zero-length at
+// their start time.
+func (t *Trace) ChromeSpans() []trace.Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	lane := t.Name + " " + t.ID[:8]
+	spans := make([]trace.Span, 0, len(t.spans))
+	for _, sp := range t.spans {
+		end := sp.end
+		if sp.open {
+			end = sp.start
+		}
+		spans = append(spans, trace.Span{
+			Name:    sp.name,
+			Lane:    lane,
+			Start:   float64(sp.start) / float64(time.Microsecond),
+			End:     float64(end) / float64(time.Microsecond),
+			Instant: sp.instant,
+			Args:    sp.args,
+		})
+	}
+	return spans
+}
+
+// Stage is one aggregated pipeline-stage duration of a trace.
+type Stage struct {
+	Name string
+	Ms   float64
+}
+
+// StageMillis aggregates the closed, non-instant spans below the root by
+// name (a stage entered twice — render at solve time and at response
+// time — sums), in first-seen order. This feeds the Server-Timing header,
+// the per-stage latency rings and the request log.
+func (t *Trace) StageMillis() []Stage {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var stages []Stage
+	for i := 1; i < len(t.spans); i++ {
+		sp := &t.spans[i]
+		if sp.open || sp.instant {
+			continue
+		}
+		ms := float64(sp.end-sp.start) / float64(time.Millisecond)
+		found := false
+		for j := range stages {
+			if stages[j].Name == sp.name {
+				stages[j].Ms += ms
+				found = true
+				break
+			}
+		}
+		if !found {
+			stages = append(stages, Stage{Name: sp.name, Ms: ms})
+		}
+	}
+	return stages
+}
+
+// ServerTiming renders the stage aggregate in Server-Timing header syntax
+// ("decode;dur=0.12, hash;dur=0.01, ..."); empty when no stage closed.
+// Stage names are span names, which are header-token-safe by convention
+// (lowercase, dots and dashes only).
+func (t *Trace) ServerTiming() string {
+	stages := t.StageMillis()
+	if len(stages) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, st := range stages {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s;dur=%.3f", st.Name, st.Ms)
+	}
+	return b.String()
+}
+
+// RootArg returns the root span's argument for key, or nil.
+func (t *Trace) RootArg(key string) any {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[0].args[key]
+}
+
+// ---- context plumbing --------------------------------------------------
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sp. Inactive refs return ctx unchanged,
+// so disabled tracing allocates no context nodes.
+func ContextWith(ctx context.Context, sp SpanRef) context.Context {
+	if sp.tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the SpanRef carried by ctx. Disarmed (no tracing
+// consumer in the process) it is a single atomic load returning the
+// inactive ref — the context is not even consulted.
+func FromContext(ctx context.Context) SpanRef {
+	if armed.Load() == 0 || ctx == nil {
+		return SpanRef{}
+	}
+	sp, _ := ctx.Value(ctxKey{}).(SpanRef)
+	return sp
+}
+
+// ---- trace ring --------------------------------------------------------
+
+// Ring retains the most recent traces in a fixed-capacity ring. Add never
+// blocks beyond the mutex (no I/O, no channel), so recording a trace can
+// never stall a flight.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	n    int
+}
+
+// NewRing builds a ring holding up to capacity traces (≤0 → 128).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add records t, evicting the oldest trace once full.
+func (r *Ring) Add(t *Trace) {
+	r.mu.Lock()
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *Ring) Snapshot() []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Trace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports how many traces are retained (≤ capacity).
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

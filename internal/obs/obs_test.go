@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamsched/internal/trace"
+)
+
+// TestDisabledFromContextIsFree pins the zero-cost-when-disabled contract:
+// with no tracing consumer armed, FromContext plus the full complement of
+// SpanRef method calls allocate nothing.
+func TestDisabledFromContextIsFree(t *testing.T) {
+	if Enabled() {
+		t.Fatal("tracing armed at test start; another test leaked an Enable")
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := FromContext(ctx)
+		child := sp.Child("x")
+		child.SetArg("k", 1)
+		child.End()
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestDisabledContextCarriesNothing: an active span stored in a context is
+// invisible through FromContext while disarmed (the atomic gate short-
+// circuits before the context walk), and visible once armed.
+func TestDisabledContextCarriesNothing(t *testing.T) {
+	tr := NewTrace("t")
+	ctx := ContextWith(context.Background(), tr.Root())
+	if sp := FromContext(ctx); sp.Active() {
+		t.Fatal("FromContext returned an active span while disarmed")
+	}
+	Enable()
+	defer Disable()
+	if sp := FromContext(ctx); !sp.Active() {
+		t.Fatal("FromContext returned inactive span while armed")
+	}
+}
+
+func TestTraceIDFormat(t *testing.T) {
+	idRe := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		tr := NewTrace("t")
+		if !idRe.MatchString(tr.ID) {
+			t.Fatalf("trace ID %q does not match %v", tr.ID, idRe)
+		}
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace ID %q", tr.ID)
+		}
+		seen[tr.ID] = true
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTrace("solve")
+	root := tr.Root()
+	d := root.Child("decode")
+	d.End()
+	s := root.Child("solve")
+	l := s.Child("ltf")
+	l.SetArg("trials", 42)
+	l.End()
+	s.Event("rollback", map[string]any{"task": 3})
+	s.End()
+	root.SetArg("outcome", "solved")
+	tr.Finish(200)
+
+	doc := tr.Snapshot()
+	if doc.ID != tr.ID || doc.Name != "solve" || doc.Status != 200 {
+		t.Fatalf("doc header = %+v", doc)
+	}
+	names := make([]string, len(doc.Spans))
+	for i, sp := range doc.Spans {
+		names[i] = sp.Name
+	}
+	want := []string{"solve", "decode", "solve", "ltf", "rollback"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("span names = %v, want %v", names, want)
+	}
+	// Parent links: decode and the solve stage hang off the root; ltf and
+	// the rollback event hang off the solve stage.
+	if doc.Spans[0].Parent != -1 || doc.Spans[1].Parent != 0 || doc.Spans[2].Parent != 0 ||
+		doc.Spans[3].Parent != 2 || doc.Spans[4].Parent != 2 {
+		t.Fatalf("parent links wrong: %+v", doc.Spans)
+	}
+	if !doc.Spans[4].Instant {
+		t.Fatal("event span not marked instant")
+	}
+	if doc.Spans[3].Args["trials"] != 42 {
+		t.Fatalf("ltf args = %v", doc.Spans[3].Args)
+	}
+	if got := tr.RootArg("outcome"); got != "solved" {
+		t.Fatalf("RootArg(outcome) = %v", got)
+	}
+	for _, sp := range doc.Spans {
+		if sp.Open {
+			t.Fatalf("span %q left open after Finish", sp.Name)
+		}
+	}
+}
+
+func TestStageMillisAggregatesByName(t *testing.T) {
+	tr := NewTrace("t")
+	root := tr.Root()
+	a := root.Child("render")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b := root.Child("render")
+	time.Sleep(time.Millisecond)
+	b.End()
+	open := root.Child("dangling")
+	_ = open // open spans are excluded
+	root.Event("evt", nil)
+	tr.Finish(200)
+
+	stages := tr.StageMillis()
+	if len(stages) != 1 || stages[0].Name != "render" {
+		t.Fatalf("stages = %+v, want single aggregated render", stages)
+	}
+	if stages[0].Ms < 1.5 {
+		t.Fatalf("aggregated render = %.3fms, want >= ~2ms", stages[0].Ms)
+	}
+
+	st := tr.ServerTiming()
+	if !strings.HasPrefix(st, "render;dur=") {
+		t.Fatalf("ServerTiming = %q", st)
+	}
+}
+
+func TestChromeSpansExport(t *testing.T) {
+	tr := NewTrace("solve")
+	root := tr.Root()
+	c := root.Child("decode")
+	c.End()
+	root.Event("mark", nil)
+	tr.Finish(200)
+
+	spans := tr.ChromeSpans()
+	if len(spans) != 3 {
+		t.Fatalf("ChromeSpans len = %d, want 3", len(spans))
+	}
+	buf, err := trace.ChromeJSON(spans)
+	if err != nil {
+		t.Fatalf("ChromeJSON: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf, &events); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range events {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] != 2 || phases["i"] != 1 {
+		t.Fatalf("phases = %v, want 2 complete + 1 instant", phases)
+	}
+}
+
+func TestFinishIdempotentAndLateChildEnd(t *testing.T) {
+	tr := NewTrace("t")
+	child := tr.Root().Child("flight")
+	tr.Finish(200)
+	first := tr.Snapshot().DurationMs
+	tr.Finish(500) // late second finish: ignored
+	if doc := tr.Snapshot(); doc.Status != 200 || doc.DurationMs != first {
+		t.Fatalf("second Finish mutated the trace: %+v", doc)
+	}
+	child.End() // detached flight closing after the response was served
+	doc := tr.Snapshot()
+	if doc.Spans[1].Open {
+		t.Fatal("late child End not recorded")
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	r := NewRing(4)
+	var ids []string
+	for i := 0; i < 10; i++ {
+		tr := NewTrace("t")
+		ids = append(ids, tr.ID)
+		r.Add(tr)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring Len = %d, want 4", r.Len())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(got))
+	}
+	// Newest first: traces 9,8,7,6.
+	for i := 0; i < 4; i++ {
+		if got[i].ID != ids[9-i] {
+			t.Fatalf("snapshot[%d] = %s, want %s", i, got[i].ID, ids[9-i])
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(NewTrace("t"))
+				if n := r.Len(); n > 8 {
+					t.Errorf("ring exceeded capacity: %d", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(r.Snapshot()); n != 8 {
+		t.Fatalf("final ring size = %d, want 8", n)
+	}
+}
+
+func TestContextWithInactiveIsIdentity(t *testing.T) {
+	ctx := context.Background()
+	if got := ContextWith(ctx, SpanRef{}); got != ctx {
+		t.Fatal("ContextWith(inactive) did not return ctx unchanged")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"streamsched/internal/dag"
 	"streamsched/internal/mapper"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
@@ -75,7 +76,22 @@ func Repair(ctx context.Context, old *schedule.Schedule, newP *platform.Platform
 	if err != nil {
 		return nil, err
 	}
+	// Trace span covering the whole repair, with an instant event per task
+	// that left the exact-replay rung (the interesting ones: a ladder rung
+	// taken is the signal an operator reads from a replan trace). Inactive
+	// unless the request is traced.
+	sp := obs.FromContext(ctx).Child("repair")
+	defer sp.End()
 	res := &Result{}
+	defer func() {
+		if sp.Active() {
+			sp.SetArg("replayed", res.Stats.Replayed)
+			sp.SetArg("preserved", res.Stats.Preserved)
+			sp.SetArg("repaired", res.Stats.Repaired)
+			sp.SetArg("trials", st.Phases.Trials)
+			sp.SetArg("rollbacks", st.Phases.Rollbacks)
+		}
+	}()
 	chunkSize := newP.NumProcs()
 	for !st.Done() {
 		// One cancellation check per chunk, like the construction loop.
@@ -93,9 +109,15 @@ func Repair(ctx context.Context, old *schedule.Schedule, newP *platform.Platform
 			}
 			if preserveTask(st, old, remap, t) {
 				res.Stats.Preserved++
+				if sp.Active() {
+					sp.Event("rung", map[string]any{"task": int(t), "rung": "preserve"})
+				}
 				continue
 			}
 			res.Stats.Repaired++
+			if sp.Active() {
+				sp.Event("rung", map[string]any{"task": int(t), "rung": "search"})
+			}
 			if budget > 0 && res.Stats.Repaired > budget {
 				return nil, fmt.Errorf("%w: %d tasks needed re-placement, budget %d", ErrBudgetExceeded, res.Stats.Repaired, budget)
 			}

@@ -28,6 +28,7 @@ import (
 	"streamsched/internal/dag"
 	"streamsched/internal/ltf"
 	"streamsched/internal/mapper"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
@@ -62,7 +63,10 @@ func Schedule(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, 
 	betterFor := func(t dag.TaskID) mapper.Better {
 		return mapper.StagePreserving(st.MaxPredStage(t))
 	}
-	if err := ltf.Run(ctx, st, b, betterFor); err != nil {
+	sp := obs.FromContext(ctx).Child("rltf")
+	err = ltf.Run(obs.ContextWith(ctx, sp), st, b, betterFor)
+	ltf.EndPhaseSpan(sp, st, err)
+	if err != nil {
 		return nil, err
 	}
 	return mirror(g, st), nil

@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -448,5 +449,62 @@ func TestChaosKillMinus9WarmRestart(t *testing.T) {
 	}
 	if m := daemonMetrics(t, client, base); m.SolveCalls != 0 {
 		t.Fatalf("restarted daemon made %d solver calls for a previously-solved problem", m.SolveCalls)
+	}
+}
+
+// TestChaosTraceRingBounded pins the trace-ring contract under concurrent
+// load with tracing armed: the ring never exceeds its configured capacity,
+// never blocks a flight (every request completes with a well-formed
+// response and a trace ID), and the whole arrangement is race-clean (this
+// test runs under -race in the chaos and unit lanes). Workers stay low and
+// requests mix cold solves, cache hits and coalesced followers so traced
+// flights overlap, detach and outlive their requesters.
+func TestChaosTraceRingBounded(t *testing.T) {
+	const ringCap = 8
+	srv := New(Config{Workers: 2, QueueLimit: 64, Tracing: true, TraceRingSize: ringCap})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const goroutines = 8
+	const perG = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// 5 distinct problems shared across goroutines: plenty of
+				// coalescing and cache hits in with the cold solves.
+				resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/solve", feasibleRequest(float64(1+(g+i)%5)))
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("solve: HTTP %d (%s)", resp.StatusCode, body)
+					return
+				}
+				if resp.Header.Get("X-Trace-Id") == "" {
+					errs <- fmt.Errorf("traced response missing X-Trace-Id")
+					return
+				}
+				if n := srv.traces.Len(); n > ringCap {
+					errs <- fmt.Errorf("trace ring holds %d traces, cap %d", n, ringCap)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n := srv.traces.Len(); n != ringCap {
+		t.Fatalf("ring holds %d traces after %d requests, want full at %d", n, goroutines*perG, ringCap)
+	}
+	// Every retained trace is finished and addressable.
+	for _, tr := range srv.traces.Snapshot() {
+		doc := tr.Snapshot()
+		if doc.ID == "" || len(doc.Spans) == 0 {
+			t.Fatalf("retained trace malformed: %+v", doc)
+		}
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"streamsched/internal/core"
 	"streamsched/internal/dag"
 	"streamsched/internal/faultinject"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 )
@@ -53,6 +54,11 @@ type Handle struct {
 	cache   *lruCache
 	flights *flightGroup
 	m       *metrics
+	// traces is the /debug/traces ring; nil unless Config.Tracing. Its
+	// non-nilness is the handle-level tracing switch — the HTTP adapter
+	// only opens traces when it is set, and NewHandle arms the obs layer
+	// process-wide exactly once per traced handle.
+	traces *obs.Ring
 
 	// Lifecycle (lifecycle.go). life holds lifeStarting/lifeReady/
 	// lifeDraining; drainMu synchronizes flight registration against the
@@ -87,6 +93,14 @@ func NewHandle(cfg Config) *Handle {
 		cache:   newLRUCache(cfg.CacheEntries),
 		flights: newFlightGroup(),
 		m:       newMetrics(),
+	}
+	if cfg.Tracing {
+		h.traces = obs.NewRing(cfg.TraceRingSize)
+		// Arm the process-wide tracing gate for the handle's lifetime.
+		// Handles have no Close; the arming is monotone, which is safe —
+		// untraced handles never open a trace, so their requests still pay
+		// only the FromContext atomic load.
+		obs.Enable()
 	}
 	if cfg.SnapshotPath == "" {
 		// No warm start to wait for: born ready. With a snapshot path the
@@ -290,7 +304,7 @@ func (h *Handle) SolveBatch(ctx context.Context, specs []Spec) []BatchResult {
 	// flight (file header), then collect every non-cached element's flight
 	// under the caller's deadline.
 	if len(leaders) > 0 {
-		go h.runBatchFlights(leaders, items)
+		go h.runBatchFlights(leaders, items, obs.FromContext(ctx))
 	}
 	results := make([]BatchResult, len(items))
 	for i := range items {
@@ -363,9 +377,15 @@ const (
 // the problem's — bounded by maxPanicRetries so a deterministically
 // panicking computation still surfaces.
 func (h *Handle) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, string, hitState, error) {
+	sp := obs.FromContext(ctx)
+	hs := sp.Child("hash")
 	hash := ProblemHash(g, p, sv)
+	hs.End()
 	for attempt := 0; ; attempt++ {
-		if out, ok := h.cache.Get(hash); ok {
+		cs := sp.Child("cache")
+		out, ok := h.cache.Get(hash)
+		cs.End()
+		if ok {
 			h.m.cacheHits.Add(1)
 			return out, hash, hitCache, nil
 		}
@@ -375,12 +395,14 @@ func (h *Handle) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Pla
 		}
 		if leader {
 			h.m.cacheMisses.Add(1)
-			go h.runFlight(hash, f, g, p, sv)
+			go h.runFlight(hash, f, g, p, sv, sp)
 			out, err := f.Wait(ctx)
 			return out, hash, hitSolved, err
 		}
 		h.m.coalesced.Add(1)
-		out, err := f.Wait(ctx)
+		cw := sp.Child("coalesce")
+		out, err = f.Wait(ctx)
+		cw.End()
 		if errors.Is(err, ErrInternalPanic) && attempt < maxPanicRetries {
 			continue
 		}
@@ -391,8 +413,12 @@ func (h *Handle) solveProblem(ctx context.Context, g *dag.Graph, p *platform.Pla
 // replanProblem is solveProblem for a replan request, keyed by the
 // precomputed replan hash.
 func (h *Handle) replanProblem(ctx context.Context, hash string, sp ReplanSpec) (outcome, hitState, error) {
+	tsp := obs.FromContext(ctx)
 	for attempt := 0; ; attempt++ {
-		if out, ok := h.cache.Get(hash); ok {
+		cs := tsp.Child("cache")
+		out, ok := h.cache.Get(hash)
+		cs.End()
+		if ok {
 			h.m.cacheHits.Add(1)
 			return out, hitCache, nil
 		}
@@ -402,12 +428,14 @@ func (h *Handle) replanProblem(ctx context.Context, hash string, sp ReplanSpec) 
 		}
 		if leader {
 			h.m.cacheMisses.Add(1)
-			go h.runReplanFlight(hash, f, sp)
+			go h.runReplanFlight(hash, f, sp, tsp)
 			out, err := f.Wait(ctx)
 			return out, hitSolved, err
 		}
 		h.m.coalesced.Add(1)
-		out, err := f.Wait(ctx)
+		cw := tsp.Child("coalesce")
+		out, err = f.Wait(ctx)
+		cw.End()
 		if errors.Is(err, ErrInternalPanic) && attempt < maxPanicRetries {
 			continue
 		}
@@ -420,22 +448,32 @@ func (h *Handle) replanProblem(ctx context.Context, hash string, sp ReplanSpec) 
 // requester's context. Queue-full is decided immediately (admit rejects
 // without blocking when the bound is exceeded), so a rejected flight
 // resolves at once.
-func (h *Handle) runFlight(hash string, f *flight, g *dag.Graph, p *platform.Platform, sv *core.Solver) {
+func (h *Handle) runFlight(hash string, f *flight, g *dag.Graph, p *platform.Platform, sv *core.Solver, tsp obs.SpanRef) {
 	// Registered before Fulfill's work so it runs after it: when the drain
 	// WaitGroup clears, every flight's outcome is committed to the cache.
 	defer h.flightWG.Done()
 	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
 	defer cancel()
+	// The flight runs detached from the requester's context, but its spans
+	// belong to the leading requester's trace: re-inject the span into the
+	// detached context. An abandoned flight keeps writing to the trace
+	// after Finish — recorded, never raced (obs.Trace is mutex'd).
+	fs := tsp.Child("flight")
+	ctx = obs.ContextWith(ctx, fs)
 	out, err := h.computeFlightSafe(ctx, hash, g, p, sv)
+	fs.End()
 	h.flights.Fulfill(hash, f, out, err)
 }
 
 // runReplanFlight is runFlight for a replan flight.
-func (h *Handle) runReplanFlight(hash string, f *flight, sp ReplanSpec) {
+func (h *Handle) runReplanFlight(hash string, f *flight, sp ReplanSpec, tsp obs.SpanRef) {
 	defer h.flightWG.Done()
 	ctx, cancel := context.WithTimeout(context.Background(), h.cfg.MaxTimeout)
 	defer cancel()
+	fs := tsp.Child("flight")
+	ctx = obs.ContextWith(ctx, fs)
 	out, err := h.computeReplanFlightSafe(ctx, hash, sp)
+	fs.End()
 	h.flights.Fulfill(hash, f, out, err)
 }
 
@@ -477,7 +515,7 @@ func (h *Handle) computeReplanFlight(ctx context.Context, hash string, sp Replan
 	if out, ok := h.cache.Get(hash); ok {
 		return out, nil
 	}
-	release, err := h.admit(ctx)
+	release, err := h.admitTraced(ctx)
 	if err != nil {
 		return outcome{}, err
 	}
@@ -489,6 +527,15 @@ func (h *Handle) computeReplanFlight(ctx context.Context, hash string, sp Replan
 	return out, err
 }
 
+// admitTraced is admit wrapped in an "admission" span — the queue wait a
+// traced request sees.
+func (h *Handle) admitTraced(ctx context.Context) (release func(), err error) {
+	as := obs.FromContext(ctx).Child("admission")
+	release, err = h.admit(ctx)
+	as.End()
+	return release, err
+}
+
 // compute runs the underlying solver and folds typed infeasibility into
 // the outcome (it is a result, not a failure).
 func (h *Handle) compute(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
@@ -496,11 +543,17 @@ func (h *Handle) compute(ctx context.Context, g *dag.Graph, p *platform.Platform
 		return outcome{}, err
 	}
 	h.m.solveCalls.Add(1)
-	sched, err := h.solve(ctx, sv, g, p)
+	sp := obs.FromContext(ctx)
+	ss := sp.Child("solve")
+	sched, err := h.solve(obs.ContextWith(ctx, ss), sv, g, p)
+	ss.End()
 	if err != nil {
 		return foldInfeasible(err)
 	}
-	return renderOutcome(sched)
+	rs := sp.Child("render")
+	out, err := renderOutcome(sched)
+	rs.End()
+	return out, err
 }
 
 // computeReplan runs the underlying replan and folds typed infeasibility.
@@ -511,12 +564,20 @@ func (h *Handle) computeReplan(ctx context.Context, sp ReplanSpec) (outcome, err
 		return outcome{}, err
 	}
 	h.m.solveCalls.Add(1)
+	tsp := obs.FromContext(ctx)
+	ss := tsp.Child("solve")
+	if ss.Active() {
+		ss.SetArg("kind", "replan")
+	}
 	opts := []core.ReplanOption{core.WithRepairBudget(sp.RepairBudget), core.WithColdFallback(!sp.NoColdFallback)}
-	res, err := h.replan(ctx, sp.Solver, sp.Old, sp.Delta, opts...)
+	res, err := h.replan(obs.ContextWith(ctx, ss), sp.Solver, sp.Old, sp.Delta, opts...)
+	ss.End()
 	if err != nil {
 		return foldInfeasible(err)
 	}
+	rs := tsp.Child("render")
 	out, err := renderOutcome(res.Schedule)
+	rs.End()
 	if err != nil {
 		return outcome{}, err
 	}
@@ -528,7 +589,7 @@ func (h *Handle) computeReplan(ctx context.Context, sp ReplanSpec) (outcome, err
 // solveAdmitted is one admission-bounded solve: acquire a work unit, run
 // the solver, fold infeasibility, render.
 func (h *Handle) solveAdmitted(ctx context.Context, g *dag.Graph, p *platform.Platform, sv *core.Solver) (outcome, error) {
-	release, err := h.admit(ctx)
+	release, err := h.admitTraced(ctx)
 	if err != nil {
 		return outcome{}, err
 	}
@@ -556,7 +617,7 @@ type batchItem struct {
 // a waiter coalesced onto problem #1 must not stall behind problem #100.
 // The hook admits every problem individually: the pool's goroutines queue
 // on the shared worker slots, they do not multiply them.
-func (h *Handle) runBatchFlights(leaders []int, items []batchItem) {
+func (h *Handle) runBatchFlights(leaders []int, items []batchItem, tsp obs.SpanRef) {
 	// One WaitGroup registration per led flight (claimFlight); all of them
 	// resolve — including the leftover loop below — before this returns.
 	defer func() {
@@ -574,7 +635,12 @@ func (h *Handle) runBatchFlights(leaders []int, items []batchItem) {
 	batch := core.Batch{Workers: h.cfg.Workers}
 	results := batch.SolveFunc(ctx, reqs, func(ctx context.Context, k int, _ core.Request) (*schedule.Schedule, error) {
 		it := &items[leaders[k]]
-		out, err := h.computeFlightSafe(ctx, it.hash, it.g, it.p, it.sv)
+		fs := tsp.Child("flight")
+		if fs.Active() {
+			fs.SetArg("hash", it.hash[:12])
+		}
+		out, err := h.computeFlightSafe(obs.ContextWith(ctx, fs), it.hash, it.g, it.p, it.sv)
+		fs.End()
 		h.flights.Fulfill(it.hash, it.lead, out, err)
 		fulfilled[k] = true
 		return nil, err // the flight already carries the outcome

@@ -11,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"streamsched/internal/obs"
 )
 
 // latencyRingSize bounds the latency window. 4096 recent requests give
@@ -63,6 +65,7 @@ type metrics struct {
 
 	// Per-endpoint request counts.
 	reqSolve, reqBatch, reqReplan, reqSimulate, reqHealthz, reqMetrics atomic.Int64
+	reqDebug                                                           atomic.Int64
 
 	// Response counts by HTTP status.
 	respMu sync.Mutex
@@ -88,6 +91,35 @@ type metrics struct {
 	inFlight atomic.Int64
 
 	lat latencyRing
+	// stageLat holds one latency ring per pipeline stage, indexed like
+	// stageNames; fed at trace finish, so the rings fill only while
+	// tracing is enabled (documented in DESIGN.md §12).
+	stageLat [len(stageNames)]latencyRing
+}
+
+// stageNames enumerates the pipeline stages with per-stage latency rings,
+// in presentation order. The names are span names (obs span taxonomy).
+var stageNames = [...]string{"decode", "hash", "cache", "coalesce", "admission", "solve", "render"}
+
+// stageIndex maps a span name to its stageLat slot, -1 for spans that are
+// not ring-tracked stages (flight, chunk, snapshot children, ...).
+func stageIndex(name string) int {
+	for i, s := range stageNames {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// observeTrace folds a finished trace's stage aggregate into the
+// per-stage latency rings.
+func (m *metrics) observeTrace(t *obs.Trace) {
+	for _, st := range t.StageMillis() {
+		if i := stageIndex(st.Name); i >= 0 {
+			m.stageLat[i].observe(st.Ms)
+		}
+	}
 }
 
 func newMetrics() *metrics {
@@ -147,6 +179,11 @@ type MetricsSnapshot struct {
 	Cache            CacheStats   `json:"cache"`
 	Queue            QueueStats   `json:"queue"`
 	LatencyMs        LatencyStats `json:"latencyMs"`
+	// StagesMs holds per-pipeline-stage latency windows (decode, hash,
+	// cache, coalesce, admission, solve, render). Stages are timed by the
+	// tracing layer, so the map only carries stages observed since tracing
+	// was enabled; it is omitted entirely when empty.
+	StagesMs map[string]LatencyStats `json:"stagesMs,omitempty"`
 }
 
 // snapshot assembles the /metrics document.
@@ -163,6 +200,17 @@ func (h *Handle) snapshot() MetricsSnapshot {
 		depth = 0
 	}
 	cnt, p50, p90, p99, max := m.lat.snapshot()
+	var stages map[string]LatencyStats
+	for i := range m.stageLat {
+		c, sp50, sp90, sp99, smax := m.stageLat[i].snapshot()
+		if c == 0 {
+			continue
+		}
+		if stages == nil {
+			stages = make(map[string]LatencyStats, len(stageNames))
+		}
+		stages[stageNames[i]] = LatencyStats{Count: c, P50: sp50, P90: sp90, P99: sp99, Max: smax}
+	}
 	m.respMu.Lock()
 	resp := make(map[string]int64, len(m.resp))
 	for status, n := range m.resp {
@@ -178,6 +226,7 @@ func (h *Handle) snapshot() MetricsSnapshot {
 			"simulate": m.reqSimulate.Load(),
 			"healthz":  m.reqHealthz.Load(),
 			"metrics":  m.reqMetrics.Load(),
+			"debug":    m.reqDebug.Load(),
 		},
 		Responses:        resp,
 		SolveCalls:       m.solveCalls.Load(),
@@ -202,6 +251,7 @@ func (h *Handle) snapshot() MetricsSnapshot {
 			Rejected: m.rejected.Load(),
 		},
 		LatencyMs: LatencyStats{Count: cnt, P50: p50, P90: p90, P99: p99, Max: max},
+		StagesMs:  stages,
 	}
 }
 

@@ -48,6 +48,7 @@ import (
 
 	"streamsched/internal/core"
 	"streamsched/internal/faultinject"
+	"streamsched/internal/obs"
 )
 
 const (
@@ -214,10 +215,31 @@ func (h *Handle) SnapshotNow() error {
 	}
 	h.snapMu.Lock()
 	defer h.snapMu.Unlock()
+	// Snapshot spills have no HTTP request to ride on, so a traced handle
+	// gives each one its own trace in the /debug/traces ring: an operator
+	// debugging a latency blip can see whether a background spill (encode
+	// vs. write breakdown, byte count) coincided with it.
+	var tr *obs.Trace
+	var sp obs.SpanRef
+	if h.traces != nil {
+		tr = obs.NewTrace("snapshot")
+		sp = tr.Root()
+		defer func() {
+			tr.Finish(0)
+			h.traces.Add(tr)
+		}()
+	}
 	if faultinject.Fire(SiteSnapshotWrite) {
 		return errors.New("faultinject: " + SiteSnapshotWrite)
 	}
+	es := sp.Child("encode")
 	data := encodeSnapshot(h.cache.entries())
+	es.End()
+	if sp.Active() {
+		sp.SetArg("bytes", len(data))
+	}
+	ws := sp.Child("write")
+	defer ws.End()
 	tmp := h.cfg.SnapshotPath + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("service: writing snapshot: %w", err)

@@ -1,0 +1,164 @@
+package service
+
+// Prometheus text exposition (format version 0.0.4) for the /metrics
+// snapshot, hand-rolled: the format is a dozen lines of printf and the
+// repo takes no dependencies. Families are emitted in a fixed order and
+// every label set within a family is sorted, so consecutive scrapes of an
+// idle server are byte-identical — diffable in tests and in incident
+// tooling.
+//
+// Name mapping (DESIGN.md §12): every family is prefixed streamsched_.
+// Counters keep Prometheus' _total suffix; latency windows become
+// pseudo-summaries — streamsched_request_latency_ms{quantile="0.5"} etc.
+// plus _count — with the caveat (stated in the HELP text) that quantiles
+// describe the recent ring window, not the process lifetime.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// wantsPrometheus decides the /metrics representation. The explicit query
+// parameter wins; otherwise an Accept header that mentions text/plain and
+// not application/json (Prometheus sends "text/plain;version=0.0.4" with
+// other text forms) selects the exposition format.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") && !strings.Contains(accept, "application/json")
+}
+
+// promWriter accumulates one exposition document.
+type promWriter struct {
+	b strings.Builder
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample emits one sample line; labels must be pre-rendered ("" for none).
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	// %g keeps integers integral (no trailing .0) and floats compact.
+	fmt.Fprintf(&p.b, "%s%s %g\n", name, labels, v)
+}
+
+// labeledCounter emits a counter family whose samples carry one label,
+// with the label values sorted for determinism.
+func (p *promWriter) labeledCounter(name, help, label string, m map[string]int64) {
+	p.family(name, help, "counter")
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.sample(name, fmt.Sprintf("%s=%q", label, k), float64(m[k]))
+	}
+}
+
+// latency emits a LatencyStats window as a pseudo-summary: quantile
+// samples plus a _count. No _sum — the ring keeps no running total, and a
+// fabricated one would make rate(_sum)/rate(_count) silently wrong.
+func (p *promWriter) latency(name, help, labels string, l LatencyStats) {
+	p.family(name, help, "summary")
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	p.sample(name, labels+sep+`quantile="0.5"`, l.P50)
+	p.sample(name, labels+sep+`quantile="0.9"`, l.P90)
+	p.sample(name, labels+sep+`quantile="0.99"`, l.P99)
+	p.sample(name, labels+sep+`quantile="1"`, l.Max)
+	p.sample(name+"_count", labels, float64(l.Count))
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// renderPrometheus turns a metrics snapshot into the text exposition
+// document.
+func renderPrometheus(s MetricsSnapshot) []byte {
+	var p promWriter
+
+	p.family("streamsched_uptime_seconds", "Seconds since the handle started.", "gauge")
+	p.sample("streamsched_uptime_seconds", "", s.UptimeSeconds)
+
+	p.labeledCounter("streamsched_requests_total", "HTTP requests by endpoint.", "endpoint", s.Requests)
+	p.labeledCounter("streamsched_responses_total", "HTTP responses by status code.", "code", s.Responses)
+
+	p.family("streamsched_solve_calls_total", "Underlying solver invocations.", "counter")
+	p.sample("streamsched_solve_calls_total", "", float64(s.SolveCalls))
+	p.family("streamsched_sim_runs_total", "Scenario simulations executed.", "counter")
+	p.sample("streamsched_sim_runs_total", "", float64(s.SimRuns))
+	p.family("streamsched_coalesced_total", "Requests served by piggybacking on an in-flight solve.", "counter")
+	p.sample("streamsched_coalesced_total", "", float64(s.Coalesced))
+	p.family("streamsched_panics_total", "Flight panics recovered to 500s.", "counter")
+	p.sample("streamsched_panics_total", "", float64(s.Panics))
+
+	p.family("streamsched_snapshot_writes_total", "Cache spills committed to disk.", "counter")
+	p.sample("streamsched_snapshot_writes_total", "", float64(s.SnapshotWrites))
+	p.family("streamsched_snapshot_replayed_total", "Cache entries restored by warm start.", "counter")
+	p.sample("streamsched_snapshot_replayed_total", "", float64(s.SnapshotReplayed))
+	p.family("streamsched_snapshot_skipped_total", "Snapshot entries rejected during replay.", "counter")
+	p.sample("streamsched_snapshot_skipped_total", "", float64(s.SnapshotSkipped))
+
+	p.family("streamsched_draining", "1 while the handle is draining, else 0.", "gauge")
+	p.sample("streamsched_draining", "", boolGauge(s.Draining))
+
+	p.family("streamsched_cache_hits_total", "Result cache hits.", "counter")
+	p.sample("streamsched_cache_hits_total", "", float64(s.Cache.Hits))
+	p.family("streamsched_cache_misses_total", "Result cache misses.", "counter")
+	p.sample("streamsched_cache_misses_total", "", float64(s.Cache.Misses))
+	p.family("streamsched_cache_entries", "Result cache occupancy.", "gauge")
+	p.sample("streamsched_cache_entries", "", float64(s.Cache.Entries))
+	p.family("streamsched_cache_capacity", "Result cache capacity.", "gauge")
+	p.sample("streamsched_cache_capacity", "", float64(s.Cache.Capacity))
+
+	p.family("streamsched_queue_depth", "Admitted work units waiting for a worker slot.", "gauge")
+	p.sample("streamsched_queue_depth", "", float64(s.Queue.Depth))
+	p.family("streamsched_queue_in_flight", "Work units executing.", "gauge")
+	p.sample("streamsched_queue_in_flight", "", float64(s.Queue.InFlight))
+	p.family("streamsched_queue_capacity", "Admission bound (workers + queue limit).", "gauge")
+	p.sample("streamsched_queue_capacity", "", float64(s.Queue.Capacity))
+	p.family("streamsched_queue_rejected_total", "Work units rejected by admission (429s).", "counter")
+	p.sample("streamsched_queue_rejected_total", "", float64(s.Queue.Rejected))
+
+	p.latency("streamsched_request_latency_ms",
+		"Request latency; quantiles describe the recent ring window.", "", s.LatencyMs)
+
+	if len(s.StagesMs) > 0 {
+		stages := make([]string, 0, len(s.StagesMs))
+		for name := range s.StagesMs {
+			stages = append(stages, name)
+		}
+		sort.Strings(stages)
+		p.family("streamsched_stage_latency_ms",
+			"Per-pipeline-stage latency (traced requests only); quantiles describe the recent ring window.", "summary")
+		for _, name := range stages {
+			l := s.StagesMs[name]
+			labels := fmt.Sprintf("stage=%q", name)
+			p.sample("streamsched_stage_latency_ms", labels+`,quantile="0.5"`, l.P50)
+			p.sample("streamsched_stage_latency_ms", labels+`,quantile="0.9"`, l.P90)
+			p.sample("streamsched_stage_latency_ms", labels+`,quantile="0.99"`, l.P99)
+			p.sample("streamsched_stage_latency_ms", labels+`,quantile="1"`, l.Max)
+			p.sample("streamsched_stage_latency_ms_count", labels, float64(l.Count))
+		}
+	}
+
+	return []byte(p.b.String())
+}

@@ -31,6 +31,7 @@ import (
 	"streamsched/internal/core"
 	"streamsched/internal/dag"
 	"streamsched/internal/infeas"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/schedule"
 	"streamsched/internal/sim"
@@ -75,6 +76,20 @@ type Config struct {
 	// Logf receives operational log lines (background snapshot failures);
 	// nil discards them.
 	Logf func(format string, args ...any)
+	// Tracing enables per-request tracing (internal/obs, DESIGN.md §12):
+	// every HTTP request gets an X-Trace-Id and a span tree, recent API
+	// traces are retained for GET /debug/traces, per-stage latency rings
+	// fill, and ?debug=timing adds a Server-Timing breakdown. Disabled,
+	// requests pay one atomic load per instrumentation site and nothing
+	// else.
+	Tracing bool
+	// TraceRingSize bounds the /debug/traces ring (≤0 → 128).
+	TraceRingSize int
+	// RequestLog, if set, receives one record per traced HTTP request
+	// after its response is written (the daemon renders it as one
+	// structured JSON log line). Requires Tracing; called synchronously,
+	// so keep it cheap.
+	RequestLog func(RequestLogEntry)
 }
 
 func (c Config) withDefaults() Config {
@@ -140,7 +155,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return s.recoverMiddleware(mux)
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	// Tracing wraps OUTSIDE recovery so a panicking handler still gets its
+	// trace finished (with the recovered 500 status) and logged.
+	return s.traceMiddleware(s.recoverMiddleware(mux))
 }
 
 // recoverMiddleware is the handler-goroutine panic boundary. The 500 is
@@ -320,16 +338,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 
+	sp := obs.FromContext(r.Context())
+	ds := sp.Child("decode")
 	var req SolveRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		ds.End()
 		s.writeJSON(w, status, SolveResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		ds.End()
 		s.writeJSON(w, http.StatusBadRequest, SolveResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
+	ds.End()
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, SolveResponse{SchemaVersion: Version, Error: err.Error()})
 		return
@@ -339,10 +362,43 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	out, err := s.Handle.Solve(ctx, Spec{Graph: g, Platform: p, Solver: sv})
 	if err != nil {
+		setTraceOutcome(sp, out.Hash, "error")
 		s.writeError(w, err)
 		return
 	}
+	setTraceOutcome(sp, out.Hash, outcomeLabel(out))
+	rs := sp.Child("render")
 	s.writeJSON(w, solveStatus(out), solveResponse(out))
+	rs.End()
+}
+
+// setTraceOutcome stamps the root span with the request's cache key prefix
+// and outcome label — what the request log and /debug/traces lead with.
+func setTraceOutcome(sp obs.SpanRef, hash, outcome string) {
+	if !sp.Active() {
+		return
+	}
+	if len(hash) > 12 {
+		hash = hash[:12]
+	}
+	if hash != "" {
+		sp.SetArg("hash", hash)
+	}
+	sp.SetArg("outcome", outcome)
+}
+
+// outcomeLabel classifies a successful Outcome for traces and logs.
+func outcomeLabel(out Outcome) string {
+	switch {
+	case out.Infeasible != nil:
+		return "infeasible"
+	case out.Cached:
+		return "cached"
+	case out.Coalesced:
+		return "coalesced"
+	default:
+		return "solved"
+	}
 }
 
 // solveResponse renders one Outcome in the SolveResponse envelope.
@@ -375,16 +431,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 
+	sp := obs.FromContext(r.Context())
+	ds := sp.Child("decode")
 	var req BatchRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		ds.End()
 		s.writeJSON(w, status, BatchResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		ds.End()
 		s.writeJSON(w, http.StatusBadRequest, BatchResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	if len(req.Problems) == 0 {
+		ds.End()
 		s.writeJSON(w, http.StatusBadRequest, BatchResponse{SchemaVersion: Version, Error: "service: batch has no problems"})
 		return
 	}
@@ -408,6 +469,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		specs = append(specs, Spec{Graph: g, Platform: p, Solver: sv})
 		specIdx = append(specIdx, i)
+	}
+	ds.End()
+	if sp.Active() {
+		sp.SetArg("problems", len(req.Problems))
 	}
 	batchResults := s.Handle.SolveBatch(ctx, specs)
 	results := make([]BatchResult, len(req.Problems))
@@ -452,12 +517,16 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 
+	sp := obs.FromContext(r.Context())
+	ds := sp.Child("decode")
 	var req ReplanRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		ds.End()
 		s.writeJSON(w, status, ReplanResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	badRequest := func(err error) {
+		ds.End()
 		s.writeJSON(w, http.StatusBadRequest, ReplanResponse{SchemaVersion: Version, Error: err.Error()})
 	}
 	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
@@ -495,6 +564,7 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		badRequest(err)
 		return
 	}
+	ds.End()
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
@@ -506,9 +576,11 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 		NoColdFallback: req.NoColdFallback,
 	})
 	if err != nil {
+		setTraceOutcome(sp, out.Hash, "error")
 		s.writeReplanError(w, err)
 		return
 	}
+	setTraceOutcome(sp, out.Hash, outcomeLabel(out))
 	resp := ReplanResponse{
 		SchemaVersion: Version,
 		Hash:          out.Hash,
@@ -523,7 +595,9 @@ func (s *Server) handleReplan(w http.ResponseWriter, r *http.Request) {
 	resp.Schedule = out.ScheduleJSON
 	resp.Summary = out.Summary
 	resp.Replan = replanStatsDTO(out.Replan)
+	rs := sp.Child("render")
 	s.writeJSON(w, http.StatusOK, resp)
+	rs.End()
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -531,16 +605,21 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	defer func() { s.m.lat.observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
 
+	sp := obs.FromContext(r.Context())
+	ds := sp.Child("decode")
 	var req SimulateRequest
 	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		ds.End()
 		s.writeJSON(w, status, SimulateResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	if err := checkSchemaVersion(req.SchemaVersion); err != nil {
+		ds.End()
 		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{SchemaVersion: Version, Error: err.Error()})
 		return
 	}
 	g, p, sv, err := buildProblem(req.Graph, req.Platform, req.Options)
+	ds.End()
 	if err != nil {
 		s.writeJSON(w, http.StatusBadRequest, SimulateResponse{SchemaVersion: Version, Error: err.Error()})
 		return
@@ -572,9 +651,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	// cannot deadlock against its own solve.
 	out, hash, state, err := s.solveProblem(ctx, g, p, sv)
 	if err != nil {
+		setTraceOutcome(sp, hash, "error")
 		s.writeError(w, err)
 		return
 	}
+	setTraceOutcome(sp, hash, "simulated")
 	resp := SimulateResponse{
 		SchemaVersion: Version,
 		Hash:          hash,
@@ -601,17 +682,22 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	release, err := s.admit(ctx)
+	release, err := s.admitTraced(ctx)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	defer release()
 
+	sim1 := sp.Child("simulate")
+	if sim1.Active() {
+		sim1.SetArg("scenarios", len(scenarios))
+	}
 	// One engine for the whole sweep: the derived schedule tables and the
 	// simulation state buffers are built once and reused per scenario.
 	eng, err := sim.NewEngine(sched)
 	if err != nil {
+		sim1.End()
 		s.writeError(w, err)
 		return
 	}
@@ -619,11 +705,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	for _, sc := range scenarios {
 		res, err := s.runScenario(ctx, eng, sched, sc)
 		if err != nil {
+			sim1.End()
 			s.writeError(w, err)
 			return
 		}
 		resp.Scenarios = append(resp.Scenarios, res)
 	}
+	sim1.End()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -683,7 +771,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, status, map[string]any{"status": state})
 }
 
+// handleMetrics serves the metrics snapshot: the expvar-style JSON
+// document by default, Prometheus text exposition when the scraper asks
+// for it (?format=prometheus, or an Accept header preferring text/plain —
+// how Prometheus itself scrapes).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.m.reqMetrics.Add(1)
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(renderPrometheus(s.snapshot()))
+		s.m.countResponse(http.StatusOK)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, s.snapshot())
 }

@@ -24,6 +24,7 @@ import (
 	"streamsched/internal/core"
 	"streamsched/internal/dag"
 	"streamsched/internal/infeas"
+	"streamsched/internal/obs"
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
 	"streamsched/internal/schedule"
@@ -412,7 +413,7 @@ func TestLeaderRechecksCacheAfterClaim(t *testing.T) {
 	if !leader {
 		t.Fatal("flight unexpectedly in progress")
 	}
-	srv.runFlight(hash, f, g, p, sv)
+	srv.runFlight(hash, f, g, p, sv, obs.SpanRef{})
 	out, err := f.Wait(context.Background())
 	if err != nil || out.sched == nil {
 		t.Fatalf("flight did not resolve from cache: %v %+v", err, out)

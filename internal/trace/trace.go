@@ -22,20 +22,27 @@ type Span struct {
 	Lane string
 	// Start and End are in schedule time units.
 	Start, End float64
+	// Instant marks a point-in-time event (rendered ph="i" at Start; End
+	// is ignored). Request traces use these for solver phase events.
+	// Omitted from JSON when false so schedule/sim exports — none of which
+	// emit instants — stay byte-identical to their golden files.
+	Instant bool `json:",omitempty"`
 	// Args carries extra metadata (item index, stage, volume, ...).
 	Args map[string]any
 }
 
-// chromeEvent is the trace-event JSON shape ("X" = complete event).
+// chromeEvent is the trace-event JSON shape ("X" = complete event,
+// "i" = instant event with thread scope).
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur"`
-	Pid  int            `json:"pid"`
-	Tid  string         `json:"tid"`
-	Args map[string]any `json:"args,omitempty"`
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   string         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
 }
 
 // ChromeJSON renders the spans as a Chrome trace-event array. Time units
@@ -43,6 +50,20 @@ type chromeEvent struct {
 func ChromeJSON(spans []Span) ([]byte, error) {
 	events := make([]chromeEvent, 0, len(spans))
 	for _, s := range spans {
+		if s.Instant {
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Cat:  "streamsched",
+				Ph:   "i",
+				Ts:   s.Start,
+				Pid:  1,
+				Tid:  s.Lane,
+				// "t" scopes the instant marker to its thread row.
+				Scope: "t",
+				Args:  s.Args,
+			})
+			continue
+		}
 		if s.End < s.Start {
 			return nil, fmt.Errorf("trace: span %q inverted [%v,%v]", s.Name, s.Start, s.End)
 		}

@@ -179,10 +179,10 @@ cat >"$workdir/infeasible.json" <<'EOF'
 {"graph":{"name":"heavy","tasks":[{"name":"t","work":100}]},"platform":{"speeds":[1],"bandwidth":[[0]]},"options":{"period":1}}
 EOF
 
-post() { # post <payload> <body-out> [extra curl args...]
+post() { # post <payload> <body-out> [extra curl args...] — dumps headers to <body-out>.hdr
 	local payload=$1 out=$2
 	shift 2
-	curl -s -o "$out" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+	curl -s -o "$out" -D "$out.hdr" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
 		--data-binary @"$payload" "$@" "$BASE/v1/solve"
 }
 
@@ -268,9 +268,67 @@ jq -e '.error | startswith("unsupported-schema-version")' "$workdir/replan_badve
 	exit 1
 }
 
-# 6. Metrics report the cache hits (solve + replan) and the rejection.
+# 6. Observability (DESIGN.md §12): tracing is on by default, so every
+# response so far must carry an X-Trace-Id — the 200s, the 429 and the 409
+# alike.
+for hdr in "$workdir"/*.hdr; do
+	grep -qi '^x-trace-id:' "$hdr" || {
+		echo "FAIL: $(basename "$hdr" .hdr) response missing X-Trace-Id" >&2
+		exit 1
+	}
+done
+# ?debug=timing adds a Server-Timing stage breakdown (and this repeat
+# solve is one more cache hit, counted in step 7).
+got=$(curl -s -o "$workdir/timing.json" -D "$workdir/timing.json.hdr" -w '%{http_code}' \
+	-X POST -H 'Content-Type: application/json' \
+	--data-binary @"$workdir/feasible.json" "$BASE/v1/solve?debug=timing")
+[ "$got" = 200 ] || {
+	echo "FAIL: debug=timing solve returned $got, want 200" >&2
+	exit 1
+}
+grep -qi '^server-timing:.*dur=' "$workdir/timing.json.hdr" || {
+	echo "FAIL: debug=timing response missing Server-Timing stages" >&2
+	exit 1
+}
+# /debug/traces serves the span trees of the recent requests (JSON), and
+# the same ring in Chrome trace-event form with ?format=chrome.
+curl -fsS "$BASE/debug/traces" >"$workdir/traces.json"
+jq -e '.count >= 1 and (.traces[0].spans | length) >= 1' "$workdir/traces.json" >/dev/null || {
+	echo "FAIL: /debug/traces has no span trees" >&2
+	exit 1
+}
+jq -e '[.traces[] | select(.name == "/v1/solve")] | length >= 1' "$workdir/traces.json" >/dev/null || {
+	echo "FAIL: /debug/traces retained no /v1/solve trace" >&2
+	exit 1
+}
+jq -e '[.traces[].spans[].name] | index("solve") and index("cache")' "$workdir/traces.json" >/dev/null || {
+	echo "FAIL: traces carry no solve/cache pipeline spans" >&2
+	exit 1
+}
+curl -fsS "$BASE/debug/traces?format=chrome" >"$workdir/traces_chrome.json"
+jq -e 'type == "array" and length >= 1 and all(.[]; .ph and .name)' "$workdir/traces_chrome.json" >/dev/null || {
+	echo "FAIL: chrome trace export is empty or malformed" >&2
+	exit 1
+}
+# /metrics speaks Prometheus text exposition on request.
+curl -fsS "$BASE/metrics?format=prometheus" >"$workdir/metrics.prom"
+grep -q '^# TYPE streamsched_requests_total counter' "$workdir/metrics.prom" || {
+	echo "FAIL: prometheus scrape missing streamsched_requests_total family" >&2
+	exit 1
+}
+grep -q '^streamsched_request_latency_ms{quantile="0.99"} ' "$workdir/metrics.prom" || {
+	echo "FAIL: prometheus scrape missing latency quantiles" >&2
+	exit 1
+}
+curl -fsS -H 'Accept: text/plain' "$BASE/metrics" | grep -q '^streamsched_uptime_seconds ' || {
+	echo "FAIL: Accept: text/plain scrape did not select the prometheus form" >&2
+	exit 1
+}
+
+# 7. Metrics report the cache hits (solve + replan + the traced timing
+# request) and the rejection.
 curl -fsS "$BASE/metrics" >"$workdir/metrics.json"
-jq -e '.cache.hits == 2' "$workdir/metrics.json" >/dev/null || {
+jq -e '.cache.hits == 3' "$workdir/metrics.json" >/dev/null || {
 	echo "FAIL: /metrics does not report the cache hits" >&2
 	exit 1
 }
@@ -283,4 +341,4 @@ jq -e '.requests.replan == 3' "$workdir/metrics.json" >/dev/null || {
 	exit 1
 }
 
-echo "service smoke OK: 200, cached 200, 409 (period-exceeded), 429 (+Retry-After), replan 200/cached/400, metrics consistent"
+echo "service smoke OK: 200, cached 200, 409 (period-exceeded), 429 (+Retry-After), replan 200/cached/400, tracing (X-Trace-Id, Server-Timing, /debug/traces JSON+chrome), prometheus scrape, metrics consistent"

@@ -369,6 +369,10 @@ type (
 	ServiceConfig = service.Config
 	// ServiceMetrics is the GET /metrics document.
 	ServiceMetrics = service.MetricsSnapshot
+	// ServiceRequestLog is one traced HTTP request, delivered to
+	// ServiceConfig.RequestLog after the response is written (DESIGN.md
+	// §12).
+	ServiceRequestLog = service.RequestLogEntry
 
 	// ServiceHandle is the in-process service API: Solve, SolveBatch and
 	// Replan through the same caching, coalescing and backpressure pipeline
