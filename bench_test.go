@@ -165,6 +165,43 @@ func BenchmarkLTF(b *testing.B) {
 	}
 }
 
+// BenchmarkLTFLookahead records the speculative-lookahead quality/cost
+// points: for each window size k, the construction cost (ns/op) plus the
+// resulting schedule's stage count and latency bound as custom metrics.
+// k=1 is the plain loop; k>1 scores per-window candidate strategies under
+// the chunk transaction and keeps the best. Part of the CI perf gate.
+func BenchmarkLTFLookahead(b *testing.B) {
+	for _, algo := range []string{"ltf", "rltf"} {
+		for _, k := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/k=%d", algo, k), func(b *testing.B) {
+				r := rng.New(11)
+				p := platform.RandomHeterogeneous(r, 20, 0.5, 1, 0.5, 1, 100)
+				cfg := randgraph.DefaultStreamConfig()
+				g := randgraph.Stream(r, cfg, p)
+				stages, bound := 0, 0.0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					var (
+						s   *streamsched.Schedule
+						err error
+					)
+					if algo == "ltf" {
+						s, err = ltf.Schedule(context.Background(), g, p, 1, 20, ltf.Options{Lookahead: k})
+					} else {
+						s, err = rltf.Schedule(context.Background(), g, p, 1, 20, rltf.Options{Lookahead: k})
+					}
+					if err != nil {
+						b.Skip("infeasible instance")
+					}
+					stages, bound = s.Stages(), s.LatencyBound()
+				}
+				b.ReportMetric(float64(stages), "stages")
+				b.ReportMetric(bound, "latency")
+			})
+		}
+	}
+}
+
 func BenchmarkRLTF(b *testing.B) {
 	for _, eps := range []int{1, 3} {
 		b.Run(fmt.Sprintf("eps=%d", eps), func(b *testing.B) {
@@ -217,12 +254,22 @@ func BenchmarkSim(b *testing.B) {
 					if crash.procs != nil {
 						c.Failures = sim.FailureSpec{Procs: crash.procs}
 					}
+					eng, err := sim.NewEngine(size.s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var wakes int64
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						if _, err := sim.Run(context.Background(), size.s, c); err != nil {
+						if _, err := eng.Run(context.Background(), c); err != nil {
 							b.Fatal(err)
 						}
+						wakes += eng.Wakes()
 					}
+					// Event-count regressions (a wake push per gated instance
+					// instead of per bucket) hide inside ns/op noise; the gate
+					// reds on wakes/op growth directly.
+					b.ReportMetric(float64(wakes)/float64(b.N), "wakes/op")
 				})
 			}
 		}

@@ -12,9 +12,13 @@
 //
 // The gate fails when any baseline benchmark regresses by more than
 // -ns-tolerance in ns/op (default 25%), disappears from the current run, or
-// — when -alloc-tolerance ≥ 0 — regresses in allocs/op. Absolute ns/op are
-// machine-dependent; the committed baseline is refreshed from CI hardware
-// (see DESIGN.md §Performance), while allocs/op compare across any machine.
+// — when -alloc-tolerance ≥ 0 — regresses in allocs/op. Custom metrics are
+// gated per unit with repeatable -metric-tolerance unit=tol flags (e.g.
+// -metric-tolerance wakes/op=0.10 reds simulator wake-count growth above
+// 10%); ungated units are recorded and printed but never fail. Absolute
+// ns/op are machine-dependent; the committed baseline is refreshed from CI
+// hardware (see DESIGN.md §Performance), while allocs/op and deterministic
+// custom metrics compare across any machine.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,14 +56,43 @@ func main() {
 		input     = flag.String("input", "", "parse existing `go test -bench` output from this file instead of running (\"-\" for stdin)")
 		quiet     = flag.Bool("quiet", false, "suppress the streamed benchmark output")
 	)
+	var metricTol metricTolFlag
+	flag.Var(&metricTol, "metric-tolerance", "allowed fractional growth for a custom metric, as unit=tol (e.g. wakes/op=0.10); repeatable")
 	flag.Parse()
-	if err := run(*benchRe, *benchtime, *pkg, *out, *baseline, *input, *nsTol, *allocTol, *count, *quiet); err != nil {
+	if err := run(*benchRe, *benchtime, *pkg, *out, *baseline, *input, *nsTol, *allocTol, metricTol.m, *count, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchRe, benchtime, pkg, out, baseline, input string, nsTol, allocTol float64, count int, quiet bool) error {
+// metricTolFlag accumulates repeated -metric-tolerance unit=tol pairs.
+type metricTolFlag struct{ m map[string]float64 }
+
+func (f *metricTolFlag) String() string {
+	pairs := make([]string, 0, len(f.m))
+	for unit, tol := range f.m {
+		pairs = append(pairs, fmt.Sprintf("%s=%g", unit, tol))
+	}
+	return strings.Join(pairs, ",")
+}
+
+func (f *metricTolFlag) Set(s string) error {
+	unit, tol, ok := strings.Cut(s, "=")
+	if !ok || unit == "" {
+		return fmt.Errorf("want unit=tolerance, got %q", s)
+	}
+	v, err := strconv.ParseFloat(tol, 64)
+	if err != nil {
+		return fmt.Errorf("bad tolerance in %q: %w", s, err)
+	}
+	if f.m == nil {
+		f.m = map[string]float64{}
+	}
+	f.m[unit] = v
+	return nil
+}
+
+func run(benchRe, benchtime, pkg, out, baseline, input string, nsTol, allocTol float64, metricTol map[string]float64, count int, quiet bool) error {
 	var raw []byte
 	var err error
 	switch input {
@@ -118,7 +152,7 @@ func run(benchRe, benchtime, pkg, out, baseline, input string, nsTol, allocTol f
 	for _, d := range deltas {
 		fmt.Println("bench:", d.Describe())
 	}
-	if bad := benchjson.Regressions(deltas, nsTol, allocTol); len(bad) > 0 {
+	if bad := benchjson.Regressions(deltas, nsTol, allocTol, metricTol); len(bad) > 0 {
 		msgs := make([]string, len(bad))
 		for i, d := range bad {
 			msgs[i] = d.Describe()

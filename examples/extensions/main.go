@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"streamsched"
 )
@@ -85,7 +86,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	const out = "trace.json"
+	// The trace goes under the OS temp directory (or $TRACE_OUT when set),
+	// never the working directory: examples are run from the repo root, and
+	// a stray trace.json there breaks the repo-clean CI check.
+	out := os.Getenv("TRACE_OUT")
+	if out == "" {
+		out = filepath.Join(os.TempDir(), "streamsched-trace.json")
+	}
 	if err := os.WriteFile(out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}

@@ -203,7 +203,10 @@ type Delta struct {
 	// slower (ns/op) or 10% more allocations.
 	NsRatio     float64
 	AllocsRatio float64 // 0 when either side lacks -benchmem data
-	Missing     bool    // benchmark present in baseline but not in current
+	// MetricRatios holds current/baseline per custom-metric unit (wakes/op,
+	// comms, …) for units present with a positive value on both sides.
+	MetricRatios map[string]float64
+	Missing      bool // benchmark present in baseline but not in current
 }
 
 // Compare matches current results against a baseline by name. Benchmarks
@@ -228,6 +231,16 @@ func Compare(baseline, current *File) []Delta {
 		if b.AllocsOp > 0 {
 			d.AllocsRatio = c.AllocsOp / b.AllocsOp
 		}
+		for unit, bv := range b.Metrics {
+			cv, ok := c.Metrics[unit]
+			if !ok || bv <= 0 {
+				continue
+			}
+			if d.MetricRatios == nil {
+				d.MetricRatios = map[string]float64{}
+			}
+			d.MetricRatios[unit] = cv / bv
+		}
 		deltas = append(deltas, d)
 	}
 	return deltas
@@ -235,10 +248,13 @@ func Compare(baseline, current *File) []Delta {
 
 // Regressions filters deltas exceeding the thresholds: nsTol is the allowed
 // fractional ns/op increase (0.25 → fail above +25%), allocTol the same for
-// allocs/op (pass a negative allocTol to skip the alloc gate). Missing
-// benchmarks always count as regressions — a silently dropped benchmark
-// must not pass the gate.
-func Regressions(deltas []Delta, nsTol, allocTol float64) []Delta {
+// allocs/op (pass a negative allocTol to skip the alloc gate), and metricTol
+// bounds custom-metric growth per unit — {"wakes/op": 0.10} fails any
+// benchmark whose wakes/op grew more than 10% over the baseline. Units
+// absent from metricTol are informational only (quality metrics like stages
+// move legitimately with algorithm changes). Missing benchmarks always count
+// as regressions — a silently dropped benchmark must not pass the gate.
+func Regressions(deltas []Delta, nsTol, allocTol float64, metricTol map[string]float64) []Delta {
 	var bad []Delta
 	for _, d := range deltas {
 		switch {
@@ -248,6 +264,13 @@ func Regressions(deltas []Delta, nsTol, allocTol float64) []Delta {
 			bad = append(bad, d)
 		case allocTol >= 0 && d.AllocsRatio > 1+allocTol:
 			bad = append(bad, d)
+		default:
+			for unit, tol := range metricTol {
+				if d.MetricRatios[unit] > 1+tol {
+					bad = append(bad, d)
+					break
+				}
+			}
 		}
 	}
 	return bad
@@ -261,6 +284,14 @@ func (d Delta) Describe() string {
 	s := fmt.Sprintf("%s: ns/op ×%.3f", d.Name, d.NsRatio)
 	if d.AllocsRatio > 0 {
 		s += fmt.Sprintf(", allocs/op ×%.3f", d.AllocsRatio)
+	}
+	units := make([]string, 0, len(d.MetricRatios))
+	for unit := range d.MetricRatios {
+		units = append(units, unit)
+	}
+	sort.Strings(units)
+	for _, unit := range units {
+		s += fmt.Sprintf(", %s ×%.3f", unit, d.MetricRatios[unit])
 	}
 	return s
 }

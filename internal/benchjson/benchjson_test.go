@@ -127,7 +127,7 @@ func TestCompareAndRegressions(t *testing.T) {
 	if len(deltas) != 3 {
 		t.Fatalf("deltas = %v", deltas)
 	}
-	bad := Regressions(deltas, 0.25, -1)
+	bad := Regressions(deltas, 0.25, -1, nil)
 	if len(bad) != 2 {
 		t.Fatalf("regressions = %v", bad)
 	}
@@ -140,13 +140,39 @@ func TestCompareAndRegressions(t *testing.T) {
 	}
 	// Alloc gate catches alloc-only regressions.
 	cur.Results[0].AllocsOp = 200
-	bad = Regressions(Compare(base, cur), 0.25, 0.10)
+	bad = Regressions(Compare(base, cur), 0.25, 0.10, nil)
 	names = map[string]bool{}
 	for _, d := range bad {
 		names[d.Name] = true
 	}
 	if !names["A"] {
 		t.Errorf("alloc regression missed: %v", bad)
+	}
+}
+
+func TestCompareAndRegressionsCustomMetrics(t *testing.T) {
+	base := &File{Results: []Result{
+		{Name: "A", NsOp: 1000, Metrics: map[string]float64{"wakes/op": 100, "stages": 5}},
+		{Name: "B", NsOp: 1000, Metrics: map[string]float64{"wakes/op": 100}},
+	}}
+	cur := &File{Results: []Result{
+		{Name: "A", NsOp: 1000, Metrics: map[string]float64{"wakes/op": 105, "stages": 9}}, // +5% wakes: inside a 10% gate
+		{Name: "B", NsOp: 1000, Metrics: map[string]float64{"wakes/op": 120}},              // +20% wakes: regression
+	}}
+	deltas := Compare(base, cur)
+	if got := deltas[0].MetricRatios["wakes/op"]; got != 1.05 {
+		t.Fatalf("A wakes ratio = %v", got)
+	}
+	// Ungated units never fail the gate, however much they move.
+	if bad := Regressions(deltas, 0.25, -1, nil); len(bad) != 0 {
+		t.Fatalf("no-gate regressions = %v", bad)
+	}
+	bad := Regressions(deltas, 0.25, -1, map[string]float64{"wakes/op": 0.10})
+	if len(bad) != 1 || bad[0].Name != "B" {
+		t.Fatalf("wakes-gate regressions = %v", bad)
+	}
+	if got := bad[0].Describe(); !strings.Contains(got, "wakes/op ×1.200") {
+		t.Errorf("Describe() = %q, want wakes ratio", got)
 	}
 }
 

@@ -59,6 +59,7 @@ type Solver struct {
 	eps        int
 	period     float64
 	chunkSize  int
+	lookahead  int
 	oneToOne   bool
 	latencyCap float64
 }
@@ -117,6 +118,23 @@ func WithChunkSize(b int) Option {
 	}
 }
 
+// WithLookahead sets the speculative placement window k (default 1, no
+// speculation). With k > 1 the placement loop pops windows of k ready tasks,
+// builds every candidate placement strategy for the window under a journal
+// transaction, scores each complete placement by (max stage, max finish),
+// and keeps the best — trading construction time for schedule quality.
+// k = 1 reproduces the plain chunked loop exactly. k < 1 is a
+// configuration error.
+func WithLookahead(k int) Option {
+	return func(s *Solver) error {
+		if k < 1 {
+			return fmt.Errorf("core: non-positive lookahead %d", k)
+		}
+		s.lookahead = k
+		return nil
+	}
+}
+
 // WithOneToOne toggles the one-to-one communication-mapping procedure
 // (default on; off forces full (ε+1)² communication replication, the
 // ablation baseline).
@@ -140,7 +158,7 @@ func WithLatencyCap(cap float64) Option {
 // NewSolver builds a Solver from the options, validating each as it
 // applies and requiring WithPeriod.
 func NewSolver(opts ...Option) (*Solver, error) {
-	s := &Solver{algo: RLTF, oneToOne: true}
+	s := &Solver{algo: RLTF, oneToOne: true, lookahead: 1}
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
 			return nil, err
@@ -162,9 +180,9 @@ func (s *Solver) Algorithm() Algorithm { return s.algo }
 // the graph and platform (internal/service). Floats are encoded as IEEE-754
 // bit patterns so the fingerprint never loses precision to formatting.
 func (s *Solver) Fingerprint() string {
-	return fmt.Sprintf("solver/v1 algo=%d eps=%d period=%016x chunk=%d o2o=%t lcap=%016x",
+	return fmt.Sprintf("solver/v1 algo=%d eps=%d period=%016x chunk=%d look=%d o2o=%t lcap=%016x",
 		int(s.algo), s.eps, math.Float64bits(s.period), s.chunkSize,
-		s.oneToOne, math.Float64bits(s.latencyCap))
+		s.lookahead, s.oneToOne, math.Float64bits(s.latencyCap))
 }
 
 // Period reports the configured period Δ.
@@ -217,15 +235,18 @@ func (s *Solver) runAlgorithm(ctx context.Context, algo Algorithm, g *dag.Graph,
 		return ltf.Schedule(ctx, g, p, s.eps, s.period, ltf.Options{
 			ChunkSize:       s.chunkSize,
 			DisableOneToOne: !s.oneToOne,
+			Lookahead:       s.lookahead,
 		})
 	case RLTF:
 		return rltf.Schedule(ctx, g, p, s.eps, s.period, rltf.Options{
 			ChunkSize:       s.chunkSize,
 			DisableOneToOne: !s.oneToOne,
+			Lookahead:       s.lookahead,
 		})
 	case FaultFree:
 		return rltf.FaultFree(ctx, g, p, s.period, rltf.Options{
 			ChunkSize: s.chunkSize,
+			Lookahead: s.lookahead,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)

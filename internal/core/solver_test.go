@@ -10,6 +10,7 @@ import (
 	"streamsched/internal/platform"
 	"streamsched/internal/randgraph"
 	"streamsched/internal/rng"
+	"streamsched/internal/schedule"
 )
 
 func TestSolverOptions(t *testing.T) {
@@ -21,7 +22,7 @@ func TestSolverOptions(t *testing.T) {
 		{"minimal", []Option{WithPeriod(10)}, false},
 		{"full", []Option{
 			WithAlgorithm(LTF), WithEps(2), WithPeriod(10),
-			WithChunkSize(4), WithOneToOne(false), WithLatencyCap(100),
+			WithChunkSize(4), WithLookahead(2), WithOneToOne(false), WithLatencyCap(100),
 		}, false},
 		{"portfolio", []Option{WithAlgorithm(Portfolio), WithPeriod(10)}, false},
 		{"missing period", nil, true},
@@ -29,6 +30,9 @@ func TestSolverOptions(t *testing.T) {
 		{"negative period", []Option{WithPeriod(-1)}, true},
 		{"negative eps", []Option{WithEps(-1), WithPeriod(10)}, true},
 		{"negative chunk", []Option{WithChunkSize(-1), WithPeriod(10)}, true},
+		{"lookahead", []Option{WithLookahead(4), WithPeriod(10)}, false},
+		{"zero lookahead", []Option{WithLookahead(0), WithPeriod(10)}, true},
+		{"negative lookahead", []Option{WithLookahead(-2), WithPeriod(10)}, true},
 		{"unknown algorithm", []Option{WithAlgorithm(Algorithm(99)), WithPeriod(10)}, true},
 		{"last option wins", []Option{WithPeriod(10), WithPeriod(20)}, false},
 	}
@@ -219,6 +223,47 @@ func TestPortfolioKeepsBetterSchedule(t *testing.T) {
 	}
 	if boundP != best {
 		t.Fatalf("portfolio bound %v, want best of LTF %v / RLTF %v", boundP, boundL, boundR)
+	}
+}
+
+func TestSolverLookahead(t *testing.T) {
+	r := rng.New(7)
+	p := platform.RandomHeterogeneous(r, 10, 0.5, 1, 0.5, 1, 100)
+	g := randgraph.Stream(r, randgraph.DefaultStreamConfig(), p)
+	period := 20.0
+	for _, algo := range []Algorithm{LTF, RLTF} {
+		solve := func(opts ...Option) *schedule.Schedule {
+			t.Helper()
+			opts = append([]Option{WithAlgorithm(algo), WithEps(1), WithPeriod(period)}, opts...)
+			s, err := NewSolver(opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, err := s.Solve(context.Background(), g, p)
+			if err != nil {
+				t.Fatalf("%v: %v", algo, err)
+			}
+			return sched
+		}
+		// k = 1 must be the plain loop, byte for byte.
+		base, err := solve().MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := solve(WithLookahead(1)).MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(base, one) {
+			t.Fatalf("%v: WithLookahead(1) schedule differs from the default", algo)
+		}
+		// k > 1 schedules must stay valid under the full invariant check.
+		for _, k := range []int{2, 4} {
+			sched := solve(WithLookahead(k))
+			if err := sched.Validate(); err != nil {
+				t.Fatalf("%v lookahead %d: invalid schedule: %v", algo, k, err)
+			}
+		}
 	}
 }
 

@@ -619,6 +619,82 @@ func (st *State) AbortTask() {
 	}
 }
 
+// BeginChunk opens the chunk transaction covering everything the placement
+// of a whole task window mutates — the multi-task analogue of BeginTask, and
+// the journal machinery behind the speculative lookahead (ltf.Options
+// .Lookahead): a candidate placement of the window is built in full, scored,
+// and either kept or rewound in O(changes). The ready heap and precedence
+// counters are deliberately not captured: the window is popped before the
+// transaction opens and only marked scheduled after it resolves, so they do
+// not change in between. Reverse mode runs its single-task retry ladder
+// (BeginTask/AbortTask) inside a chunk transaction; the one-port journal
+// marks nest LIFO, and the two transactions keep disjoint scratch buffers.
+func (st *State) BeginChunk(tasks []dag.TaskID) {
+	if st.chunkLive {
+		panic("mapper: BeginChunk while a chunk transaction is live")
+	}
+	if st.snapLive {
+		panic("mapper: BeginChunk inside a task transaction")
+	}
+	st.chunkLive = true
+	st.chunkTasks = append(st.chunkTasks[:0], tasks...)
+	st.chunkMark = st.Sys.Mark()
+	st.chunkSigma = append(st.chunkSigma[:0], st.Sigma...)
+	st.chunkCIn = append(st.chunkCIn[:0], st.CIn...)
+	st.chunkCOut = append(st.chunkCOut[:0], st.COut...)
+	st.chunkClaims = st.claims.Snapshot(st.chunkClaims)
+	st.chunkCopyProcs = st.chunkCopyProcs[:0]
+	for _, t := range tasks {
+		st.chunkCopyProcs = append(st.chunkCopyProcs, st.copyProcs.At(int(t))...)
+	}
+}
+
+// CommitChunk closes the chunk transaction, keeping every placement made
+// since BeginChunk.
+func (st *State) CommitChunk() {
+	if !st.chunkLive {
+		panic("mapper: CommitChunk without a live chunk transaction")
+	}
+	if st.snapLive {
+		panic("mapper: CommitChunk with a live task transaction")
+	}
+	st.chunkLive = false
+}
+
+// AbortChunk rolls the state back to the BeginChunk point, withdrawing every
+// replica of the window tasks placed since.
+func (st *State) AbortChunk() {
+	if !st.chunkLive {
+		panic("mapper: AbortChunk without a live chunk transaction")
+	}
+	if st.snapLive {
+		panic("mapper: AbortChunk with a live task transaction")
+	}
+	st.chunkLive = false
+	st.Phases.Rollbacks++
+	st.Sys.Rollback(st.chunkMark)
+	copy(st.Sigma, st.chunkSigma)
+	copy(st.CIn, st.chunkCIn)
+	copy(st.COut, st.chunkCOut)
+	st.claims.Restore(st.chunkClaims)
+	if n := len(st.chunkTasks); n > 0 {
+		w := len(st.chunkCopyProcs) / n
+		for i, t := range st.chunkTasks {
+			st.copyProcs.At(int(t)).CopyFrom(st.chunkCopyProcs[i*w : (i+1)*w])
+		}
+	}
+	for _, t := range st.chunkTasks {
+		for _, ref := range schedule.ReplicaRefs(t, st.Eps) {
+			if st.Sched.Replica(ref) != nil {
+				st.Sched.RemoveReplica(ref)
+			}
+			i := st.refIdx(ref.Task, ref.Copy)
+			st.stage[i] = 0
+			st.supp[i] = nil
+		}
+	}
+}
+
 // MaxPredStage returns the largest stage number among the placed replicas of
 // t's predecessors (R-LTF's Rule 1 bound; on the reversed graph these are
 // the successors of the original task).

@@ -167,6 +167,20 @@ type State struct {
 	snapCOut      []float64
 	snapClaims    bitset.Set
 	snapCopyProcs bitset.Set
+
+	// Chunk-transaction scratch (BeginChunk/AbortChunk), used by the
+	// speculative lookahead to journal a whole k-task placement window.
+	// Reverse mode nests the single-task retry ladder (BeginTask/AbortTask)
+	// inside a chunk transaction, so the two keep disjoint buffers; the
+	// copyProcs rows of every window task are packed consecutively.
+	chunkLive      bool
+	chunkTasks     []dag.TaskID
+	chunkMark      oneport.Mark
+	chunkSigma     []float64
+	chunkCIn       []float64
+	chunkCOut      []float64
+	chunkClaims    bitset.Set
+	chunkCopyProcs bitset.Set
 }
 
 // predEdge is one (predecessor, volume) entry of predVol.

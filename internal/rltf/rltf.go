@@ -39,6 +39,10 @@ type Options struct {
 	ChunkSize int
 	// DisableOneToOne forces full communication replication (ablation).
 	DisableOneToOne bool
+	// Lookahead enables speculative chunk placement, exactly as in
+	// ltf.Options: 0 or 1 is the plain loop, k > 1 scores k-task windows
+	// per candidate strategy under a chunk transaction and keeps the best.
+	Lookahead int
 }
 
 // Schedule maps g onto p tolerating eps failures at the given period using
@@ -64,7 +68,7 @@ func Schedule(ctx context.Context, g *dag.Graph, p *platform.Platform, eps int, 
 		return mapper.StagePreserving(st.MaxPredStage(t))
 	}
 	sp := obs.FromContext(ctx).Child("rltf")
-	err = ltf.Run(obs.ContextWith(ctx, sp), st, b, betterFor)
+	err = ltf.Run(obs.ContextWith(ctx, sp), st, b, opts.Lookahead, betterFor)
 	ltf.EndPhaseSpan(sp, st, err)
 	if err != nil {
 		return nil, err

@@ -8,11 +8,16 @@ package sim
 //  1. Every event runs the dispatcher, which starts CPU work first (procs in
 //     ascending id order, picking the instLess-minimum eligible instance)
 //     and then grants pending transfers greedily in commLess order.
-//  2. Wake events for synchronous-mode cycle gates are pushed exactly once
-//     per gated instance/transfer, at the first dispatcher pass that sees it
-//     (CPU gates only while the processor is idle). Event sequence numbers
-//     break ties between simultaneous events, so the pushes must happen in
-//     the original order.
+//  2. Synchronous-mode cycle gates are evaluated at the first dispatcher
+//     pass that sees them (CPU gates only while the processor is idle).
+//     Gate openings are batched: instances bucket per (cycle, processor)
+//     and transfers per opening time, and one evWake per distinct future
+//     time serves every bucket that shares it (scheduleWake). This is
+//     byte-identical to the original once-per-instance wake pushes because
+//     a duplicate wake at the same time is a pure no-op dispatcher pass:
+//     the first dispatch at time t drains every gate with at <= t, and
+//     dropping a push only shifts later event sequence numbers uniformly,
+//     which preserves the relative order of all remaining events.
 //  3. Instances are materialized lazily (first touch), which the crash
 //     handler observes: only already-created instances fail eagerly.
 //
@@ -99,9 +104,18 @@ type xfer struct {
 
 type instRef struct{ item, rep int32 }
 
-type gatedInst struct {
-	gate float64
-	ref  instRef
+// gateBucket collects every instance of one processor whose cycle gate opens
+// at the same time: one timed mark and one (shared) wake event open them all.
+type gateBucket struct {
+	at   float64
+	refs []instRef
+}
+
+// commBucket is the transfer-side analogue: all gated transfers opening at
+// the same time re-enter arbitration together.
+type commBucket struct {
+	at  float64
+	cis []int32
 }
 
 type timedIdx struct {
@@ -171,11 +185,12 @@ type Engine struct {
 	deadFrom []float64 // +Inf = never fails
 
 	cpuBusy  []bool
-	ready    [][]instRef   // per-proc binary heap by instLess
-	gatedNew [][]instRef   // per-proc unwoken gated instances, append order
-	gated    [][]gatedInst // per-proc min-heap by gate time
-	dirty    []uint64      // processor worklist bitset
-	cpuGates []timedIdx    // min-heap: (gate, proc) wake-up marks
+	ready    [][]instRef    // per-proc binary heap by instLess
+	gatedNew [][]instRef    // per-proc unwoken gated instances, append order
+	gated    [][]gateBucket // per-proc min-heap of (cycle, proc) buckets
+	dirty    []uint64       // processor worklist bitset
+	cpuGates []timedIdx     // min-heap: one (gate, proc) mark per bucket
+	freeRefs [][]instRef    // recycled gateBucket ref slices
 
 	sendBusy, recvBusy     []bool
 	sendActive, recvActive []int32   // in-flight transfer per port, -1 free
@@ -183,8 +198,15 @@ type Engine struct {
 
 	comms      []xfer
 	freeComms  []int32
-	commGated  []timedIdx // min-heap: (earliest, transfer) cycle gates
-	candidates []int32    // transfers the current event could have changed
+	commGated  []commBucket // min-heap of per-opening-time transfer buckets
+	freeCIs    [][]int32    // recycled commBucket index slices
+	candidates []int32      // transfers the current event could have changed
+	candKeys   []uint64     // commKey cache scratch for the candidate sort
+
+	// wakePending holds the distinct future times an evWake is armed for;
+	// wakes counts the events actually pushed (the wakes/op bench metric).
+	wakePending []timedIdx
+	wakes       int64
 
 	exitDone []float64 // [item·nExit + exit] completion time, -1 unrecorded
 	exitCnt  []int32   // [item] exits recorded
@@ -323,7 +345,7 @@ func NewEngine(s *schedule.Schedule) (*Engine, error) {
 	e.cpuBusy = make([]bool, m)
 	e.ready = make([][]instRef, m)
 	e.gatedNew = make([][]instRef, m)
-	e.gated = make([][]gatedInst, m)
+	e.gated = make([][]gateBucket, m)
 	e.dirty = make([]uint64, (m+63)/64)
 	e.sendBusy = make([]bool, m)
 	e.recvBusy = make([]bool, m)
@@ -406,7 +428,7 @@ func (e *Engine) reset(cfg Config) {
 		e.cpuBusy[u] = false
 		e.ready[u] = e.ready[u][:0]
 		e.gatedNew[u] = e.gatedNew[u][:0]
-		e.gated[u] = e.gated[u][:0]
+		e.dropGateBuckets(int32(u))
 		e.sendBusy[u] = false
 		e.recvBusy[u] = false
 		e.sendActive[u] = -1
@@ -419,9 +441,14 @@ func (e *Engine) reset(cfg Config) {
 	}
 	e.comms = e.comms[:0]
 	e.freeComms = e.freeComms[:0]
+	for i := range e.commGated {
+		e.freeCIs = append(e.freeCIs, e.commGated[i].cis[:0])
+	}
 	e.commGated = e.commGated[:0]
 	e.cpuGates = e.cpuGates[:0]
 	e.candidates = e.candidates[:0]
+	e.wakePending = e.wakePending[:0]
+	e.wakes = 0
 	for i := range e.itemOf {
 		e.itemOf[i] = -1
 		e.live[i] = 0
@@ -508,7 +535,11 @@ func (e *Engine) loop(ctx context.Context) error {
 			case evComm:
 				e.commComplete(ev.a)
 			case evWake:
-				// dispatch below is the whole effect
+				// dispatch below is the whole effect; retire the armed time
+				// so a later bucket at the same instant can re-arm.
+				if len(e.wakePending) > 0 && e.wakePending[0].at <= e.now {
+					heapPopTimed(&e.wakePending)
+				}
 			}
 		}
 		e.dispatch()
@@ -750,7 +781,9 @@ func (e *Engine) execComplete(item, rep int32) {
 		e.live[e.pos(item)]++
 		e.sendQ[u] = append(e.sendQ[u], ci)
 		e.recvQ[v] = append(e.recvQ[v], ci)
-		e.candidates = append(e.candidates, ci)
+		if !e.sendBusy[u] && !e.recvBusy[v] {
+			e.candidates = append(e.candidates, ci)
+		}
 	}
 }
 
@@ -797,7 +830,10 @@ func (e *Engine) commComplete(ci int32) {
 
 // collectPort appends the port's pending transfers to the candidate list,
 // compacting out entries that were resolved (or whose arena slot was
-// recycled to another port) since the last scan.
+// recycled to another port) since the last scan. Gated transfers that are
+// already parked in a wake bucket (woken) stay queued but are not candidates:
+// they cannot be granted before their gate opens, and the opening bucket
+// re-injects them (with woken cleared) at exactly that time.
 func (e *Engine) collectPort(q *[]int32, proc int32, send bool) {
 	w := 0
 	for _, ci := range *q {
@@ -815,7 +851,22 @@ func (e *Engine) collectPort(q *[]int32, proc int32, send bool) {
 		}
 		(*q)[w] = ci
 		w++
-		e.candidates = append(e.candidates, ci)
+		if c.woken {
+			continue
+		}
+		// Ports only go free→busy inside one dispatch pass, so a transfer
+		// whose peer port is busy right now cannot be granted (or newly
+		// gated) this pass: it stays queued and becomes a candidate when
+		// that peer port's own completion frees it.
+		peer := e.repProc[l.dstRep]
+		peerBusy := e.recvBusy[peer]
+		if !send {
+			peer = e.repProc[l.srcRep]
+			peerBusy = e.sendBusy[peer]
+		}
+		if !peerBusy {
+			e.candidates = append(e.candidates, ci)
+		}
 	}
 	*q = (*q)[:w]
 }
@@ -868,7 +919,7 @@ func (e *Engine) failProcs() {
 		}
 		e.ready[u] = e.ready[u][:0]
 		e.gatedNew[u] = e.gatedNew[u][:0]
-		e.gated[u] = e.gated[u][:0]
+		e.dropGateBuckets(int32(u))
 	}
 	// The original engine rescanned everything after a failure: every
 	// pending transfer becomes a candidate (dead ones are dropped in
@@ -915,9 +966,16 @@ func (e *Engine) dispatch() {
 			e.cpuDispatch(int32(w*64 + b))
 		}
 	}
-	// Transfer gates that opened by now re-enter arbitration.
+	// Transfer gates that opened by now re-enter arbitration, one bucket of
+	// transfers per opening time. Clearing woken hands the transfer back to
+	// the port scan (collectPort), which ignores still-gated transfers.
 	for len(e.commGated) > 0 && e.commGated[0].at <= e.now {
-		e.candidates = append(e.candidates, heapPopTimed(&e.commGated).ix)
+		b := heapPopTimed(&e.commGated)
+		for _, ci := range b.cis {
+			e.comms[ci].woken = false
+			e.candidates = append(e.candidates, ci)
+		}
+		e.freeCIs = append(e.freeCIs, b.cis[:0])
 	}
 	if e.failScan {
 		e.failScan = false
@@ -947,18 +1005,19 @@ func (e *Engine) cpuDispatch(u int32) {
 			return
 		}
 		for _, ref := range e.gatedNew[u] {
-			gate := e.cycleGate(ref)
-			if gate > e.now {
-				e.pushEvent(gate, evWake, 0, ref.item)
-				heapPushTimed(&e.gated[u], gatedInst{gate: gate, ref: ref})
-				heapPushTimed(&e.cpuGates, timedIdx{at: gate, ix: u})
+			if gate := e.cycleGate(ref); gate > e.now {
+				e.gateCPU(u, gate, ref)
 			} else {
 				e.readyPush(u, ref)
 			}
 		}
 		e.gatedNew[u] = e.gatedNew[u][:0]
-		for len(e.gated[u]) > 0 && e.gated[u][0].gate <= e.now {
-			e.readyPush(u, heapPopTimed(&e.gated[u]).ref)
+		for len(e.gated[u]) > 0 && e.gated[u][0].at <= e.now {
+			b := heapPopTimed(&e.gated[u])
+			for _, ref := range b.refs {
+				e.readyPush(u, ref)
+			}
+			e.freeRefs = append(e.freeRefs, b.refs[:0])
 		}
 	}
 	if len(e.ready[u]) == 0 {
@@ -975,6 +1034,88 @@ func (e *Engine) cycleGate(ref instRef) float64 {
 	return float64(int(ref.item)+2*(int(e.stage[ref.rep])-1)) * e.period
 }
 
+// gateCPU parks a gated instance in its processor's (cycle, proc) bucket.
+// Only the first instance of a bucket costs a timed mark and a wake; the
+// rest ride along. Buckets are only appended to while their gate is still in
+// the future, so the mark and wake armed at creation always cover them.
+//
+//streamsched:hotpath
+func (e *Engine) gateCPU(u int32, gate float64, ref instRef) {
+	h := e.gated[u]
+	for i := range h { // few distinct pending cycles per proc: scan beats a map
+		if h[i].at == gate {
+			h[i].refs = append(h[i].refs, ref)
+			return
+		}
+	}
+	refs := append(e.allocRefs(), ref)
+	heapPushTimed(&e.gated[u], gateBucket{at: gate, refs: refs})
+	heapPushTimed(&e.cpuGates, timedIdx{at: gate, ix: u})
+	e.scheduleWake(gate)
+}
+
+// gateComm parks a gated transfer in the bucket for its opening time.
+//
+//streamsched:hotpath
+func (e *Engine) gateComm(at float64, ci int32) {
+	h := e.commGated
+	for i := range h {
+		if h[i].at == at {
+			h[i].cis = append(h[i].cis, ci)
+			return
+		}
+	}
+	cis := append(e.allocCIs(), ci)
+	heapPushTimed(&e.commGated, commBucket{at: at, cis: cis})
+	e.scheduleWake(at)
+}
+
+// scheduleWake arms one evWake per distinct future opening time; every gate
+// bucket sharing the time rides the same event. wakePending tracks the armed
+// times (retired as their events fire) so duplicates are never pushed.
+//
+//streamsched:hotpath
+func (e *Engine) scheduleWake(at float64) {
+	for i := range e.wakePending {
+		if e.wakePending[i].at == at {
+			return
+		}
+	}
+	heapPushTimed(&e.wakePending, timedIdx{at: at})
+	e.wakes++
+	e.pushEvent(at, evWake, 0, 0)
+}
+
+func (e *Engine) allocRefs() []instRef {
+	if n := len(e.freeRefs); n > 0 {
+		r := e.freeRefs[n-1]
+		e.freeRefs = e.freeRefs[:n-1]
+		return r
+	}
+	return make([]instRef, 0, 4)
+}
+
+func (e *Engine) allocCIs() []int32 {
+	if n := len(e.freeCIs); n > 0 {
+		r := e.freeCIs[n-1]
+		e.freeCIs = e.freeCIs[:n-1]
+		return r
+	}
+	return make([]int32, 0, 4)
+}
+
+// dropGateBuckets empties a processor's gate heap, recycling the ref slices.
+func (e *Engine) dropGateBuckets(u int32) {
+	for i := range e.gated[u] {
+		e.freeRefs = append(e.freeRefs, e.gated[u][i].refs[:0])
+	}
+	e.gated[u] = e.gated[u][:0]
+}
+
+// Wakes reports how many evWake events the last Run pushed — the wakes/op
+// bench metric guarding against event-count regressions.
+func (e *Engine) Wakes() int64 { return e.wakes }
+
 // commKey is the arbitration order of pending transfers.
 func (e *Engine) commKey(ci int32) uint64 {
 	c := &e.comms[ci]
@@ -989,16 +1130,20 @@ func (e *Engine) commKey(ci int32) uint64 {
 //streamsched:hotpath
 func (e *Engine) commDispatch() {
 	cs := e.candidates
+	ks := e.candKeys[:0]
+	for _, ci := range cs { // cache keys: the sort compares each one many times
+		ks = append(ks, e.commKey(ci))
+	}
 	for i := 1; i < len(cs); i++ { // insertion sort: candidate lists are tiny
-		k := e.commKey(cs[i])
-		ci := cs[i]
+		k, ci := ks[i], cs[i]
 		j := i - 1
-		for j >= 0 && e.commKey(cs[j]) > k {
-			cs[j+1] = cs[j]
+		for j >= 0 && ks[j] > k {
+			cs[j+1], ks[j+1] = cs[j], ks[j]
 			j--
 		}
-		cs[j+1] = ci
+		cs[j+1], ks[j+1] = ci, k
 	}
+	e.candKeys = ks[:0]
 	for _, ci := range cs {
 		c := &e.comms[ci]
 		if c.state != cPending {
@@ -1027,8 +1172,7 @@ func (e *Engine) commDispatch() {
 		if c.earliest > e.now {
 			if !c.woken {
 				c.woken = true
-				e.pushEvent(c.earliest, evWake, 0, item)
-				heapPushTimed(&e.commGated, timedIdx{at: c.earliest, ix: ci})
+				e.gateComm(c.earliest, ci)
 			}
 			continue
 		}
@@ -1113,13 +1257,14 @@ func (e *Engine) readyPop(u int32) instRef {
 	return top
 }
 
-// timed is anything heap-ordered by an opening time (gated instances, cycle
-// gate marks). Both instantiations are value shapes, so the method calls
+// timed is anything heap-ordered by an opening time (gate buckets, cycle
+// gate marks). All instantiations are value shapes, so the method calls
 // devirtualize.
 type timed interface{ when() float64 }
 
-func (g gatedInst) when() float64 { return g.gate }
-func (x timedIdx) when() float64  { return x.at }
+func (g gateBucket) when() float64 { return g.at }
+func (b commBucket) when() float64 { return b.at }
+func (x timedIdx) when() float64   { return x.at }
 
 func heapPushTimed[T timed](h *[]T, x T) {
 	*h = append(*h, x)

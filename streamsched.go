@@ -154,6 +154,15 @@ func WithPeriod(period float64) SolverOption { return core.WithPeriod(period) }
 // WithChunkSize overrides the iso-level chunk bound B (default 0 → m).
 func WithChunkSize(b int) SolverOption { return core.WithChunkSize(b) }
 
+// WithLookahead sets the speculative placement window k (default 1, no
+// speculation). With k > 1 the LTF/R-LTF placement loop pops windows of k
+// ready tasks, builds every candidate strategy for the window under a
+// journal transaction, scores each complete placement by (max stage,
+// max finish), and keeps the best — trading construction time for schedule
+// quality. k = 1 reproduces the plain chunked loop exactly; k < 1 is a
+// configuration error.
+func WithLookahead(k int) SolverOption { return core.WithLookahead(k) }
+
 // WithOneToOne toggles the one-to-one communication-mapping procedure
 // (default on).
 func WithOneToOne(on bool) SolverOption { return core.WithOneToOne(on) }
